@@ -1,0 +1,41 @@
+"""Ablations for the design choices the paper fixes by fiat (DESIGN.md §7):
+refinement schedule, local filters, leaf decomposition."""
+
+from repro.bench.ablations import (
+    ablation_leaf_decomposition,
+    ablation_local_filters,
+    ablation_refinement,
+)
+
+
+def test_ablation_refinement_schedule(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(ablation_refinement, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Ablation — DP refinement schedule", "ablation_refinement.txt")
+    assert rows
+    # More refinement never grows the CS; the fixpoint is the smallest.
+    for dataset in {r["dataset"] for r in rows}:
+        ordered = [r for r in rows if r["dataset"] == dataset]
+        sizes = [r["avg_CS_size"] for r in ordered]
+        assert sizes == sorted(sizes, reverse=True) or sizes[0] >= sizes[-1]
+
+
+def test_ablation_local_filters(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(ablation_local_filters, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Ablation — MND/NLF local filters", "ablation_filters.txt")
+    assert rows
+    # Filters never grow the CS.
+    with_f = sum(r["avg_CS_size"] for r in rows if r["filters"] == "with MND+NLF")
+    without = sum(r["avg_CS_size"] for r in rows if r["filters"] == "without")
+    assert with_f <= without
+
+
+def test_ablation_leaf_decomposition(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(
+        ablation_leaf_decomposition, args=(profile,), rounds=1, iterations=1
+    )
+    record_rows(rows, "Ablation — leaf decomposition", "ablation_leaves.txt")
+    assert rows
+    # Counting mode + deferred leaves can only reduce examined nodes.
+    deferred = sum(r["avg_calls"] for r in rows if r["mode"] == "leaf decomposition")
+    uniform = sum(r["avg_calls"] for r in rows if r["mode"] == "uniform")
+    assert deferred <= uniform + 1e-6

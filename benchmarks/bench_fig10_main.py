@@ -1,0 +1,29 @@
+"""Figure 10: the main comparison — CFL-Match vs DA vs DAF on six datasets.
+
+Paper shape: DAF best, DA second, CFL-Match third in solved queries and
+recursive calls; elapsed time mostly follows except on easy instances
+where DAF's per-node overhead (weights + failing sets) shows.
+"""
+
+from repro.bench import figure10
+
+
+def test_fig10_cfl_da_daf(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure10, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 10 — CFL-Match vs DA vs DAF", "fig10.txt")
+    assert rows
+
+    def totals(algorithm: str, key: str) -> float:
+        return sum(r[key] for r in rows if r["algorithm"] == algorithm)
+
+    # Solved queries: DAF >= DA >= CFL-Match in aggregate.
+    assert totals("DAF", "solved_%") >= totals("DA", "solved_%")
+    assert totals("DA", "solved_%") >= totals("CFL-Match", "solved_%") * 0.95
+    # Recursive calls: DAF does no more work than DA (failing sets only
+    # prune), and does not lose to CFL-Match in aggregate.  (The paper's
+    # orders-of-magnitude gaps appear on hard instances; the scaled
+    # workload here is easy — everything solves — so the aggregate is
+    # dominated by enumeration-to-k, where the algorithms are close;
+    # the small multiplicative slack absorbs that regime.)
+    assert totals("DAF", "avg_calls") <= totals("DA", "avg_calls") + 1e-6
+    assert totals("DAF", "avg_calls") <= totals("CFL-Match", "avg_calls") * 1.15 + 50

@@ -1,0 +1,25 @@
+"""Figure 11: parameter sensitivity (query size/degree/diameter, data
+scale, label count) on the upscaled Yeast stand-in."""
+
+from repro.bench import figure11
+
+
+def test_fig11_sensitivity(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure11, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 11 — sensitivity analysis", "fig11.txt")
+    assert rows
+    axes = {r["axis"] for r in rows}
+    assert axes == {"qsize", "avgdeg", "diam", "scale", "labels"}
+
+    daf = [r for r in rows if r["algorithm"] == "DAF"]
+
+    # Paper shape: more labels make matching easier (smaller CS): DAF's
+    # time at the largest |Sigma| is no worse than at the smallest.
+    label_rows = sorted((r for r in daf if r["axis"] == "labels"), key=lambda r: int(r["value"]))
+    if len(label_rows) >= 2 and label_rows[0]["avg_time_ms"] > 0:
+        assert label_rows[-1]["avg_time_ms"] <= label_rows[0]["avg_time_ms"] * 3.0
+
+    # Paper shape: scaling the data graph barely affects DAF (statistical
+    # properties unchanged; we find the first k embeddings either way).
+    scale_rows = [r for r in daf if r["axis"] == "scale"]
+    assert all(r["solved_%"] >= 50.0 for r in scale_rows)

@@ -1,0 +1,21 @@
+"""Figure 12 (Appendix A.1): the large Twitter stand-in, with the
+preprocessing/search elapsed-time breakdown."""
+
+from repro.bench import figure12
+
+
+def test_fig12_twitter_breakdown(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure12, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 12 — Twitter stand-in (preprocess vs search)", "fig12.txt")
+    assert rows
+    # Paper shape: preprocessing of CFL-Match and DAF is comparable on the
+    # big graph, while DAF's *search* time is the clear winner and DAF
+    # solves at least as many queries.
+    daf_solved = sum(r["solved_%"] for r in rows if r["algorithm"] == "DAF")
+    cfl_solved = sum(r["solved_%"] for r in rows if r["algorithm"] == "CFL-Match")
+    assert daf_solved >= cfl_solved
+    daf_search = sum(r["search_ms"] for r in rows if r["algorithm"] == "DAF")
+    cfl_search = sum(r["search_ms"] for r in rows if r["algorithm"] == "CFL-Match")
+    # Shape: never far behind, usually ahead.  The +1ms absolute slack
+    # keeps sub-millisecond timing noise from failing trivial instances.
+    assert daf_search <= cfl_search * 1.5 + 1.0

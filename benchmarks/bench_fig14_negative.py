@@ -1,0 +1,30 @@
+"""Figure 14 (Appendix A.3): negative-query behaviour under label
+perturbation and edge addition."""
+
+from repro.bench import figure14
+
+
+def test_fig14_negative_queries(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure14, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 14 — negative queries", "fig14.txt")
+    assert rows
+    label_rows = [r for r in rows if str(r["perturbation"]).startswith("labels:")]
+    edge_rows = [r for r in rows if str(r["perturbation"]).startswith("edges:")]
+    assert label_rows and edge_rows
+
+    # Paper shape (Fig. 14a): as more labels change, the share of
+    # negative queries grows and almost all are proven by an empty CS —
+    # "the number of negative queries whose CS size is 0 increases
+    # rapidly" — so search time collapses.
+    first, last = label_rows[0], label_rows[-1]
+    negatives_first = first["negative_empty_CS"] + first["negative_searched"]
+    negatives_last = last["negative_empty_CS"] + last["negative_searched"]
+    assert negatives_last >= negatives_first
+    label_empty = sum(r["negative_empty_CS"] for r in label_rows)
+    label_searched = sum(r["negative_searched"] for r in label_rows)
+    assert label_empty >= label_searched
+    # Paper shape (Fig. 14b): with edge additions the empty-CS count
+    # *saturates* — negatives keep appearing but must be searched, and
+    # their elapsed time stays in the same ballpark up to complete graphs.
+    heavy_edges = [r for r in edge_rows if str(r["perturbation"]) in ("edges:16", "edges:C")]
+    assert all(r["negative_empty_CS"] + r["negative_searched"] >= 1 for r in heavy_edges)

@@ -1,0 +1,16 @@
+"""Figure 15 (Appendix A.4): parallel DAF — elapsed time to find k
+embeddings on the Human stand-in for growing worker counts."""
+
+from repro.bench import figure15
+
+
+def test_fig15_parallel_elapsed(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure15, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 15 — parallel DAF elapsed time", "fig15.txt")
+    assert rows
+    workers_seen = {r["workers"] for r in rows}
+    assert {1, 2, 4} <= workers_seen
+    # Every configuration must remain correct and solve queries; wall-clock
+    # speedup requires physical cores, so the shape assertion is solvability
+    # (the recorded table shows the timing trend for the hardware at hand).
+    assert all(r["solved"] >= 1 for r in rows)

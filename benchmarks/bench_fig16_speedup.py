@@ -1,0 +1,15 @@
+"""Figure 16 (Appendix A.4): parallel DAF speedup finding *all*
+embeddings of size-6 Human queries (fixed total work)."""
+
+from repro.bench import figure16
+
+
+def test_fig16_parallel_speedup(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure16, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 16 — parallel DAF speedup (all embeddings)", "fig16.txt")
+    assert rows
+    # Speedup is measured against the single-worker baseline; on a
+    # single-core machine it hovers near (or below) 1, on multi-core it
+    # grows — either way every row must carry a positive measurement.
+    assert all(r["speedup"] > 0 for r in rows)
+    assert all(r["solved"] >= 1 for r in rows)

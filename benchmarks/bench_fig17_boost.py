@@ -1,0 +1,15 @@
+"""Figure 17 (Appendix A.5): DAF vs DAF-Boost (SE-compressed data graph)."""
+
+from repro.bench import figure17
+
+
+def test_fig17_boost(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure17, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 17 — DAF vs DAF-Boost", "fig17.txt")
+    assert rows
+    # Paper shape: the boost's value tracks the SE compression ratio
+    # (Human ~53% in the paper); correctness holds everywhere.
+    assert {"DAF", "DAF-Boost"} <= {r["algorithm"] for r in rows}
+    boost_solved = sum(r["solved_%"] for r in rows if r["algorithm"] == "DAF-Boost")
+    daf_solved = sum(r["solved_%"] for r in rows if r["algorithm"] == "DAF")
+    assert boost_solved >= daf_solved * 0.8  # boost never cripples solving

@@ -1,0 +1,21 @@
+"""Figure 18 (Appendix A.6): the four DAF variants — DA-cand, DA-path,
+DAF-cand, DAF-path — justifying DAF-path as the shipped default."""
+
+from repro.bench import figure18
+
+
+def test_fig18_variants(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(figure18, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Figure 18 — DA/DAF x cand/path variants", "fig18.txt")
+    assert rows
+    variants = {r["algorithm"] for r in rows}
+    assert variants == {"DA-cand", "DA-path", "DAF-cand", "DAF-path"}
+
+    def total(algorithm: str, key: str) -> float:
+        return sum(r[key] for r in rows if r["algorithm"] == algorithm)
+
+    # Paper shape: failing sets reduce the search tree for both orders.
+    assert total("DAF-path", "avg_calls") <= total("DA-path", "avg_calls") + 1e-6
+    assert total("DAF-cand", "avg_calls") <= total("DA-cand", "avg_calls") + 1e-6
+    # And the DAF variants solve at least as many queries.
+    assert total("DAF-path", "solved_%") >= total("DA-path", "solved_%")

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of DAF's building blocks (not a paper figure).
+
+These time the primitives whose costs explain the macro results: the
+DAG-graph DP construction, weight-array computation, the backtracking
+inner loop with and without failing sets, and combinatorial vs enumerated
+leaf matching.  Multiple rounds, so pytest-benchmark statistics are
+meaningful here (the per-figure targets run once by design).
+"""
+
+import random
+
+import pytest
+
+from repro import DAFMatcher, MatchConfig
+from repro.core import build_candidate_space, build_dag, compute_weight_array
+from repro.datasets import load
+from repro.graph import star_graph
+from repro.workloads import generate_query_set
+
+
+@pytest.fixture(scope="module")
+def yeast_instance():
+    data = load("yeast")
+    rng = random.Random(99)
+    query_set = generate_query_set(data, 12, "nonsparse", 1, rng, dataset="yeast")
+    return query_set.queries[0], data
+
+
+def test_micro_build_dag(benchmark, yeast_instance):
+    query, data = yeast_instance
+    dag = benchmark(build_dag, query, data)
+    assert dag.num_vertices == query.num_vertices
+
+
+def test_micro_build_cs(benchmark, yeast_instance):
+    query, data = yeast_instance
+    dag = build_dag(query, data)
+    cs = benchmark(build_candidate_space, query, data, dag)
+    assert cs.size > 0
+
+
+def test_micro_weight_array(benchmark, yeast_instance):
+    query, data = yeast_instance
+    dag = build_dag(query, data)
+    cs = build_candidate_space(query, data, dag)
+    weights = benchmark(compute_weight_array, cs)
+    assert len(weights) == query.num_vertices
+
+
+def test_micro_search_plain(benchmark, yeast_instance):
+    query, data = yeast_instance
+    matcher = DAFMatcher(MatchConfig(use_failing_sets=False, collect_embeddings=False))
+    prepared = matcher.prepare(query, data)
+    result = benchmark(matcher.search, prepared, 200)
+    assert result.count >= 0
+
+
+def test_micro_search_failing_sets(benchmark, yeast_instance):
+    query, data = yeast_instance
+    matcher = DAFMatcher(MatchConfig(use_failing_sets=True, collect_embeddings=False))
+    prepared = matcher.prepare(query, data)
+    result = benchmark(matcher.search, prepared, 200)
+    assert result.count >= 0
+
+
+def test_micro_leaf_counting_vs_enumeration(benchmark):
+    """Counting mode's combinatorial leaf matcher vs full enumeration."""
+    data = star_graph("H", ["L"] * 150)
+    query = star_graph("H", ["L"] * 3)
+    counting = DAFMatcher(MatchConfig(collect_embeddings=False))
+
+    def run():
+        return counting.match(query, data, limit=10**9).count
+
+    count = benchmark(run)
+    assert count == 150 * 149 * 148

@@ -1,0 +1,23 @@
+"""Table 2: characteristics of the (synthetic stand-in) datasets."""
+
+from repro.bench import table2
+
+
+def test_table2_dataset_characteristics(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(table2, args=(profile,), rounds=1, iterations=1)
+    record_rows(rows, "Table 2 — dataset characteristics", "table2.txt")
+    # Shape checks against the paper's Table 2: the stand-ins must hit the
+    # published statistics (exactly for unscaled sets, proportionally else).
+    by_name = {row["dataset"]: row for row in rows}
+    assert set(by_name) == {"yeast", "human", "hprd", "email", "dblp", "yago", "twitter"}
+    for row in rows:
+        assert row["V"] >= 1000
+        # avg-deg within 25% of the paper's value (connectivity patching
+        # adds a few edges), except Twitter which is deliberately thinned.
+        if row["dataset"] != "twitter":
+            assert abs(row["avg_deg"] - row["paper_avg_deg"]) / row["paper_avg_deg"] < 0.25
+    # The ordering of dataset densities must match the paper: Human is the
+    # densest of the six, YAGO the sparsest.
+    six = [r for r in rows if r["dataset"] != "twitter"]
+    assert max(six, key=lambda r: r["avg_deg"])["dataset"] == "human"
+    assert min(six, key=lambda r: r["avg_deg"])["dataset"] == "yago"

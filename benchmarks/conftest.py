@@ -1,0 +1,39 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+Profile selection: set ``REPRO_BENCH_PROFILE=smoke`` to run the tiny
+profile (CI sanity), anything else (or unset) runs the default profile
+used for EXPERIMENTS.md.  Results print with ``pytest benchmarks/
+--benchmark-only -s`` and are also appended to
+``benchmarks/results/<figure>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import DEFAULT, SMOKE, BenchProfile, render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    if os.environ.get("REPRO_BENCH_PROFILE", "").lower() == "smoke":
+        return SMOKE
+    return DEFAULT
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Print a result table and persist it under benchmarks/results/."""
+
+    def _record(rows, title: str, filename: str) -> None:
+        text = render_table(rows, title)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / filename).write_text(text, encoding="utf-8")
+
+    return _record

@@ -1,0 +1,9 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (all real metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — a full reproduction of DAF subgraph matching (SIGMOD 2019).
+
+Public API highlights:
+
+- :class:`repro.Graph` — vertex-labeled undirected graphs.
+- :func:`repro.find_embeddings` / :func:`repro.count_embeddings` /
+  :func:`repro.has_embedding` — one-call subgraph matching with DAF.
+- :class:`repro.DAFMatcher` + :class:`repro.MatchConfig` — the full
+  algorithm with every paper knob (matching order, failing sets, leaf
+  decomposition, refinement schedule).
+- :mod:`repro.baselines` — the seven algorithms the paper compares against.
+- :mod:`repro.datasets` / :mod:`repro.workloads` — the evaluation's data
+  graphs and query sets.
+- :mod:`repro.bench` — drivers regenerating every table and figure.
+"""
+
+from .core.config import DA_CAND, DA_PATH, DAF_CAND, DAF_PATH, MatchConfig
+from .core.matcher import (
+    DAFMatcher,
+    PreparedQuery,
+    count_embeddings,
+    find_embeddings,
+    has_embedding,
+)
+from .graph.graph import Graph, GraphError
+from .interfaces import (
+    DEFAULT_LIMIT,
+    Embedding,
+    Matcher,
+    MatchResult,
+    SearchStats,
+    is_embedding,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DAFMatcher",
+    "DA_CAND",
+    "DA_PATH",
+    "DAF_CAND",
+    "DAF_PATH",
+    "DEFAULT_LIMIT",
+    "Embedding",
+    "Graph",
+    "GraphError",
+    "MatchConfig",
+    "MatchResult",
+    "Matcher",
+    "PreparedQuery",
+    "SearchStats",
+    "__version__",
+    "count_embeddings",
+    "find_embeddings",
+    "has_embedding",
+    "is_embedding",
+]

@@ -1,0 +1,19 @@
+"""Downstream analysis built on the matcher: motifs and automorphisms."""
+
+from .motifs import (
+    MotifCensus,
+    MotifReport,
+    automorphism_count,
+    automorphisms,
+    count_occurrences,
+    occurrence_vertex_sets,
+)
+
+__all__ = [
+    "MotifCensus",
+    "MotifReport",
+    "automorphism_count",
+    "automorphisms",
+    "count_occurrences",
+    "occurrence_vertex_sets",
+]

@@ -1,0 +1,45 @@
+"""Baseline subgraph-matching algorithms the paper compares against.
+
+Every matcher implements :class:`repro.interfaces.Matcher`; see
+DESIGN.md substitution 2 for which baselines are "-lite" simplifications.
+"""
+
+from .bruteforce import BruteForceMatcher
+from .cfl import CFLMatcher, build_cpi
+from .gaddi import GADDIMatcher
+from .generic import greedy_candidate_order, ordered_backtrack
+from .graphql import GraphQLMatcher
+from .quicksi import QuickSIMatcher, qi_sequence
+from .spath import SPathMatcher
+from .turboiso import TurboIsoMatcher
+from .ullmann import UllmannMatcher
+from .vf2 import VF2Matcher
+
+#: All comparison algorithms keyed by the names used in the paper's plots.
+ALL_BASELINES = {
+    "VF2": VF2Matcher,
+    "QuickSI": QuickSIMatcher,
+    "GraphQL": GraphQLMatcher,
+    "GADDI": GADDIMatcher,
+    "SPath": SPathMatcher,
+    "TurboISO": TurboIsoMatcher,
+    "CFL-Match": CFLMatcher,
+    "Ullmann": UllmannMatcher,
+}
+
+__all__ = [
+    "ALL_BASELINES",
+    "BruteForceMatcher",
+    "CFLMatcher",
+    "GADDIMatcher",
+    "GraphQLMatcher",
+    "QuickSIMatcher",
+    "SPathMatcher",
+    "TurboIsoMatcher",
+    "UllmannMatcher",
+    "VF2Matcher",
+    "build_cpi",
+    "greedy_candidate_order",
+    "ordered_backtrack",
+    "qi_sequence",
+]

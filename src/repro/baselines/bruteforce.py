@@ -1,0 +1,124 @@
+"""Brute-force reference matcher.
+
+Enumerates injective label-preserving assignments directly over the data
+graph with only label/degree candidate filtering and static query order —
+no auxiliary structure, no adaptive order, no pruning beyond edge checks.
+It is the correctness oracle every other matcher is tested against, and
+the zero-sophistication lower bound in ablation discussions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..graph.graph import Graph
+from ..interfaces import (
+    DEFAULT_LIMIT,
+    Deadline,
+    Embedding,
+    Matcher,
+    MatchResult,
+    SearchStats,
+    TimeoutSignal,
+    validate_inputs,
+)
+
+
+class _LimitReached(Exception):
+    pass
+
+
+class BruteForceMatcher(Matcher):
+    """Reference backtracking with static order and no filtering index."""
+
+    name = "brute-force"
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        validate_inputs(query, data)
+        stats = SearchStats()
+        result = MatchResult(stats=stats)
+        deadline = Deadline(time_limit)
+        n = query.num_vertices
+        # Static connectivity-aware order: each vertex after the first has
+        # a neighbor earlier in the order (so edges can be checked early);
+        # ties favour high degree.
+        order = _connectivity_order(query)
+        back_neighbors = [
+            tuple(w for w in query.neighbors(u) if w in set(order[:i]))
+            for i, u in enumerate(order)
+        ]
+        mapping = [-1] * n
+        used: set[int] = set()
+
+        def extend(position: int) -> None:
+            stats.recursive_calls += 1
+            deadline.tick()
+            if position == n:
+                stats.embeddings_found += 1
+                embedding = tuple(mapping)
+                result.embeddings.append(embedding)
+                if on_embedding is not None:
+                    on_embedding(embedding)
+                if stats.embeddings_found >= limit:
+                    raise _LimitReached
+                return
+            u = order[position]
+            anchors = back_neighbors[position]
+            if anchors:
+                candidates = data.neighbors(mapping[anchors[0]])
+            else:
+                candidates = data.vertices_with_label(query.label(u))
+            label_u = query.label(u)
+            degree_u = query.degree(u)
+            for v in candidates:
+                if v in used:
+                    continue
+                if data.label(v) != label_u or data.degree(v) < degree_u:
+                    continue
+                if any(not data.has_edge(v, mapping[w]) for w in anchors):
+                    continue
+                mapping[u] = v
+                used.add(v)
+                extend(position + 1)
+                used.discard(v)
+                mapping[u] = -1
+
+        import time
+
+        start = time.perf_counter()
+        try:
+            extend(0)
+        except _LimitReached:
+            result.limit_reached = True
+        except TimeoutSignal:
+            result.timed_out = True
+        stats.search_seconds = time.perf_counter() - start
+        return result
+
+
+def _connectivity_order(query: Graph) -> list[int]:
+    """A static order where every non-first vertex touches an earlier one
+    (when the query is connected); degree-descending among eligible."""
+    n = query.num_vertices
+    if n == 0:
+        return []
+    start = max(query.vertices(), key=lambda u: (query.degree(u), -u))
+    order = [start]
+    chosen = {start}
+    while len(order) < n:
+        frontier = [
+            u for u in query.vertices() if u not in chosen and any(w in chosen for w in query.neighbors(u))
+        ]
+        if not frontier:  # disconnected query: start a new component
+            frontier = [u for u in query.vertices() if u not in chosen]
+        nxt = max(frontier, key=lambda u: (query.degree(u), -u))
+        order.append(nxt)
+        chosen.add(nxt)
+    return order

@@ -1,0 +1,134 @@
+"""Shared backtracking machinery for the filter-order-backtrack baselines.
+
+Ullmann, QuickSI, GraphQL, SPath-lite and GADDI-lite all follow the same
+two-stage template from the paper's introduction: compute per-vertex
+candidate sets with an algorithm-specific filter, pick a (static) matching
+order, then run vanilla backtracking that checks *every* backward query
+edge against the data graph (these algorithms have no auxiliary edge
+structure, so the data graph is probed at each step — exactly the
+limitation DAF's CS removes).
+
+:func:`ordered_backtrack` is that common second stage, parameterized by
+candidate sets and order; each baseline module supplies stage one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from ..graph.graph import Graph
+from ..interfaces import (
+    Deadline,
+    Embedding,
+    MatchResult,
+    SearchStats,
+    TimeoutSignal,
+)
+
+
+class _LimitReached(Exception):
+    pass
+
+
+def connectivity_refine_order(query: Graph, seed_order: Sequence[int]) -> list[int]:
+    """Reorder ``seed_order`` so every non-first vertex has an earlier
+    neighbor, preserving the seed's priorities among eligible vertices.
+
+    Backtracking over a disconnected prefix devolves into a Cartesian
+    product; all baselines therefore insist on connectivity of the order.
+    """
+    priority = {u: i for i, u in enumerate(seed_order)}
+    remaining = set(seed_order)
+    order = [seed_order[0]]
+    remaining.discard(seed_order[0])
+    while remaining:
+        frontier = [u for u in remaining if any(w not in remaining for w in query.neighbors(u))]
+        if not frontier:
+            frontier = list(remaining)  # disconnected query component
+        nxt = min(frontier, key=lambda u: priority[u])
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def ordered_backtrack(
+    query: Graph,
+    data: Graph,
+    order: Sequence[int],
+    candidate_sets: Sequence[set[int]],
+    limit: int,
+    deadline: Deadline,
+    on_embedding: Optional[Callable[[Embedding], None]] = None,
+    stats: Optional[SearchStats] = None,
+) -> MatchResult:
+    """Backtracking over a static order, probing the data graph for edges.
+
+    ``candidate_sets[u]`` constrains the data vertices ``u`` may map to.
+    For each step, candidates are drawn from the data-graph adjacency of
+    the first already-mapped query neighbor (or the full candidate set for
+    the order's first vertex) and every backward edge is verified against
+    ``data``.
+    """
+    if stats is None:
+        stats = SearchStats()
+    result = MatchResult(stats=stats)
+    n = query.num_vertices
+    if any(not candidate_sets[u] for u in query.vertices()):
+        return result
+    position_of = {u: i for i, u in enumerate(order)}
+    backward: list[tuple[int, ...]] = []
+    for i, u in enumerate(order):
+        backward.append(tuple(w for w in query.neighbors(u) if position_of[w] < i))
+    mapping = [-1] * n
+    used: set[int] = set()
+
+    def extend(position: int) -> None:
+        stats.recursive_calls += 1
+        deadline.tick()
+        if position == n:
+            stats.embeddings_found += 1
+            embedding = tuple(mapping)
+            result.embeddings.append(embedding)
+            if on_embedding is not None:
+                on_embedding(embedding)
+            if stats.embeddings_found >= limit:
+                raise _LimitReached
+            return
+        u = order[position]
+        anchors = backward[position]
+        allowed = candidate_sets[u]
+        if anchors:
+            # Anchor on the mapped neighbor with the smallest data degree.
+            anchor = min(anchors, key=lambda w: data.degree(mapping[w]))
+            pool = data.neighbors(mapping[anchor])
+        else:
+            pool = tuple(allowed)
+        for v in pool:
+            if v in used or v not in allowed:
+                continue
+            if any(not data.has_edge(v, mapping[w]) for w in anchors):
+                continue
+            mapping[u] = v
+            used.add(v)
+            extend(position + 1)
+            used.discard(v)
+            mapping[u] = -1
+
+    start = time.perf_counter()
+    try:
+        extend(0)
+    except _LimitReached:
+        result.limit_reached = True
+    except TimeoutSignal:
+        result.timed_out = True
+    stats.search_seconds = time.perf_counter() - start
+    return result
+
+
+def greedy_candidate_order(query: Graph, candidate_sets: Sequence[set[int]]) -> list[int]:
+    """Static left-deep order: start with the smallest candidate set, then
+    repeatedly append the connected vertex with the fewest candidates
+    (GraphQL's join-order heuristic, reused by the -lite baselines)."""
+    seed = sorted(query.vertices(), key=lambda u: (len(candidate_sets[u]), -query.degree(u), u))
+    return connectivity_refine_order(query, seed)

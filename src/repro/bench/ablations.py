@@ -1,0 +1,111 @@
+"""Ablation studies for DAF's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three choices the paper fixes by fiat; these drivers
+quantify each on the scaled workloads:
+
+- **Refinement schedule** (§4): 1 vs 2 vs 3 DP steps vs fixpoint.  The
+  paper picks 3 because later steps filtered < 1%; the ablation reports
+  CS size and preprocessing cost per schedule.
+- **Local filters** (§4): MND + NLF on vs off in the first DP pass.
+- **Leaf decomposition** (§3): deferred combinatorial leaf matching vs
+  treating degree-one vertices like everyone else.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.config import MatchConfig
+from ..core.matcher import DAFMatcher
+from ..datasets import load
+from .experiments import DEFAULT, BenchProfile, dataset_sizes, queries_for
+from .runner import counting_config, run_query_set, summarize
+
+
+def ablation_refinement(profile: BenchProfile = DEFAULT) -> list[dict[str, object]]:
+    """CS size and preprocessing time for 1/2/3/fixpoint DP schedules."""
+    rows: list[dict[str, object]] = []
+    for dataset in profile.datasets[:2]:
+        data = load(dataset)
+        size = dataset_sizes(dataset, profile)[-1]
+        qs = queries_for(dataset, size, "nonsparse", profile, data)
+        schedules: list[tuple[str, MatchConfig]] = [
+            ("1 step", MatchConfig(refinement_steps=1)),
+            ("2 steps", MatchConfig(refinement_steps=2)),
+            ("3 steps (paper)", MatchConfig(refinement_steps=3)),
+            ("fixpoint", MatchConfig(refine_to_fixpoint=True)),
+        ]
+        for name, config in schedules:
+            matcher = DAFMatcher(counting_config(config))
+            sizes = []
+            elapsed = []
+            for query in qs.queries:
+                start = time.perf_counter()
+                prepared = matcher.prepare(query, data)
+                elapsed.append(time.perf_counter() - start)
+                sizes.append(prepared.cs.size)
+            count = max(1, len(qs.queries))
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "query_set": qs.name,
+                    "schedule": name,
+                    "avg_CS_size": round(sum(sizes) / count, 1),
+                    "avg_preprocess_ms": round(1000 * sum(elapsed) / count, 2),
+                }
+            )
+    return rows
+
+
+def ablation_local_filters(profile: BenchProfile = DEFAULT) -> list[dict[str, object]]:
+    """MND/NLF local filters on vs off: CS size and search effort."""
+    rows: list[dict[str, object]] = []
+    for dataset in profile.datasets[:2]:
+        data = load(dataset)
+        size = dataset_sizes(dataset, profile)[0]
+        for density in profile.densities:
+            qs = queries_for(dataset, size, density, profile, data)
+            for name, flag in (("with MND+NLF", True), ("without", False)):
+                config = counting_config(MatchConfig(use_local_filters=flag))
+                outcomes = run_query_set(
+                    DAFMatcher(config), qs.queries, data, profile.limit, profile.time_limit
+                )
+                summary = summarize(name, qs.name, outcomes)
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "query_set": qs.name,
+                        "filters": name,
+                        "avg_CS_size": round(summary.avg_candidates, 1),
+                        "avg_calls": round(summary.avg_recursive_calls, 1),
+                        "avg_time_ms": round(summary.avg_elapsed_ms, 2),
+                    }
+                )
+    return rows
+
+
+def ablation_leaf_decomposition(profile: BenchProfile = DEFAULT) -> list[dict[str, object]]:
+    """Deferred leaf matching vs uniform treatment of degree-one vertices."""
+    rows: list[dict[str, object]] = []
+    for dataset in profile.datasets[:2]:
+        data = load(dataset)
+        size = dataset_sizes(dataset, profile)[0]
+        # Sparse queries have the most degree-one vertices.
+        qs = queries_for(dataset, size, "sparse", profile, data)
+        for name, flag in (("leaf decomposition", True), ("uniform", False)):
+            config = counting_config(MatchConfig(leaf_decomposition=flag))
+            outcomes = run_query_set(
+                DAFMatcher(config), qs.queries, data, profile.limit, profile.time_limit
+            )
+            summary = summarize(name, qs.name, outcomes)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "query_set": qs.name,
+                    "mode": name,
+                    "solved_%": round(summary.solved_percent, 1),
+                    "avg_calls": round(summary.avg_recursive_calls, 1),
+                    "avg_time_ms": round(summary.avg_elapsed_ms, 2),
+                }
+            )
+    return rows

@@ -1,0 +1,129 @@
+"""Plain-text rendering of benchmark results.
+
+The paper reports bar charts; offline we print the same series as aligned
+tables — one row per (query set, algorithm) — which is what the bench
+targets tee into ``bench_output.txt`` and what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_number(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned monospaced table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)\n" if title else "(no rows)\n"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[format_number(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(f"== {title} ==")
+    out.append("  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)))
+    out.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in rendered:
+        out.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(out) + "\n"
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: str = "") -> None:
+    print(render_table(rows, title))
+
+
+def render_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    category_key: str,
+    series_key: str,
+    value_key: str,
+    title: str = "",
+    width: int = 40,
+    log_scale: bool = True,
+) -> str:
+    """Render grouped rows as a horizontal ASCII bar chart.
+
+    The paper's figures are grouped bar charts on log axes; this renders
+    the same series textually — one group per ``category_key`` value, one
+    bar per ``series_key`` value, lengths proportional to ``value_key``
+    (log-scaled by default because the interesting gaps span orders of
+    magnitude).
+    """
+    import math
+
+    values = [float(row[value_key]) for row in rows if row.get(value_key) is not None]
+    if not rows or not values:
+        return f"== {title} ==\n(no data)\n" if title else "(no data)\n"
+
+    def scaled(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log_scale:
+            low = min(v for v in values if v > 0)
+            high = max(values)
+            if high <= low:
+                return width
+            span = math.log10(high) - math.log10(low)
+            return max(1, round(width * (math.log10(value) - math.log10(low)) / span))
+        high = max(values)
+        return max(1, round(width * value / high)) if high else 0
+
+    series_width = max(len(str(row[series_key])) for row in rows)
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    seen_categories: list[object] = []
+    for row in rows:
+        if row[category_key] not in seen_categories:
+            seen_categories.append(row[category_key])
+    for category in seen_categories:
+        lines.append(str(category))
+        for row in rows:
+            if row[category_key] != category:
+                continue
+            value = float(row[value_key])
+            bar = "#" * scaled(value)
+            lines.append(
+                f"  {str(row[series_key]):<{series_width}} |{bar} {format_number(value)}"
+            )
+    scale_note = "log scale" if log_scale else "linear scale"
+    lines.append(f"({value_key}, {scale_note})")
+    return "\n".join(lines) + "\n"
+
+
+def summaries_to_rows(summaries: Iterable) -> list[dict[str, object]]:
+    """Rows for a batch of :class:`~repro.bench.runner.QuerySetSummary`."""
+    rows = []
+    for s in summaries:
+        rows.append(
+            {
+                "query_set": s.query_set,
+                "algorithm": s.algorithm,
+                "solved_%": round(s.solved_percent, 1),
+                "avg_time_ms": round(s.avg_elapsed_ms, 2),
+                "avg_calls": round(s.avg_recursive_calls, 1),
+                "avg_cand": round(s.avg_candidates, 1),
+            }
+        )
+    return rows

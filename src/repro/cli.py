@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``match``     find embeddings of a query graph in a data graph
+``info``      print statistics of a graph file
+``convert``   convert between the ``t/v/e`` and edge-list formats
+``generate``  materialize a registry dataset or a query workload
+``bench``     run one of the paper's experiment drivers
+
+Graph files use the community ``t/v/e`` format by default (see
+:mod:`repro.graph.io`); pass ``--format edgelist`` for the plain format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import DAFMatcher, MatchConfig, __version__
+from .baselines import ALL_BASELINES
+from .graph.graph import Graph
+from .graph.io import read_cfl, read_edge_list, write_cfl, write_edge_list
+
+
+def _read_graph(path: str, fmt: str) -> Graph:
+    if fmt == "cfl":
+        return read_cfl(path)
+    if fmt == "edgelist":
+        return read_edge_list(path)
+    raise SystemExit(f"unknown graph format {fmt!r}")
+
+
+def _write_graph(graph: Graph, path: str, fmt: str) -> None:
+    if fmt == "cfl":
+        write_cfl(graph, path)
+    elif fmt == "edgelist":
+        write_edge_list(graph, path)
+    else:
+        raise SystemExit(f"unknown graph format {fmt!r}")
+
+
+def _build_matcher(args: argparse.Namespace):
+    if args.algorithm == "daf":
+        config = MatchConfig(
+            order=args.order,
+            use_failing_sets=not args.no_failing_sets,
+            injective=not args.homomorphism,
+            induced=args.induced,
+            collect_embeddings=not args.count_only,
+        )
+        return DAFMatcher(config)
+    try:
+        cls = next(
+            cls for name, cls in ALL_BASELINES.items() if name.lower() == args.algorithm
+        )
+    except StopIteration:
+        choices = ["daf", *(n.lower() for n in ALL_BASELINES)]
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}; choices: {choices}")
+    if args.induced or args.homomorphism:
+        raise SystemExit("--induced/--homomorphism are DAF-only options")
+    return cls()
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    query = _read_graph(args.query, args.format)
+    data = _read_graph(args.data, args.format)
+    matcher = _build_matcher(args)
+    result = matcher.match(query, data, limit=args.limit, time_limit=args.time_limit)
+    payload = {
+        "algorithm": getattr(matcher, "name", args.algorithm),
+        "count": result.count,
+        "limit_reached": result.limit_reached,
+        "timed_out": result.timed_out,
+        "recursive_calls": result.stats.recursive_calls,
+        "candidates_total": result.stats.candidates_total,
+        "preprocess_seconds": round(result.stats.preprocess_seconds, 6),
+        "search_seconds": round(result.stats.search_seconds, 6),
+    }
+    if not args.count_only:
+        payload["embeddings"] = [list(e) for e in result.embeddings]
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.graph, args.format)
+    from .graph.properties import connected_components, density_class
+
+    components = connected_components(graph)
+    payload = {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "labels": graph.num_labels,
+        "average_degree": round(graph.average_degree(), 3),
+        "density_class": density_class(graph),
+        "connected_components": len(components),
+        "max_degree": max(graph.degrees, default=0),
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.input, args.from_format)
+    _write_graph(graph, args.output, args.to_format)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {args.output}")
+    return 0
+
+
+def cmd_generate_dataset(args: argparse.Namespace) -> int:
+    from .datasets import load
+
+    graph = load(args.name)
+    _write_graph(graph, args.output, args.format)
+    print(f"{args.name}: |V|={graph.num_vertices} |E|={graph.num_edges} -> {args.output}")
+    return 0
+
+
+def cmd_generate_queries(args: argparse.Namespace) -> int:
+    from .workloads import generate_query_set
+
+    data = _read_graph(args.data, args.format)
+    rng = random.Random(args.seed)
+    query_set = generate_query_set(
+        data, args.size, args.density, args.count, rng, dataset=Path(args.data).stem
+    )
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for i, query in enumerate(query_set.queries):
+        _write_graph(query, str(out_dir / f"{query_set.name}_{i:03d}.graph"), args.format)
+    print(f"wrote {len(query_set)} queries ({query_set.name}) to {out_dir}/")
+    if query_set.off_class:
+        print(f"warning: {query_set.off_class} queries missed the {args.density} band")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import DEFAULT, SMOKE, print_table
+    from .bench import experiments as exp
+
+    drivers = {
+        "table2": exp.table2,
+        **{f"fig{n}": getattr(exp, f"figure{n}") for n in range(9, 19)},
+    }
+    if args.experiment not in drivers:
+        raise SystemExit(f"unknown experiment {args.experiment!r}; choices: {sorted(drivers)}")
+    profile = SMOKE if args.profile == "smoke" else DEFAULT
+    rows = drivers[args.experiment](profile)
+    print_table(rows, f"{args.experiment} ({profile.name} profile)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAF subgraph matching (SIGMOD 2019 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    match_p = sub.add_parser("match", help="find embeddings of a query in a data graph")
+    match_p.add_argument("query", help="query graph file")
+    match_p.add_argument("data", help="data graph file")
+    match_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    match_p.add_argument("--limit", type=int, default=100_000, help="embedding cap (paper k)")
+    match_p.add_argument("--time-limit", type=float, default=None, help="seconds")
+    match_p.add_argument(
+        "--algorithm",
+        default="daf",
+        help="daf (default) or a baseline: " + ", ".join(n.lower() for n in ALL_BASELINES),
+    )
+    match_p.add_argument("--order", default="path", choices=("path", "candidate"))
+    match_p.add_argument("--no-failing-sets", action="store_true")
+    match_p.add_argument("--induced", action="store_true", help="induced isomorphism")
+    match_p.add_argument("--homomorphism", action="store_true", help="drop injectivity")
+    match_p.add_argument("--count-only", action="store_true", help="omit embedding lists")
+    match_p.set_defaults(func=cmd_match)
+
+    info_p = sub.add_parser("info", help="print graph statistics")
+    info_p.add_argument("graph")
+    info_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    info_p.set_defaults(func=cmd_info)
+
+    convert_p = sub.add_parser("convert", help="convert between graph formats")
+    convert_p.add_argument("input")
+    convert_p.add_argument("output")
+    convert_p.add_argument("--from-format", default="cfl", choices=("cfl", "edgelist"))
+    convert_p.add_argument("--to-format", default="edgelist", choices=("cfl", "edgelist"))
+    convert_p.set_defaults(func=cmd_convert)
+
+    generate_p = sub.add_parser("generate", help="generate datasets or query workloads")
+    generate_sub = generate_p.add_subparsers(dest="what", required=True)
+
+    dataset_p = generate_sub.add_parser("dataset", help="materialize a registry dataset")
+    dataset_p.add_argument("name", help="yeast, human, hprd, email, dblp, yago, twitter")
+    dataset_p.add_argument("output")
+    dataset_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    dataset_p.set_defaults(func=cmd_generate_dataset)
+
+    queries_p = generate_sub.add_parser("queries", help="extract a query set")
+    queries_p.add_argument("data", help="data graph file")
+    queries_p.add_argument("out_dir")
+    queries_p.add_argument("--size", type=int, required=True)
+    queries_p.add_argument("--density", default="nonsparse", choices=("sparse", "nonsparse"))
+    queries_p.add_argument("--count", type=int, default=10)
+    queries_p.add_argument("--seed", type=int, default=2019)
+    queries_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    queries_p.set_defaults(func=cmd_generate_queries)
+
+    bench_p = sub.add_parser("bench", help="run a paper experiment driver")
+    bench_p.add_argument("experiment", help="table2 or fig9..fig18")
+    bench_p.add_argument("--profile", default="default", choices=("default", "smoke"))
+    bench_p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,526 @@
+"""The DAF backtracking engine (paper §5 and §6).
+
+The engine finds embeddings of the query *in the CS structure* (never
+touching the data graph — Theorem 4.1 makes that sufficient).  Its three
+pillars:
+
+**DAG ordering** (§5.1).  The next vertex to map is always *extendable* —
+all its parents in the query DAG are mapped — so every query edge is
+checked as early as the DAG allows.  The extendable candidates of ``u``
+are ``C_M(u) = intersection over parents p of N^p_u(M(p))``, computed once
+when ``u`` becomes extendable (its parents cannot change until we backtrack
+past them).
+
+**Adaptive matching order** (§5.2).  Among extendable vertices the engine
+picks the one minimizing the configured weight — ``|C_M(u)|``
+(candidate-size) or ``w_M(u)`` from the precomputed weight array
+(path-size).
+
+**Failing sets** (§6).  With pruning enabled, each search-tree node
+computes a failing set — an ancestor-closed set ``F`` of query vertices
+such that no (CS-)embedding of ``q[F]`` extends ``M[F]`` — represented as
+an int bitmask.  ``None`` encodes "an embedding was found in this subtree"
+(the paper's F = emptyset, Case 1).  The three leaf classes:
+
+- *conflict*: extendable candidate already visited by query vertex ``u'``
+  → contributes ``anc(u) | anc(u')``;
+- *emptyset*: ``C_M(u)`` has no usable candidate → ``anc(u)``;
+- *embedding*: a full embedding → ``None``.
+
+Internal nodes take the union of their children's failing sets (Case 2.2)
+unless some child's failing set excludes the child's query vertex — then
+by Lemma 6.1 all remaining sibling candidates are redundant and the loop
+is cut short (Case 2.1).
+
+**Leaf decomposition** (§3).  Degree-one query vertices are deferred and
+matched last by a specialized matcher that exploits their independence:
+leaves with different labels can never conflict, so in counting mode whole
+groups multiply combinatorially instead of being enumerated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..interfaces import Deadline, Embedding, SearchStats, TimeoutSignal
+from .candidate_space import CandidateSpace
+from .config import MatchConfig
+from .ordering import make_order
+
+
+class _LimitReached(Exception):
+    """Internal signal: the embedding limit was hit; unwind the search."""
+
+
+class BacktrackEngine:
+    """One search over a prepared candidate space.
+
+    An engine instance is single-use: construct, :meth:`run`, read results.
+    ``root_candidate_indices`` restricts the root's candidates, which is
+    how parallel DAF partitions the search across workers (Appendix A.4).
+    """
+
+    def __init__(
+        self,
+        cs: CandidateSpace,
+        config: MatchConfig,
+        limit: int,
+        deadline: Deadline,
+        stats: SearchStats,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+        root_candidate_indices: Optional[list[int]] = None,
+        tracer=None,
+    ) -> None:
+        self.cs = cs
+        self.config = config
+        self.limit = limit
+        self.deadline = deadline
+        self.stats = stats
+        self.on_embedding = on_embedding
+        self.tracer = tracer
+        self.embeddings: list[Embedding] = []
+        self.limit_reached = False
+
+        dag = cs.dag
+        n = dag.num_vertices
+        self.n = n
+        self.dag = dag
+        self.anc = tuple(dag.ancestor_mask(u) for u in range(n))
+        self.parents = tuple(dag.parents(u) for u in range(n))
+        self.children = tuple(dag.children(u) for u in range(n))
+        self.order = make_order(config.order, cs)
+        self.injective = config.injective
+        self.collect = config.collect_embeddings
+
+        query = cs.query
+        self.induced = config.induced
+        if self.induced:
+            # Non-neighbors per query vertex: an induced embedding must
+            # map these to data non-neighbors, checked at mapping time.
+            self.non_neighbors = tuple(
+                tuple(
+                    w
+                    for w in range(n)
+                    if w != u and not query.has_edge(u, w)
+                )
+                for u in range(n)
+            )
+        # Leaf combinatorics assume only edge constraints, which induced
+        # matching violates; fall back to the plain engine order.
+        if config.leaf_decomposition and n > 2 and not self.induced:
+            self.deferred = tuple(
+                query.degree(u) == 1 and u != dag.root for u in range(n)
+            )
+        else:
+            self.deferred = tuple(False for _ in range(n))
+        self.deferred_leaves = tuple(u for u in range(n) if self.deferred[u])
+        self.num_core = n - len(self.deferred_leaves)
+
+        # Mutable search state.
+        self.mapping = [-1] * n
+        self.midx = [-1] * n
+        self.visited_by: dict[int, int] = {}
+        self.pending = [len(self.parents[u]) for u in range(n)]
+        self.extendable: set[int] = set()
+        self.cmu: list[Optional[list[int]]] = [None] * n
+        self.wmu = [0] * n
+        self.mapped_core = 0
+
+        root = dag.root
+        if root_candidate_indices is None:
+            root_cmu = list(range(len(cs.candidates[root])))
+        else:
+            root_cmu = list(root_candidate_indices)
+        self.cmu[root] = root_cmu
+        self.wmu[root] = self.order.vertex_weight(root, root_cmu)
+        self.extendable.add(root)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute the search; raises :class:`TimeoutSignal` on deadline."""
+        if any(not c for c in self.cs.candidates):
+            return  # empty CS: negative query, nothing to search (A.3)
+        try:
+            if self.config.use_failing_sets:
+                self._extend_fs()
+            else:
+                self._extend_plain()
+        except _LimitReached:
+            self.limit_reached = True
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def _select(self) -> int:
+        """Extendable vertex with minimal weight; ties break on vertex id."""
+        best_u = -1
+        best_w = None
+        for u in self.extendable:
+            w = self.wmu[u]
+            if best_w is None or w < best_w or (w == best_w and u < best_u):
+                best_w = w
+                best_u = u
+        return best_u
+
+    def _compute_cmu(self, u: int) -> list[int]:
+        """C_M(u): intersect the parents' CS adjacency lists (Def. 5.2)."""
+        down = self.cs.down
+        midx = self.midx
+        lists = [down[p][u][midx[p]] for p in self.parents[u]]
+        if len(lists) == 1:
+            return list(lists[0])
+        lists.sort(key=len)
+        result = set(lists[0])
+        for other in lists[1:]:
+            result.intersection_update(other)
+            if not result:
+                return []
+        return sorted(result)
+
+    def _map(self, u: int, i: int, v: int) -> None:
+        self.mapping[u] = v
+        self.midx[u] = i
+        if self.injective:
+            self.visited_by[v] = u
+        self.extendable.discard(u)
+        self.mapped_core += 1
+        for c in self.children[u]:
+            if self.deferred[c]:
+                continue
+            self.pending[c] -= 1
+            if self.pending[c] == 0:
+                cmu = self._compute_cmu(c)
+                self.cmu[c] = cmu
+                self.wmu[c] = self.order.vertex_weight(c, cmu)
+                self.extendable.add(c)
+
+    def _unmap(self, u: int, v: int) -> None:
+        for c in self.children[u]:
+            if self.deferred[c]:
+                continue
+            if self.pending[c] == 0:
+                self.extendable.discard(c)
+                self.cmu[c] = None
+            self.pending[c] += 1
+        self.mapped_core -= 1
+        self.extendable.add(u)
+        if self.injective:
+            del self.visited_by[v]
+        self.mapping[u] = -1
+        self.midx[u] = -1
+
+    def _induced_violation(self, u: int, v: int) -> int:
+        """Induced-mode check: the first mapped non-neighbor of ``u``
+        whose image is adjacent to ``v`` in the data graph, or -1.
+
+        Query non-edges must map to data non-edges; a violation plays the
+        same failing-set role as a visited conflict — it pins ``u`` and
+        the offending vertex.
+        """
+        mapping = self.mapping
+        data = self.cs.data
+        for w in self.non_neighbors[u]:
+            image = mapping[w]
+            if image >= 0 and data.has_edge(v, image):
+                return w
+        return -1
+
+    def _report(self) -> None:
+        self.stats.embeddings_found += 1
+        if self.collect or self.on_embedding is not None:
+            embedding = tuple(self.mapping)
+            if self.collect:
+                self.embeddings.append(embedding)
+            if self.on_embedding is not None:
+                self.on_embedding(embedding)
+        if self.stats.embeddings_found >= self.limit:
+            raise _LimitReached
+
+    def _report_bulk(self, count: int) -> None:
+        """Count ``count`` embeddings without materializing them (leaf
+        combinatorics in counting mode)."""
+        remaining = self.limit - self.stats.embeddings_found
+        take = min(count, remaining)
+        self.stats.embeddings_found += take
+        if self.stats.embeddings_found >= self.limit:
+            raise _LimitReached
+
+    # ------------------------------------------------------------------
+    # Search with failing sets (DAF variants)
+    # ------------------------------------------------------------------
+    def _extend_fs(self) -> Optional[int]:
+        """Returns the node's failing-set mask, or None if an embedding was
+        found in this subtree (Case 1 makes the parent's F empty)."""
+        self.stats.recursive_calls += 1
+        self.deadline.tick()
+        if self.mapped_core == self.num_core:
+            return self._match_leaves_fs()
+        u = self._select()
+        cmu = self.cmu[u]
+        anc = self.anc
+        tracer = self.tracer
+        if not cmu:
+            if tracer is not None:
+                tracer.emptyset(u)
+            return anc[u]  # emptyset class
+        candidates_u = self.cs.candidates[u]
+        visited_by = self.visited_by
+        fs_union = 0
+        found_embedding = False
+        for i in cmu:
+            v = candidates_u[i]
+            if self.injective:
+                occupier = visited_by.get(v)
+                if occupier is not None:
+                    contribution = anc[u] | anc[occupier]  # conflict class
+                    fs_union |= contribution
+                    if tracer is not None:
+                        tracer.conflict(u, v, contribution)
+                    continue
+            if self.induced:
+                offender = self._induced_violation(u, v)
+                if offender >= 0:
+                    contribution = anc[u] | anc[offender]
+                    fs_union |= contribution
+                    if tracer is not None:
+                        tracer.conflict(u, v, contribution)
+                    continue
+            if tracer is not None:
+                tracer.enter(u, v)
+            self._map(u, i, v)
+            try:
+                child_fs = self._extend_fs()
+            finally:
+                self._unmap(u, v)
+            if tracer is not None:
+                tracer.leave(child_fs, child_fs is None)
+            if child_fs is None:
+                found_embedding = True
+            elif not (child_fs >> u) & 1:
+                # Case 2.1 + Lemma 6.1: remaining siblings are redundant.
+                if tracer is not None:
+                    position = cmu.index(i)
+                    for j in cmu[position + 1 :]:
+                        tracer.pruned(u, candidates_u[j])
+                return None if found_embedding else child_fs
+            else:
+                fs_union |= child_fs  # Case 2.2
+        return None if found_embedding else fs_union
+
+    # ------------------------------------------------------------------
+    # Search without failing sets (DA variants)
+    # ------------------------------------------------------------------
+    def _extend_plain(self) -> None:
+        self.stats.recursive_calls += 1
+        self.deadline.tick()
+        if self.mapped_core == self.num_core:
+            self._match_leaves_plain()
+            return
+        u = self._select()
+        cmu = self.cmu[u]
+        if not cmu:
+            return
+        candidates_u = self.cs.candidates[u]
+        visited_by = self.visited_by
+        tracer = self.tracer
+        for i in cmu:
+            v = candidates_u[i]
+            if self.injective and v in visited_by:
+                continue
+            if self.induced and self._induced_violation(u, v) >= 0:
+                continue
+            if tracer is not None:
+                tracer.enter(u, v)
+            self._map(u, i, v)
+            try:
+                self._extend_plain()
+            finally:
+                self._unmap(u, v)
+            if tracer is not None:
+                tracer.leave(None, False)
+
+    # ------------------------------------------------------------------
+    # Leaf matching (§3: degree-one vertices matched last)
+    # ------------------------------------------------------------------
+    def _leaf_candidate_indices(self, u: int) -> tuple[int, ...]:
+        """CS candidates of deferred leaf ``u`` given its mapped parent."""
+        (p,) = self.parents[u]
+        return self.cs.down[p][u][self.midx[p]]
+
+    def _can_count_combinatorially(self) -> bool:
+        return not self.collect and self.on_embedding is None
+
+    def _match_leaves_fs(self) -> Optional[int]:
+        leaves = self.deferred_leaves
+        if not leaves:
+            self._report()
+            return None
+        if self._can_count_combinatorially():
+            return self._count_leaves()
+        info = [(u, self._leaf_candidate_indices(u)) for u in leaves]
+        return self._leaf_rec_fs(info, 0)
+
+    def _leaf_rec_fs(self, info: list[tuple[int, tuple[int, ...]]], pos: int) -> Optional[int]:
+        if pos == len(info):
+            self._report()
+            return None
+        self.deadline.tick()
+        u, idxs = info[pos]
+        anc = self.anc
+        if not idxs:
+            return anc[u]
+        candidates_u = self.cs.candidates[u]
+        visited_by = self.visited_by
+        fs_union = 0
+        found_embedding = False
+        for i in idxs:
+            v = candidates_u[i]
+            if self.injective:
+                occupier = visited_by.get(v)
+                if occupier is not None:
+                    fs_union |= anc[u] | anc[occupier]
+                    continue
+                visited_by[v] = u
+            self.mapping[u] = v
+            try:
+                child_fs = self._leaf_rec_fs(info, pos + 1)
+            finally:
+                self.mapping[u] = -1
+                if self.injective:
+                    del visited_by[v]
+            if child_fs is None:
+                found_embedding = True
+            elif not (child_fs >> u) & 1:
+                return None if found_embedding else child_fs
+            else:
+                fs_union |= child_fs
+        return None if found_embedding else fs_union
+
+    def _match_leaves_plain(self) -> None:
+        leaves = self.deferred_leaves
+        if not leaves:
+            self._report()
+            return
+        if self._can_count_combinatorially():
+            self._count_leaves()
+            return
+        info = [(u, self._leaf_candidate_indices(u)) for u in leaves]
+        self._leaf_rec_plain(info, 0)
+
+    def _leaf_rec_plain(self, info: list[tuple[int, tuple[int, ...]]], pos: int) -> None:
+        if pos == len(info):
+            self._report()
+            return
+        self.deadline.tick()
+        u, idxs = info[pos]
+        candidates_u = self.cs.candidates[u]
+        visited_by = self.visited_by
+        for i in idxs:
+            v = candidates_u[i]
+            if self.injective:
+                if v in visited_by:
+                    continue
+                visited_by[v] = u
+            self.mapping[u] = v
+            try:
+                self._leaf_rec_plain(info, pos + 1)
+            finally:
+                self.mapping[u] = -1
+                if self.injective:
+                    del visited_by[v]
+
+    def _count_leaves(self) -> Optional[int]:
+        """Count leaf assignments combinatorially (counting mode only).
+
+        Leaves are grouped by label: candidates carry the leaf's label, so
+        leaves of *different* labels can never collide and their group
+        counts multiply.  Within a label group injective assignments are
+        counted by a small DFS capped at the remaining limit (group sizes
+        are tiny in practice — they are degree-one query vertices sharing
+        a label).
+
+        Returns ``None`` if at least one assignment exists (embeddings were
+        reported in bulk), else a failing-set mask for the first failing
+        group: the group's leaves' ancestors plus the ancestors of every
+        query vertex occupying one of the group's candidates — pinning the
+        occupiers makes the same unavailability hold for any extension of
+        ``M[F]``.
+        """
+        query = self.cs.query
+        remaining = self.limit - self.stats.embeddings_found
+        groups: dict[object, list[int]] = {}
+        for u in self.deferred_leaves:
+            groups.setdefault(query.label(u), []).append(u)
+
+        total = 1
+        for label_leaves in groups.values():
+            available: list[tuple[int, list[int]]] = []
+            conflict_mask = 0
+            for u in label_leaves:
+                candidates_u = self.cs.candidates[u]
+                usable: list[int] = []
+                for i in self._leaf_candidate_indices(u):
+                    v = candidates_u[i]
+                    if self.injective:
+                        occupier = self.visited_by.get(v)
+                        if occupier is not None:
+                            conflict_mask |= self.anc[occupier]
+                            continue
+                    usable.append(v)
+                available.append((u, usable))
+            group_count = _count_injective(
+                [usable for _, usable in available], cap=remaining, injective=self.injective
+            )
+            if group_count == 0:
+                failing = conflict_mask
+                for u, _ in available:
+                    failing |= self.anc[u]
+                return failing
+            total = min(total * group_count, remaining)
+        self._report_bulk(total)
+        return None
+
+
+def _count_injective(candidate_lists: list[list[int]], cap: int, injective: bool) -> int:
+    """Number of (injective) assignments choosing one value per list.
+
+    Capped at ``cap`` — callers only need ``min(true count, cap)``.  With
+    ``injective=False`` this is a plain product.
+    """
+    if cap <= 0:
+        cap = 1
+    if not injective:
+        total = 1
+        for lst in candidate_lists:
+            total *= len(lst)
+            if total >= cap:
+                return cap
+        return total
+    if len(candidate_lists) == 1:
+        return min(len(candidate_lists[0]), cap)
+    # Small-group DFS, most-constrained list first for fast failure.
+    order = sorted(range(len(candidate_lists)), key=lambda k: len(candidate_lists[k]))
+    lists = [candidate_lists[k] for k in order]
+    used: set[int] = set()
+    count = 0
+
+    def dfs(pos: int) -> bool:
+        """Returns True when the cap is reached (stop everything)."""
+        nonlocal count
+        if pos == len(lists):
+            count += 1
+            return count >= cap
+        for v in lists[pos]:
+            if v in used:
+                continue
+            used.add(v)
+            stop = dfs(pos + 1)
+            used.discard(v)
+            if stop:
+                return True
+        return False
+
+    dfs(0)
+    return count

@@ -1,0 +1,260 @@
+"""The CS structure and DAG-graph dynamic programming (paper §4).
+
+The candidate space (CS) is the auxiliary structure DAF searches *instead
+of* the data graph.  It holds a candidate set ``C(u)`` per query vertex and
+— unlike the tree-based CPI/CR structures of CFL-Match and Turbo_iso — an
+edge between ``v in C(u)`` and ``v' in C(u')`` for **every** query edge
+``(u, u')`` present in the data graph.  That completeness gives the CS the
+equivalence property (Theorem 4.1): embeddings of q in G are exactly the
+embeddings of q in the CS, so backtracking never probes G.
+
+Construction (``build_candidate_space``):
+
+1. ``C(u) <- C_ini(u)`` (label + degree; sound by construction).
+2. Refine by DAG-graph DP alternating between the reversed query DAG
+   ``q_D^{-1}`` and ``q_D`` (the paper runs 3 steps by default; we also
+   support running to a fixpoint).  The first step additionally applies
+   the local MND/NLF filters.  One DP pass over direction ``q'`` keeps
+   ``v in C(u)`` only if every child ``u_c`` of ``u`` in ``q'`` has some
+   candidate adjacent to ``v`` — i.e. only if a weak embedding of the
+   sub-DAG ``q'_u`` exists at ``v`` (Recurrence (1)).
+3. Materialize CS edges as per-DAG-edge adjacency lists
+   ``N^u_{u_c}(v)`` storing candidate *indices*, which is what the
+   backtracking engine intersects to compute extendable candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graph.digraph import ReversedDAG, RootedDAG
+from ..graph.graph import Graph
+from .filters import initial_candidates, passes_local_filters
+
+AnyDAG = Union[RootedDAG, ReversedDAG]
+
+
+@dataclass
+class CandidateSpace:
+    """The materialized CS structure on ``query`` and ``data``.
+
+    Attributes
+    ----------
+    candidates:
+        ``candidates[u]`` is the sorted list of data vertices in ``C(u)``.
+    candidate_index:
+        ``candidate_index[u][v]`` is the position of data vertex ``v`` in
+        ``candidates[u]``.
+    down:
+        CS edges along the rooted DAG: for each DAG edge ``(u, u_c)``,
+        ``down[u][u_c][i]`` is the tuple of positions (into
+        ``candidates[u_c]``) of candidates adjacent in ``G`` to the i-th
+        candidate of ``u``.  This is the paper's ``N^u_{u_c}(v)`` with
+        vertices replaced by indices.
+    refinement_steps:
+        DP passes actually performed (for stats / Fig. 9-style analysis).
+    """
+
+    query: Graph
+    data: Graph
+    dag: RootedDAG
+    candidates: list[list[int]]
+    candidate_index: list[dict[int, int]]
+    down: list[dict[int, list[tuple[int, ...]]]]
+    refinement_steps: int
+
+    @property
+    def size(self) -> int:
+        """Sum of candidate-set sizes — the Fig. 9 auxiliary-size metric."""
+        return sum(len(c) for c in self.candidates)
+
+    @property
+    def num_edges(self) -> int:
+        """Total CS edges (each stored once, along the DAG direction)."""
+        return sum(
+            len(neighbors)
+            for per_child in self.down
+            for adjacency in per_child.values()
+            for neighbors in adjacency
+        )
+
+    def is_empty(self) -> bool:
+        """True iff some candidate set is empty — the query is negative and
+        backtracking can be skipped entirely (Appendix A.3)."""
+        return any(not c for c in self.candidates)
+
+    def neighbors_down(self, u: int, u_c: int, v: int) -> tuple[int, ...]:
+        """``N^u_{u_c}(v)`` as data vertices (paper's notation), for tests
+        and examples; the engine uses index-based ``down`` directly."""
+        i = self.candidate_index[u][v]
+        return tuple(self.candidates[u_c][j] for j in self.down[u][u_c][i])
+
+
+def _candidate_sets_initial(query: Graph, data: Graph) -> list[set[int]]:
+    return [set(initial_candidates(query, data, u)) for u in query.vertices()]
+
+
+def _refine_pass(
+    query: Graph,
+    data: Graph,
+    direction: AnyDAG,
+    cand: list[set[int]],
+    apply_local_filters: bool = False,
+) -> bool:
+    """One DAG-graph DP pass in place; returns True if anything changed.
+
+    Processes query vertices in reverse topological order of ``direction``
+    so every child's refined set C'(u_c) is final before u is visited
+    (the bottom-up evaluation of Recurrence (1)).
+    """
+    changed = False
+    order = tuple(reversed(direction.topological_order()))
+    for u in order:
+        children = direction.children(u)
+        if not children and not apply_local_filters:
+            continue
+        survivors: set[int] = set()
+        for v in cand[u]:
+            if apply_local_filters and not passes_local_filters(query, data, u, v):
+                continue
+            ok = True
+            v_neighbors = data.neighbor_set(v)
+            for u_c in children:
+                child_cand = cand[u_c]
+                # Iterate the smaller side of the adjacency/candidate pair.
+                if len(child_cand) <= len(v_neighbors):
+                    if child_cand.isdisjoint(v_neighbors):
+                        ok = False
+                        break
+                else:
+                    if not any(w in child_cand for w in v_neighbors):
+                        ok = False
+                        break
+            if ok:
+                survivors.add(v)
+        if len(survivors) != len(cand[u]):
+            changed = True
+            cand[u] = survivors
+    return changed
+
+
+def build_candidate_space(
+    query: Graph,
+    data: Graph,
+    dag: RootedDAG,
+    refinement_steps: int = 3,
+    refine_to_fixpoint: bool = False,
+    use_local_filters: bool = True,
+    max_fixpoint_steps: int = 64,
+    initial_sets: Optional[list[set[int]]] = None,
+) -> CandidateSpace:
+    """BuildCS(q, q_D, G): construct the optimized CS (paper §4).
+
+    Parameters
+    ----------
+    refinement_steps:
+        Number of alternating DP passes (paper default 3: q_D^{-1}, q_D,
+        q_D^{-1}; the filtering rate beyond 3 was < 1% in their study).
+    refine_to_fixpoint:
+        If True, keep alternating until no candidate set changes
+        (bounded by ``max_fixpoint_steps`` as a safety net).
+    use_local_filters:
+        Apply MND + NLF during the first pass, as the paper suggests.
+    initial_sets:
+        Override the C_ini computation (one set per query vertex).  Used
+        when the data graph carries extra semantics the standard label +
+        degree filter would get wrong — e.g. the capacity-weighted
+        degrees of BoostIso hypergraphs.  The caller is responsible for
+        soundness; local filters should usually be disabled alongside.
+    """
+    if dag.query is not query:
+        raise ValueError("the DAG must orient exactly this query graph")
+    if initial_sets is not None:
+        if len(initial_sets) != query.num_vertices:
+            raise ValueError("initial_sets needs one candidate set per query vertex")
+        cand = [set(s) for s in initial_sets]
+    else:
+        cand = _candidate_sets_initial(query, data)
+    directions: tuple[AnyDAG, AnyDAG] = (dag.reverse(), dag)
+    steps_done = 0
+    if refine_to_fixpoint:
+        for step in range(max_fixpoint_steps):
+            changed = _refine_pass(
+                query, data, directions[step % 2], cand, apply_local_filters=(step == 0)
+            )
+            steps_done += 1
+            if not changed and step > 0:
+                break
+    else:
+        for step in range(refinement_steps):
+            _refine_pass(
+                query,
+                data,
+                directions[step % 2],
+                cand,
+                apply_local_filters=(step == 0 and use_local_filters),
+            )
+            steps_done += 1
+
+    candidates = [sorted(c) for c in cand]
+    candidate_index = [{v: i for i, v in enumerate(c)} for c in candidates]
+
+    # Materialize CS edges along the rooted-DAG direction.  Edges are
+    # "immediate from E(q) and E(G) once candidate sets are decided" (§4):
+    # (v, v_c) is a CS edge iff (u, u_c) in E(q_D) and (v, v_c) in E(G).
+    down: list[dict[int, list[tuple[int, ...]]]] = [{} for _ in query.vertices()]
+    for u in query.vertices():
+        for u_c in dag.children(u):
+            child_index = candidate_index[u_c]
+            adjacency: list[tuple[int, ...]] = []
+            for v in candidates[u]:
+                adjacency.append(
+                    tuple(
+                        child_index[w]
+                        for w in data.neighbors(v)
+                        if w in child_index
+                    )
+                )
+            down[u][u_c] = adjacency
+
+    return CandidateSpace(
+        query=query,
+        data=data,
+        dag=dag,
+        candidates=candidates,
+        candidate_index=candidate_index,
+        down=down,
+        refinement_steps=steps_done,
+    )
+
+
+def has_weak_embedding(
+    cs: CandidateSpace, direction: AnyDAG, u: int, v: int
+) -> bool:
+    """Reference check: is there a weak embedding of ``q'_u`` at ``v``?
+
+    Direct recursive evaluation of Definition 4.5 over the *final* CS —
+    quadratic and only for tests/documentation; the DP above is the real
+    computation.
+    """
+    if v not in cs.candidate_index[u]:
+        return False
+
+    memo: dict[tuple[int, int], bool] = {}
+
+    def weak(u_: int, v_: int) -> bool:
+        key = (u_, v_)
+        if key in memo:
+            return memo[key]
+        memo[key] = True  # break cycles defensively; DAGs have none
+        result = True
+        for u_c in direction.children(u_):
+            child_set = set(cs.candidates[u_c])
+            if not any(w in child_set and weak(u_c, w) for w in cs.data.neighbors(v_)):
+                result = False
+                break
+        memo[key] = result
+        return result
+
+    return weak(u, v)

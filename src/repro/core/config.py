@@ -1,0 +1,79 @@
+"""Configuration for the DAF matcher and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Knobs for :class:`~repro.core.matcher.DAFMatcher`.
+
+    The defaults reproduce the paper's final algorithm, **DAF-path**
+    (Appendix A.6 selects the path-size order + failing sets).
+
+    Attributes
+    ----------
+    order:
+        ``"path"`` (path-size, default) or ``"candidate"`` (candidate-size)
+        adaptive matching order (§5.2).
+    use_failing_sets:
+        Enable failing-set pruning (§6).  Off reproduces the *DA* variants.
+    leaf_decomposition:
+        Match degree-one query vertices last with the specialized leaf
+        matcher (§3, adopted from CFL-Match).
+    refinement_steps:
+        DAG-graph DP passes when building the CS (paper default 3).
+    refine_to_fixpoint:
+        Keep refining until candidate sets stop changing (§4 notes this is
+        possible; the paper stops at 3 because later passes filter < 1%).
+    use_local_filters:
+        Apply MND/NLF during the first refinement pass (§4).
+    injective:
+        ``True`` finds embeddings (subgraph isomorphism, the paper's
+        problem); ``False`` finds homomorphisms (§2's relaxation) —
+        an extension exposed because the engine supports it for free.
+    induced:
+        ``True`` restricts to *induced* subgraph isomorphism: query
+        non-edges must map to data non-edges as well.  An extension
+        beyond the paper (which studies the non-induced problem);
+        implemented as a non-adjacency check against the data graph at
+        mapping time, since the CS equivalence property (Thm 4.1) covers
+        edges only.  Requires ``injective=True``.
+    collect_embeddings:
+        If ``False``, embeddings are counted but not materialized, which
+        lets the leaf matcher count combinatorially instead of
+        enumerating.  Benchmarks use this; the default keeps the
+        user-facing API fully materialized.
+    """
+
+    order: str = "path"
+    use_failing_sets: bool = True
+    leaf_decomposition: bool = True
+    refinement_steps: int = 3
+    refine_to_fixpoint: bool = False
+    use_local_filters: bool = True
+    injective: bool = True
+    induced: bool = False
+    collect_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.order not in ("path", "candidate"):
+            raise ValueError(f"order must be 'path' or 'candidate', got {self.order!r}")
+        if self.refinement_steps < 1:
+            raise ValueError("refinement_steps must be >= 1")
+        if self.induced and not self.injective:
+            raise ValueError("induced matching requires injective=True")
+
+    @property
+    def variant_name(self) -> str:
+        """The paper's name for this configuration (Appendix A.6)."""
+        base = "DAF" if self.use_failing_sets else "DA"
+        return f"{base}-{'path' if self.order == 'path' else 'cand'}"
+
+
+#: The four variants compared in Appendix A.6 / Fig. 18.
+DA_CAND = MatchConfig(order="candidate", use_failing_sets=False)
+DA_PATH = MatchConfig(order="path", use_failing_sets=False)
+DAF_CAND = MatchConfig(order="candidate", use_failing_sets=True)
+DAF_PATH = MatchConfig(order="path", use_failing_sets=True)

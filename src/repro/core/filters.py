@@ -1,0 +1,53 @@
+"""Local candidate filters (paper §3 and §4, "Optimizing CS").
+
+The initial candidate set is the paper's C_ini (label + degree), and the
+first refinement step may additionally apply the local features borrowed
+from CFL-Match/Turbo_iso: maximum neighbor degree (MND) and neighborhood
+label frequency (NLF).  All filters are *sound*: they never remove a data
+vertex that participates in an embedding.
+"""
+
+from __future__ import annotations
+
+from ..graph.graph import Graph
+
+
+def initial_candidates(query: Graph, data: Graph, u: int) -> list[int]:
+    """C_ini(u) = { v : L(v) = L(u) and deg(v) >= deg(u) } (paper §3)."""
+    deg_u = query.degree(u)
+    return [v for v in data.vertices_with_label(query.label(u)) if data.degree(v) >= deg_u]
+
+
+def initial_candidate_count(query: Graph, data: Graph, u: int) -> int:
+    """|C_ini(u)| without materializing the list (root selection, §3)."""
+    deg_u = query.degree(u)
+    return sum(1 for v in data.vertices_with_label(query.label(u)) if data.degree(v) >= deg_u)
+
+
+def passes_max_neighbor_degree(query: Graph, data: Graph, u: int, v: int) -> bool:
+    """MND filter: v's largest neighbor degree must cover u's.
+
+    If u has a neighbor of degree d, every embedding must map that neighbor
+    to a data vertex of degree >= d adjacent to v.
+    """
+    return data.max_neighbor_degree(v) >= query.max_neighbor_degree(u)
+
+
+def passes_neighborhood_label_frequency(query: Graph, data: Graph, u: int, v: int) -> bool:
+    """NLF filter: v's neighborhood must dominate u's label multiset.
+
+    For every label l, v needs at least as many neighbors with label l as
+    u has — otherwise some neighbor of u has nowhere to go.
+    """
+    data_counts = data.neighbor_label_counts(v)
+    for label, needed in query.neighbor_label_counts(u).items():
+        if data_counts.get(label, 0) < needed:
+            return False
+    return True
+
+
+def passes_local_filters(query: Graph, data: Graph, u: int, v: int) -> bool:
+    """MND and NLF combined (applied in the first refinement step, §4)."""
+    return passes_max_neighbor_degree(query, data, u, v) and passes_neighborhood_label_frequency(
+        query, data, u, v
+    )

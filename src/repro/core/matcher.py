@@ -1,0 +1,231 @@
+"""Top-level DAF matcher (paper Algorithm 1).
+
+``DAFMatcher.match`` runs the three stages — BuildDAG, BuildCS, Backtrack —
+and returns a :class:`~repro.interfaces.MatchResult`.  A prepared query
+(DAG + CS + weight array) can also be built once with
+:meth:`DAFMatcher.prepare` and searched repeatedly or in parallel slices,
+which is what the parallel extension (Appendix A.4) uses.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..graph.digraph import RootedDAG
+from ..graph.graph import Graph
+from ..graph.properties import is_connected
+from ..interfaces import (
+    DEFAULT_LIMIT,
+    Deadline,
+    Embedding,
+    Matcher,
+    MatchResult,
+    SearchStats,
+    TimeoutSignal,
+    validate_inputs,
+)
+from .backtrack import BacktrackEngine
+from .candidate_space import CandidateSpace, build_candidate_space
+from .config import MatchConfig
+from .dag import build_dag
+
+
+@dataclass
+class PreparedQuery:
+    """A query preprocessed against a data graph: DAG + CS.
+
+    Reusable across searches (e.g. different limits, or the per-worker
+    root-candidate slices of parallel DAF).
+    """
+
+    query: Graph
+    data: Graph
+    dag: RootedDAG
+    cs: CandidateSpace
+    preprocess_seconds: float
+
+    @property
+    def is_negative(self) -> bool:
+        """True iff the CS proves there are no embeddings (empty C(u))."""
+        return self.cs.is_empty()
+
+
+class DAFMatcher(Matcher):
+    """The paper's DAF algorithm (default config: DAF-path).
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> data = Graph(labels=["A", "B", "B"], edges=[(0, 1), (0, 2), (1, 2)])
+    >>> query = Graph(labels=["A", "B"], edges=[(0, 1)])
+    >>> result = DAFMatcher().match(query, data)
+    >>> sorted(result.embeddings)
+    [(0, 1), (0, 2)]
+    """
+
+    def __init__(self, config: Optional[MatchConfig] = None) -> None:
+        self.config = config if config is not None else MatchConfig()
+        self.name = self.config.variant_name
+
+    # ------------------------------------------------------------------
+    def prepare(self, query: Graph, data: Graph) -> PreparedQuery:
+        """Run BuildDAG + BuildCS (Algorithm 1 lines 1-2)."""
+        validate_inputs(query, data)
+        if query.num_vertices > 1 and not is_connected(query):
+            raise ValueError(
+                "query graph must be connected (paper §2); match components separately"
+            )
+        start = time.perf_counter()
+        dag = build_dag(query, data)
+        if self.config.injective:
+            initial_sets = None
+            use_local_filters = self.config.use_local_filters
+        else:
+            # Homomorphisms may fold several query vertices onto one data
+            # vertex, so the degree-based C_ini and the MND/NLF filters
+            # (which all assume injectivity) are unsound: fall back to
+            # label-only initial candidates.  The DP itself only checks
+            # existence and stays sound for homomorphisms.
+            initial_sets = [
+                set(data.vertices_with_label(query.label(u))) for u in query.vertices()
+            ]
+            use_local_filters = False
+        cs = build_candidate_space(
+            query,
+            data,
+            dag,
+            refinement_steps=self.config.refinement_steps,
+            refine_to_fixpoint=self.config.refine_to_fixpoint,
+            use_local_filters=use_local_filters,
+            initial_sets=initial_sets,
+        )
+        return PreparedQuery(
+            query=query,
+            data=data,
+            dag=dag,
+            cs=cs,
+            preprocess_seconds=time.perf_counter() - start,
+        )
+
+    def search(
+        self,
+        prepared: PreparedQuery,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+        root_candidate_indices: Optional[list[int]] = None,
+        tracer=None,
+    ) -> MatchResult:
+        """Run Backtrack (Algorithm 1 line 4) over a prepared query.
+
+        Pass a :class:`repro.core.trace.SearchTracer` as ``tracer`` to
+        record the full search tree (nodes, leaf classes, failing sets —
+        the paper's Figure 6/8 view).
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        stats = SearchStats(
+            candidates_total=prepared.cs.size,
+            filter_iterations=prepared.cs.refinement_steps,
+            preprocess_seconds=prepared.preprocess_seconds,
+        )
+        result = MatchResult(stats=stats)
+        if prepared.is_negative:
+            return result  # negativity proven by preprocessing alone (A.3)
+        deadline = Deadline(time_limit)
+        engine = BacktrackEngine(
+            prepared.cs,
+            self.config,
+            limit=limit,
+            deadline=deadline,
+            stats=stats,
+            on_embedding=on_embedding,
+            root_candidate_indices=root_candidate_indices,
+            tracer=tracer,
+        )
+        # Queries can reach hundreds of vertices (Fig. 11 uses 400); give
+        # the recursion comfortable headroom beyond the interpreter default.
+        needed_depth = 1000 + 4 * prepared.query.num_vertices
+        old_depth = sys.getrecursionlimit()
+        if old_depth < needed_depth:
+            sys.setrecursionlimit(needed_depth)
+        search_start = time.perf_counter()
+        try:
+            engine.run()
+        except TimeoutSignal:
+            result.timed_out = True
+        finally:
+            stats.search_seconds = time.perf_counter() - search_start
+            if old_depth < needed_depth:
+                sys.setrecursionlimit(old_depth)
+        result.embeddings = engine.embeddings
+        result.limit_reached = engine.limit_reached
+        return result
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        """Algorithm 1: find up to ``limit`` embeddings of query in data."""
+        overall_deadline = Deadline(time_limit)
+        prepared = self.prepare(query, data)
+        if overall_deadline.expired():
+            result = MatchResult(
+                stats=SearchStats(
+                    candidates_total=prepared.cs.size,
+                    filter_iterations=prepared.cs.refinement_steps,
+                    preprocess_seconds=prepared.preprocess_seconds,
+                )
+            )
+            result.timed_out = True
+            return result
+        remaining = None
+        if time_limit is not None:
+            remaining = max(0.0, time_limit - prepared.preprocess_seconds)
+        return self.search(
+            prepared, limit=limit, time_limit=remaining, on_embedding=on_embedding
+        )
+
+
+def find_embeddings(
+    query: Graph,
+    data: Graph,
+    limit: int = DEFAULT_LIMIT,
+    time_limit: Optional[float] = None,
+    config: Optional[MatchConfig] = None,
+) -> list[Embedding]:
+    """Convenience wrapper: the embeddings of ``query`` in ``data``."""
+    return DAFMatcher(config).match(query, data, limit=limit, time_limit=time_limit).embeddings
+
+
+def count_embeddings(
+    query: Graph,
+    data: Graph,
+    limit: int = DEFAULT_LIMIT,
+    time_limit: Optional[float] = None,
+    config: Optional[MatchConfig] = None,
+) -> int:
+    """Convenience wrapper: the number of embeddings (capped at limit),
+    counted without materializing them."""
+    import dataclasses
+
+    base = config if config is not None else MatchConfig()
+    counting = dataclasses.replace(base, collect_embeddings=False)
+    return DAFMatcher(counting).match(query, data, limit=limit, time_limit=time_limit).count
+
+
+def has_embedding(
+    query: Graph,
+    data: Graph,
+    time_limit: Optional[float] = None,
+    config: Optional[MatchConfig] = None,
+) -> bool:
+    """Convenience wrapper: does at least one embedding exist?"""
+    return count_embeddings(query, data, limit=1, time_limit=time_limit, config=config) > 0

@@ -1,0 +1,106 @@
+"""Adaptive matching orders: candidate-size and path-size (paper §5.2).
+
+Both orders pick, among the currently *extendable* query vertices, the one
+whose estimated cost is minimal — re-evaluated at every partial embedding,
+which is what makes them adaptive:
+
+- **candidate-size order** minimizes ``|C_M(u)|``, the number of extendable
+  candidates;
+- **path-size order** minimizes ``w_M(u) = sum of W_u(v) over v in C_M(u)``
+  where the *weight array* ``W_u(v)`` upper-bounds the number of
+  embeddings of the most infrequent maximal tree-like path starting at
+  ``u`` when ``u`` is mapped to ``v`` (the infrequent-path-first strategy
+  transplanted to DAG ordering).
+
+The weight array is computed here, bottom-up over the rooted DAG in time
+proportional to the CS size:
+
+- if ``u`` has no single-parent child, ``W_u(v) = 1``;
+- otherwise ``W_u(v) = min over single-parent children c of
+  sum of W_c(v') over v' in N^u_c(v)``.
+"""
+
+from __future__ import annotations
+
+from .candidate_space import CandidateSpace
+
+
+def compute_weight_array(cs: CandidateSpace) -> list[list[int]]:
+    """The path-size weight array ``W[u][i]`` (i indexes ``C(u)``)."""
+    dag = cs.dag
+    n = cs.query.num_vertices
+    weights: list[list[int]] = [[] for _ in range(n)]
+    for u in reversed(dag.topological_order()):
+        num_candidates = len(cs.candidates[u])
+        tree_children = dag.single_parent_children(u)
+        if not tree_children:
+            weights[u] = [1] * num_candidates
+            continue
+        row = [0] * num_candidates
+        for i in range(num_candidates):
+            best = None
+            for c in tree_children:
+                child_weights = weights[c]
+                total = sum(child_weights[j] for j in cs.down[u][c][i])
+                if best is None or total < best:
+                    best = total
+            row[i] = best if best is not None else 1
+        weights[u] = row
+    return weights
+
+
+def count_paths_from(cs: CandidateSpace, path: tuple[int, ...], v: int) -> int:
+    """n(p, v): the number of CS paths corresponding to query path ``p``
+    starting at data vertex ``v`` (paper §5.2).
+
+    Reference implementation used by tests to validate the weight array:
+    ``W_u(v) == min over maximal tree-like paths p of n(p, v)``.
+    """
+    u = path[0]
+    if v not in cs.candidate_index[u]:
+        return 0
+
+    def count(position: int, index_in_candidates: int) -> int:
+        if position == len(path) - 1:
+            return 1
+        u_here, u_next = path[position], path[position + 1]
+        return sum(
+            count(position + 1, j) for j in cs.down[u_here][u_next][index_in_candidates]
+        )
+
+    return count(0, cs.candidate_index[u][v])
+
+
+class PathSizeOrder:
+    """Selects the extendable vertex with minimal ``w_M(u)`` (§5.2)."""
+
+    name = "path"
+
+    def __init__(self, cs: CandidateSpace) -> None:
+        self._weights = compute_weight_array(cs)
+
+    def vertex_weight(self, u: int, extendable_candidate_indices: list[int]) -> int:
+        """w_M(u) = sum of W_u(v) over v in C_M(u)."""
+        row = self._weights[u]
+        return sum(row[i] for i in extendable_candidate_indices)
+
+
+class CandidateSizeOrder:
+    """Selects the extendable vertex with minimal ``|C_M(u)|`` (§5.2)."""
+
+    name = "candidate"
+
+    def __init__(self, cs: CandidateSpace) -> None:
+        pass
+
+    def vertex_weight(self, u: int, extendable_candidate_indices: list[int]) -> int:
+        return len(extendable_candidate_indices)
+
+
+def make_order(kind: str, cs: CandidateSpace):
+    """Factory for the two adaptive orders (``"path"`` / ``"candidate"``)."""
+    if kind == "path":
+        return PathSizeOrder(cs)
+    if kind == "candidate":
+        return CandidateSizeOrder(cs)
+    raise ValueError(f"unknown matching order {kind!r}; expected 'path' or 'candidate'")

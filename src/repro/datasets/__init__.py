@@ -1,0 +1,23 @@
+"""Synthetic evaluation datasets and the EvoGraph-style upscaler."""
+
+from .evograph import upscale
+from .registry import (
+    SPECS,
+    DatasetSpec,
+    cache_directory,
+    dataset_names,
+    generate,
+    load,
+    table2_rows,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "SPECS",
+    "cache_directory",
+    "dataset_names",
+    "generate",
+    "load",
+    "table2_rows",
+    "upscale",
+]

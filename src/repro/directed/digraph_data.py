@@ -1,0 +1,221 @@
+"""Vertex-labeled directed graphs (the paper's §2 "readily extended" case).
+
+:class:`DirectedGraph` mirrors :class:`repro.graph.graph.Graph` with
+directed adjacency: per-vertex successor and predecessor structures, in-
+and out-degrees, and a label index.  Antiparallel pairs (both ``u->v``
+and ``v->u``) are allowed — they are how mutual relationships appear in
+citation/follow graphs — but parallel duplicates and self-loops are not.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+Label = Hashable
+Edge = tuple[int, int]
+
+
+class DirectedGraphError(ValueError):
+    """Raised for structurally invalid directed-graph operations."""
+
+
+class DirectedGraph:
+    """A simple directed graph with one label per vertex.
+
+    Examples
+    --------
+    >>> g = DirectedGraph(labels=["A", "B"], edges=[(0, 1)])
+    >>> g.out_neighbors(0), g.in_neighbors(1)
+    ((1,), (0,))
+    >>> g.has_edge(0, 1), g.has_edge(1, 0)
+    (True, False)
+    """
+
+    __slots__ = (
+        "_labels",
+        "_out_sets",
+        "_in_sets",
+        "_out",
+        "_in",
+        "_num_edges",
+        "_frozen",
+        "_label_index",
+    )
+
+    def __init__(
+        self,
+        labels: Optional[Iterable[Label]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        self._labels: list[Label] = []
+        self._out_sets: list[set[int]] = []
+        self._in_sets: list[set[int]] = []
+        self._out: list[tuple[int, ...]] = []
+        self._in: list[tuple[int, ...]] = []
+        self._num_edges = 0
+        self._frozen = False
+        self._label_index: dict[Label, tuple[int, ...]] = {}
+        if labels is not None:
+            for label in labels:
+                self.add_vertex(label)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+        if labels is not None or edges is not None:
+            self.freeze()
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label) -> int:
+        if self._frozen:
+            raise DirectedGraphError("cannot add vertices to a frozen graph")
+        self._labels.append(label)
+        self._out_sets.append(set())
+        self._in_sets.append(set())
+        return len(self._labels) - 1
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add the directed edge ``source -> target``."""
+        if self._frozen:
+            raise DirectedGraphError("cannot add edges to a frozen graph")
+        if source == target:
+            raise DirectedGraphError(f"self-loop at vertex {source} is not allowed")
+        n = len(self._labels)
+        if not (0 <= source < n and 0 <= target < n):
+            raise DirectedGraphError(f"edge ({source}, {target}) references unknown vertex")
+        if target in self._out_sets[source]:
+            raise DirectedGraphError(f"duplicate edge ({source}, {target})")
+        self._out_sets[source].add(target)
+        self._in_sets[target].add(source)
+        self._num_edges += 1
+
+    def freeze(self) -> "DirectedGraph":
+        if self._frozen:
+            return self
+        self._out = [tuple(sorted(s)) for s in self._out_sets]
+        self._in = [tuple(sorted(s)) for s in self._in_sets]
+        self._out_sets = [frozenset(s) for s in self._out_sets]  # type: ignore[misc]
+        self._in_sets = [frozenset(s) for s in self._in_sets]  # type: ignore[misc]
+        index: dict[Label, list[int]] = {}
+        for v, label in enumerate(self._labels):
+            index.setdefault(label, []).append(v)
+        self._label_index = {lab: tuple(vs) for lab, vs in index.items()}
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise DirectedGraphError("graph must be frozen first (call freeze())")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, v: int) -> Label:
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[Label, ...]:
+        return tuple(self._labels)
+
+    def out_neighbors(self, v: int) -> tuple[int, ...]:
+        self._require_frozen()
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> tuple[int, ...]:
+        self._require_frozen()
+        return self._in[v]
+
+    def out_set(self, v: int) -> frozenset[int]:
+        self._require_frozen()
+        return self._out_sets[v]  # type: ignore[return-value]
+
+    def in_set(self, v: int) -> frozenset[int]:
+        self._require_frozen()
+        return self._in_sets[v]  # type: ignore[return-value]
+
+    def out_degree(self, v: int) -> int:
+        self._require_frozen()
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        self._require_frozen()
+        return len(self._in[v])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._require_frozen()
+        return target in self._out_sets[source]
+
+    def edges(self) -> Iterator[Edge]:
+        self._require_frozen()
+        for u in self.vertices():
+            for v in self._out[u]:
+                yield (u, v)
+
+    def vertices_with_label(self, label: Label) -> tuple[int, ...]:
+        self._require_frozen()
+        return self._label_index.get(label, ())
+
+    def label_frequency(self, label: Label) -> int:
+        self._require_frozen()
+        return len(self._label_index.get(label, ()))
+
+    # ------------------------------------------------------------------
+    def out_label_counts(self, v: int) -> dict[Label, int]:
+        """Label multiset of v's successors (directed NLF, out side)."""
+        self._require_frozen()
+        counts: dict[Label, int] = {}
+        for w in self._out[v]:
+            counts[self._labels[w]] = counts.get(self._labels[w], 0) + 1
+        return counts
+
+    def in_label_counts(self, v: int) -> dict[Label, int]:
+        """Label multiset of v's predecessors (directed NLF, in side)."""
+        self._require_frozen()
+        counts: dict[Label, int] = {}
+        for w in self._in[v]:
+            counts[self._labels[w]] = counts.get(self._labels[w], 0) + 1
+        return counts
+
+    def to_undirected(self):
+        """The underlying undirected :class:`~repro.graph.graph.Graph`
+        (antiparallel pairs merge into a single edge) plus, per undirected
+        edge ``(min, max)``, its direction code: ``"fwd"`` (min->max),
+        ``"bwd"`` (max->min) or ``"both"``."""
+        from ..graph.graph import Graph
+
+        self._require_frozen()
+        directions: dict[tuple[int, int], str] = {}
+        for u, v in self.edges():
+            key = (u, v) if u < v else (v, u)
+            code = "fwd" if u < v else "bwd"
+            prior = directions.get(key)
+            if prior is None:
+                directions[key] = code
+            elif prior != code:
+                directions[key] = "both"
+        graph = Graph()
+        for label in self._labels:
+            graph.add_vertex(label)
+        for u, v in directions:
+            graph.add_edge(u, v)
+        return graph.freeze(), directions
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:
+        state = "frozen" if self._frozen else "building"
+        return f"DirectedGraph(|V|={self.num_vertices}, |E|={self.num_edges}, {state})"

@@ -1,0 +1,20 @@
+"""Paper-appendix extensions: parallel DAF (A.4) and DAF-Boost (A.5)."""
+
+from .boost import (
+    BoostedDAFMatcher,
+    capacity_aware_candidates,
+    compress,
+    compression_ratio,
+    se_equivalence_classes,
+)
+from .parallel import ParallelDAFMatcher, split_round_robin
+
+__all__ = [
+    "BoostedDAFMatcher",
+    "ParallelDAFMatcher",
+    "capacity_aware_candidates",
+    "compress",
+    "compression_ratio",
+    "se_equivalence_classes",
+    "split_round_robin",
+]

@@ -1,0 +1,131 @@
+"""Parallel DAF (Appendix A.4).
+
+The paper parallelizes the loop over the root's candidates (line 4 of
+Algorithm 2) with OpenMP threads over shared memory.  CPython's GIL makes
+threads useless for this CPU-bound search, so the same partitioning is
+run across *processes* (DESIGN.md substitution 4): the CS structure is
+built once in the parent, workers inherit it by fork (zero-copy on
+Linux), and each worker backtracks from its slice of root candidates.
+
+The paper's workers share a global embedding counter and stop at ``k``;
+across processes we approximate by giving every worker the full budget
+and truncating on merge — the wall-clock effect is the same "first
+workers to find embeddings win" behaviour, slightly pessimistic for the
+parallel side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Optional
+
+from ..core.config import MatchConfig
+from ..core.matcher import DAFMatcher, PreparedQuery
+from ..graph.graph import Graph
+from ..interfaces import (
+    DEFAULT_LIMIT,
+    Embedding,
+    Matcher,
+    MatchResult,
+    SearchStats,
+)
+
+# Fork-shared state for workers (set in the parent right before the pool
+# is spawned; inherited copy-on-write by each forked worker).
+_shared: dict[str, object] = {}
+
+
+def _worker(args: tuple[list[int], int, Optional[float]]) -> tuple[list[Embedding], int, int, bool, bool]:
+    indices, limit, time_limit = args
+    matcher: DAFMatcher = _shared["matcher"]  # type: ignore[assignment]
+    prepared: PreparedQuery = _shared["prepared"]  # type: ignore[assignment]
+    result = matcher.search(
+        prepared, limit=limit, time_limit=time_limit, root_candidate_indices=indices
+    )
+    return (
+        result.embeddings,
+        result.stats.recursive_calls,
+        result.stats.embeddings_found,
+        result.limit_reached,
+        result.timed_out,
+    )
+
+
+def split_round_robin(count: int, parts: int) -> list[list[int]]:
+    """Partition ``range(count)`` round-robin into ``parts`` non-empty-ish
+    slices (empty slices are dropped)."""
+    slices = [list(range(start, count, parts)) for start in range(parts)]
+    return [s for s in slices if s]
+
+
+class ParallelDAFMatcher(Matcher):
+    """DAF with the root-candidate loop split across worker processes."""
+
+    def __init__(self, num_workers: Optional[int] = None, config: Optional[MatchConfig] = None) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.config = config if config is not None else MatchConfig()
+        self.name = f"{self.config.variant_name}-p{num_workers}"
+        self._matcher = DAFMatcher(self.config)
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        prepared = self._matcher.prepare(query, data)
+        stats = SearchStats(
+            candidates_total=prepared.cs.size,
+            filter_iterations=prepared.cs.refinement_steps,
+            preprocess_seconds=prepared.preprocess_seconds,
+        )
+        merged = MatchResult(stats=stats)
+        if prepared.is_negative:
+            return merged
+        root_count = len(prepared.cs.candidates[prepared.dag.root])
+        slices = split_round_robin(root_count, self.num_workers)
+        if self.num_workers == 1 or len(slices) <= 1:
+            result = self._matcher.search(
+                prepared, limit=limit, time_limit=time_limit, on_embedding=on_embedding
+            )
+            result.stats.preprocess_seconds = prepared.preprocess_seconds
+            return result
+
+        import time
+
+        search_start = time.perf_counter()
+        _shared["matcher"] = self._matcher
+        _shared["prepared"] = prepared
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=len(slices)) as pool:
+                outcomes = pool.map(
+                    _worker, [(s, limit, time_limit) for s in slices]
+                )
+        finally:
+            _shared.clear()
+        stats.search_seconds = time.perf_counter() - search_start
+
+        embeddings: list[Embedding] = []
+        any_timeout = False
+        for worker_embeddings, calls, found, limit_hit, timed_out in outcomes:
+            embeddings.extend(worker_embeddings)
+            stats.recursive_calls += calls
+            stats.embeddings_found += found
+            any_timeout = any_timeout or timed_out
+        if stats.embeddings_found > limit:
+            stats.embeddings_found = limit
+        merged.embeddings = embeddings[:limit] if self.config.collect_embeddings else []
+        if on_embedding is not None:
+            for embedding in merged.embeddings:
+                on_embedding(embedding)
+        merged.limit_reached = stats.embeddings_found >= limit
+        merged.timed_out = any_timeout and not merged.limit_reached
+        return merged

@@ -1,0 +1,106 @@
+"""Disconnected query graphs (paper §2's extension, implemented).
+
+DAF requires a connected query (the DAG ordering walks edges), but §2
+notes disconnected queries are a routine extension.  The clean reduction
+used here: add a fresh *bridge* vertex with a unique label, adjacent to
+one vertex of every query component, and a corresponding bridge vertex
+in the data graph adjacent to **all** data vertices.  Then
+
+    embeddings of q∪bridge in G∪bridge  <=>  embeddings of q in G
+
+because the bridge can only map to the bridge (unique label), its query
+edges are trivially satisfied (the data bridge neighbors everything),
+and the remaining vertices must form an ordinary injective embedding —
+crucially, *injectivity across components* comes for free from the
+single search.  The wrapper strips the bridge coordinate from results.
+
+Cost: one data-graph copy with |V(G)| extra edges per distinct data
+graph (cached), and a query-DAG whose root is typically the bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.config import MatchConfig
+from ..core.matcher import DAFMatcher
+from ..graph.graph import Graph
+from ..graph.properties import connected_components
+from ..interfaces import (
+    DEFAULT_LIMIT,
+    Embedding,
+    Matcher,
+    MatchResult,
+    validate_inputs,
+)
+
+#: The reserved bridge label; a data graph already using it is rejected
+#: loudly rather than silently miscounted.
+BRIDGE_LABEL = "__repro_bridge__"
+
+
+def bridge_graphs(query: Graph, data: Graph) -> tuple[Graph, Graph]:
+    """The bridged (connected) query and bridged data graph."""
+    if BRIDGE_LABEL in data.distinct_labels() or BRIDGE_LABEL in query.distinct_labels():
+        raise ValueError(f"the reserved label {BRIDGE_LABEL!r} appears in the input")
+    bridged_query = query.copy()
+    bridge_q = bridged_query.add_vertex(BRIDGE_LABEL)
+    for component in connected_components(query):
+        bridged_query.add_edge(bridge_q, component[0])
+    bridged_query.freeze()
+
+    bridged_data = data.copy()
+    bridge_d = bridged_data.add_vertex(BRIDGE_LABEL)
+    for v in data.vertices():
+        bridged_data.add_edge(bridge_d, v)
+    bridged_data.freeze()
+    return bridged_query, bridged_data
+
+
+class DisconnectedDAFMatcher(Matcher):
+    """DAF accepting disconnected (and connected) query graphs.
+
+    Same contract as :class:`~repro.core.matcher.DAFMatcher`; connected
+    queries are delegated untouched, so this wrapper is a safe default
+    when query connectivity is unknown.
+    """
+
+    def __init__(self, config: Optional[MatchConfig] = None) -> None:
+        self.config = config if config is not None else MatchConfig()
+        if self.config.induced:
+            # The data bridge would violate every non-edge involving it.
+            raise ValueError("induced matching is not supported for disconnected queries")
+        self.name = f"{self.config.variant_name}-disconnected"
+        self._matcher = DAFMatcher(self.config)
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        validate_inputs(query, data)
+        if len(connected_components(query)) <= 1:
+            return self._matcher.match(
+                query, data, limit=limit, time_limit=time_limit, on_embedding=on_embedding
+            )
+        bridged_query, bridged_data = bridge_graphs(query, data)
+        n = query.num_vertices
+
+        stripped_callback = None
+        if on_embedding is not None:
+
+            def stripped_callback(embedding: Embedding) -> None:
+                on_embedding(embedding[:n])
+
+        result = self._matcher.match(
+            bridged_query,
+            bridged_data,
+            limit=limit,
+            time_limit=time_limit,
+            on_embedding=stripped_callback,
+        )
+        result.embeddings = [embedding[:n] for embedding in result.embeddings]
+        return result

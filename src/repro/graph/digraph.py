@@ -1,0 +1,251 @@
+"""Rooted directed acyclic graphs over query vertices.
+
+A :class:`RootedDAG` is the orientation of a query graph produced by
+BuildDAG (paper §3): it keeps the *same* vertex ids and labels as the
+underlying query graph and assigns a direction to every query edge so that
+there is a single root with no incoming edges.  Matching-order machinery
+(topological orders, parents/children, ancestors, tree-like paths) lives
+here; the BuildDAG *policy* (how to pick the root and the BFS order, which
+needs data-graph statistics) lives in :mod:`repro.core.dag`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .graph import Graph, GraphError
+
+
+class RootedDAG:
+    """A rooted DAG sharing vertex ids with a query graph.
+
+    Parameters
+    ----------
+    query:
+        The undirected query graph this DAG orients.
+    edges:
+        Directed edges ``(parent, child)``; must cover *every* edge of
+        ``query`` exactly once (one direction each) so that the DAG carries
+        the full pruning power of the query (paper §1 challenge 1).
+    root:
+        The unique vertex with no incoming edges.
+    """
+
+    __slots__ = (
+        "query",
+        "root",
+        "_children",
+        "_parents",
+        "_topological",
+        "_topo_rank",
+        "_ancestor_mask",
+    )
+
+    def __init__(self, query: Graph, edges: Iterable[tuple[int, int]], root: int) -> None:
+        query._require_frozen()
+        n = query.num_vertices
+        children: list[list[int]] = [[] for _ in range(n)]
+        parents: list[list[int]] = [[] for _ in range(n)]
+        seen: set[tuple[int, int]] = set()
+        for parent, child in edges:
+            key = (parent, child) if parent < child else (child, parent)
+            if key in seen:
+                raise GraphError(f"edge {key} oriented twice")
+            if not query.has_edge(parent, child):
+                raise GraphError(f"directed edge ({parent}, {child}) is not a query edge")
+            seen.add(key)
+            children[parent].append(child)
+            parents[child].append(parent)
+        if len(seen) != query.num_edges:
+            raise GraphError(
+                f"DAG covers {len(seen)} of {query.num_edges} query edges; "
+                "every query edge must be oriented"
+            )
+        self.query = query
+        self.root = root
+        self._children = tuple(tuple(c) for c in children)
+        self._parents = tuple(tuple(p) for p in parents)
+        self._topological = self._compute_topological_order()
+        if self._topological[0] != root or self._parents[root]:
+            raise GraphError(f"vertex {root} is not the unique root")
+        roots = [v for v in range(n) if not self._parents[v]]
+        if roots != [root]:
+            raise GraphError(f"expected single root {root}, found roots {roots}")
+        self._topo_rank = tuple(
+            rank for rank, _ in sorted(enumerate(self._topological), key=lambda rv: rv[1])
+        )
+        self._ancestor_mask = self._compute_ancestor_masks()
+
+    # ------------------------------------------------------------------
+    def _compute_topological_order(self) -> tuple[int, ...]:
+        """Kahn's algorithm; raises if the orientation has a cycle."""
+        n = self.query.num_vertices
+        indegree = [len(self._parents[v]) for v in range(n)]
+        # A deterministic order keeps every run (and every test) identical:
+        # among ready vertices, smaller ids first.
+        ready = sorted(v for v in range(n) if indegree[v] == 0)
+        order: list[int] = []
+        import heapq
+
+        heapq.heapify(ready)
+        while ready:
+            v = heapq.heappop(ready)
+            order.append(v)
+            for c in self._children[v]:
+                indegree[c] -= 1
+                if indegree[c] == 0:
+                    heapq.heappush(ready, c)
+        if len(order) != n:
+            raise GraphError("edge orientation contains a cycle")
+        return tuple(order)
+
+    def _compute_ancestor_masks(self) -> tuple[int, ...]:
+        """Bitmask per vertex of all its ancestors *including itself*.
+
+        anc(u) in the paper (§6.1) includes u; unions of these masks are the
+        failing sets, so we precompute them once per query.
+        """
+        masks = [0] * self.query.num_vertices
+        for v in self._topological:
+            mask = 1 << v
+            for p in self._parents[v]:
+                mask |= masks[p]
+            masks[v] = mask
+        return tuple(masks)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.query.num_vertices
+
+    def children(self, v: int) -> tuple[int, ...]:
+        return self._children[v]
+
+    def parents(self, v: int) -> tuple[int, ...]:
+        return self._parents[v]
+
+    def topological_order(self) -> tuple[int, ...]:
+        return self._topological
+
+    def topo_rank(self, v: int) -> int:
+        """Position of ``v`` in the canonical topological order."""
+        return self._topo_rank[v]
+
+    def ancestor_mask(self, v: int) -> int:
+        """Bitmask of ancestors of ``v`` in the DAG, including ``v``."""
+        return self._ancestor_mask[v]
+
+    def ancestors(self, v: int) -> frozenset[int]:
+        """anc(v): all ancestors of ``v`` including ``v`` itself."""
+        mask = self._ancestor_mask[v]
+        return frozenset(u for u in range(self.num_vertices) if mask >> u & 1)
+
+    def is_leaf(self, v: int) -> bool:
+        """A DAG leaf has no outgoing edges."""
+        return not self._children[v]
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for parent in range(self.num_vertices):
+            for child in self._children[parent]:
+                yield (parent, child)
+
+    def reverse(self) -> "ReversedDAG":
+        """The reverse DAG q_D^{-1} used by alternating refinement (§4)."""
+        return ReversedDAG(self)
+
+    # ------------------------------------------------------------------
+    # Tree-like paths (paper §5.2, Definition 5.3)
+    # ------------------------------------------------------------------
+    def single_parent_children(self, v: int) -> tuple[int, ...]:
+        """Children of ``v`` whose only parent is ``v``.
+
+        These are the vertices a tree-like path may continue through.
+        """
+        return tuple(c for c in self._children[v] if len(self._parents[c]) == 1)
+
+    def maximal_tree_like_paths(self, start: int) -> list[tuple[int, ...]]:
+        """All maximal tree-like paths starting at ``start`` (Def. 5.3).
+
+        A path is tree-like when every vertex after the leading one has
+        exactly one parent; it is maximal when no tree-like extension
+        exists.  Exposed mainly for tests and for explaining the weight
+        array — the weight computation itself (ordering.py) uses the same
+        recursion without materializing paths.
+        """
+        paths: list[tuple[int, ...]] = []
+
+        def extend(path: list[int]) -> None:
+            tip = path[-1]
+            extensions = self.single_parent_children(tip)
+            if not extensions:
+                paths.append(tuple(path))
+                return
+            for c in extensions:
+                path.append(c)
+                extend(path)
+                path.pop()
+
+        extend([start])
+        return paths
+
+    def __repr__(self) -> str:
+        return (
+            f"RootedDAG(root={self.root}, |V|={self.num_vertices}, "
+            f"|E|={self.query.num_edges})"
+        )
+
+
+class ReversedDAG:
+    """Read-only reverse view of a :class:`RootedDAG` (q_D^{-1}, §4).
+
+    The reverse of a rooted DAG generally has several sources, so it is not
+    itself a RootedDAG; DAG-graph DP only needs children and a reverse
+    topological order, which this view provides.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: RootedDAG) -> None:
+        self.base = base
+
+    @property
+    def query(self) -> Graph:
+        return self.base.query
+
+    @property
+    def num_vertices(self) -> int:
+        return self.base.num_vertices
+
+    def children(self, v: int) -> tuple[int, ...]:
+        return self.base.parents(v)
+
+    def parents(self, v: int) -> tuple[int, ...]:
+        return self.base.children(v)
+
+    def topological_order(self) -> tuple[int, ...]:
+        return tuple(reversed(self.base.topological_order()))
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for parent, child in self.base.edges():
+            yield (child, parent)
+
+    def __repr__(self) -> str:
+        return f"ReversedDAG(of={self.base!r})"
+
+
+def path_tree_size(dag: RootedDAG) -> int:
+    """Number of vertices of the path tree of ``dag`` (Definition 4.4).
+
+    The path tree shares common prefixes of root-to-leaf paths; its size is
+    exponential in the worst case, so this is for analysis/tests only and
+    never used by matching itself.
+    """
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def subtree(v: int) -> int:
+        return 1 + sum(subtree(c) for c in dag.children(v))
+
+    return subtree(dag.root)

@@ -1,0 +1,195 @@
+"""Random labeled graph generators.
+
+These produce the synthetic data graphs the benchmark suite runs on.  The
+paper evaluates on six real protein/social/bibliographic graphs; offline we
+generate graphs that match their published vertex/edge/label statistics
+(see :mod:`repro.datasets.registry`), built on the primitives here:
+
+- :func:`gnm_random_graph` — uniform G(n, m), the simplest substrate.
+- :func:`power_law_graph` — preferential-attachment-style graphs whose
+  heavy-tailed degree distribution matches real networks (the statistic
+  that drives candidate-set skew and therefore matching difficulty).
+- :func:`random_labels` / :func:`power_law_labels` — uniform and Zipfian
+  label assignment (the paper assigns random labels to Email/DBLP/Twitter
+  and the sensitivity analysis uses power-law labels).
+
+Every generator takes an explicit ``random.Random`` so workloads are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .graph import Graph
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def random_labels(
+    num_vertices: int, num_labels: int, rng: random.Random
+) -> list[int]:
+    """Uniform labels ``0..num_labels-1``, one per vertex."""
+    _require(num_labels >= 1, "need at least one label")
+    return [rng.randrange(num_labels) for _ in range(num_vertices)]
+
+
+def power_law_labels(
+    num_vertices: int,
+    num_labels: int,
+    rng: random.Random,
+    exponent: float = 1.5,
+) -> list[int]:
+    """Zipf-distributed labels: label ``i`` has weight ``(i+1)^-exponent``.
+
+    The sensitivity analysis (Fig. 11) assigns labels "according to
+    power-laws"; skewed label frequencies are also what make the initial
+    candidate sets of real datasets skewed.
+    """
+    _require(num_labels >= 1, "need at least one label")
+    weights = [(i + 1) ** -exponent for i in range(num_labels)]
+    return rng.choices(range(num_labels), weights=weights, k=num_vertices)
+
+
+def gnm_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    labels: Sequence[object],
+    rng: random.Random,
+) -> Graph:
+    """A uniform simple graph with exactly ``num_edges`` edges."""
+    _require(len(labels) == num_vertices, "one label per vertex required")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    _require(num_edges <= max_edges, f"at most {max_edges} edges fit in a simple graph")
+    graph = Graph()
+    for label in labels:
+        graph.add_vertex(label)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key not in chosen:
+            chosen.add(key)
+            graph.add_edge(*key)
+    return graph.freeze()
+
+
+def power_law_graph(
+    num_vertices: int,
+    num_edges: int,
+    labels: Sequence[object],
+    rng: random.Random,
+    clustering: float = 0.3,
+) -> Graph:
+    """A heavy-tailed, clustered simple graph with exactly ``num_edges``
+    edges.
+
+    Endpoints are drawn from a growing repeated-endpoint pool (Chung-Lu /
+    preferential-attachment flavour): each inserted edge re-adds both
+    endpoints to the pool, so high-degree vertices keep attracting edges.
+    A ``clustering`` fraction of edges instead *close wedges* — they
+    connect two neighbors of a pool vertex — giving the high clustering
+    coefficients of real protein/social networks (without it, small
+    walk-induced subgraphs are locally tree-like and dense query classes
+    cannot exist).  A uniform draw is mixed in so low-degree vertices
+    stay reachable and the generator cannot stall on small dense graphs.
+    """
+    _require(len(labels) == num_vertices, "one label per vertex required")
+    _require(0.0 <= clustering <= 1.0, "clustering must be in [0, 1]")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    _require(num_edges <= max_edges, f"at most {max_edges} edges fit in a simple graph")
+    graph = Graph()
+    for label in labels:
+        graph.add_vertex(label)
+    pool: list[int] = list(range(num_vertices))
+    adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+    chosen: set[tuple[int, int]] = set()
+    stall = 0
+    while len(chosen) < num_edges:
+        # Escalating uniform mixing defeats stalls near the dense limit.
+        if stall > 20:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+        elif rng.random() < clustering:
+            # Triangle closure: connect two neighbors of a pool vertex.
+            w = pool[rng.randrange(len(pool))]
+            neighbors = adjacency[w]
+            if len(neighbors) < 2:
+                stall += 1
+                continue
+            u = neighbors[rng.randrange(len(neighbors))]
+            v = neighbors[rng.randrange(len(neighbors))]
+        else:
+            u = pool[rng.randrange(len(pool))]
+            v = pool[rng.randrange(len(pool))] if rng.random() < 0.7 else rng.randrange(num_vertices)
+        if u == v:
+            stall += 1
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in chosen:
+            stall += 1
+            continue
+        stall = 0
+        chosen.add(key)
+        graph.add_edge(*key)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        pool.append(u)
+        pool.append(v)
+    return graph.freeze()
+
+
+def ensure_connected(graph: Graph, rng: random.Random) -> Graph:
+    """Return a connected variant of ``graph``.
+
+    Components are linked by adding one random edge between consecutive
+    components (edge count grows by ``#components - 1``).  The input graph
+    is not modified.
+    """
+    from .properties import connected_components
+
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    patched = graph.copy()
+    anchor_component = components[0]
+    for component in components[1:]:
+        u = rng.choice(anchor_component)
+        v = rng.choice(component)
+        patched.add_edge(u, v)
+        anchor_component = anchor_component + component
+    return patched.freeze()
+
+
+def complete_graph(labels: Sequence[object]) -> Graph:
+    """K_n over the given labels (negative-query experiments add edges
+    until queries become complete graphs, Fig. 14)."""
+    n = len(labels)
+    return Graph(labels=labels, edges=[(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def cycle_graph(labels: Sequence[object]) -> Graph:
+    """C_n over the given labels."""
+    n = len(labels)
+    _require(n >= 3, "a cycle needs at least 3 vertices")
+    return Graph(labels=labels, edges=[(i, (i + 1) % n) for i in range(n)])
+
+
+def path_graph(labels: Sequence[object]) -> Graph:
+    """P_n over the given labels."""
+    n = len(labels)
+    _require(n >= 1, "a path needs at least 1 vertex")
+    return Graph(labels=labels, edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def star_graph(center_label: object, leaf_labels: Sequence[object]) -> Graph:
+    """A star: vertex 0 is the center."""
+    labels = [center_label, *leaf_labels]
+    return Graph(labels=labels, edges=[(0, i) for i in range(1, len(labels))])

@@ -1,0 +1,186 @@
+"""Graph file I/O.
+
+Two formats are supported:
+
+1. The community subgraph-matching format used by the datasets of
+   Turbo_iso / CFL-Match / DAF and most follow-up studies::
+
+       t <num-vertices> <num-edges>
+       v <vertex-id> <label> <degree>
+       ...
+       e <src> <dst>
+       ...
+
+   The degree column is redundant (derivable from the edge list) and is
+   validated, not trusted.  ``#`` starts a comment; blank lines are
+   ignored.
+
+2. A plain labeled edge list (``write_edge_list`` / ``read_edge_list``)::
+
+       <num-vertices>
+       <vertex-id> <label>           # one line per vertex
+       <src> <dst>                   # one line per edge
+
+Both readers return frozen :class:`~repro.graph.graph.Graph` objects and
+raise :class:`GraphFormatError` with line numbers on malformed input.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .graph import Graph
+
+PathLike = Union[str, Path]
+
+
+class GraphFormatError(ValueError):
+    """Raised when a graph file is malformed."""
+
+
+def _open_for_read(source: Union[PathLike, TextIO]) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _significant_lines(stream: TextIO):
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield lineno, line
+
+
+def read_cfl(source: Union[PathLike, TextIO]) -> Graph:
+    """Read a graph in the ``t/v/e`` community format."""
+    stream, owned = _open_for_read(source)
+    try:
+        lines = _significant_lines(stream)
+        try:
+            lineno, header = next(lines)
+        except StopIteration:
+            raise GraphFormatError("empty graph file") from None
+        parts = header.split()
+        if parts[0] != "t" or len(parts) != 3:
+            raise GraphFormatError(f"line {lineno}: expected 't <n> <m>' header, got {header!r}")
+        try:
+            num_vertices, num_edges = int(parts[1]), int(parts[2])
+        except ValueError:
+            raise GraphFormatError(f"line {lineno}: non-integer counts in header") from None
+
+        graph = Graph()
+        declared_degrees: list[int] = []
+        edges_seen = 0
+        for lineno, line in lines:
+            parts = line.split()
+            if parts[0] == "v":
+                if len(parts) not in (3, 4):
+                    raise GraphFormatError(f"line {lineno}: expected 'v <id> <label> [deg]'")
+                vid = int(parts[1])
+                if vid != len(declared_degrees):
+                    raise GraphFormatError(
+                        f"line {lineno}: vertex ids must be consecutive from 0, got {vid}"
+                    )
+                graph.add_vertex(parts[2])
+                declared_degrees.append(int(parts[3]) if len(parts) == 4 else -1)
+            elif parts[0] == "e":
+                if len(parts) < 3:
+                    raise GraphFormatError(f"line {lineno}: expected 'e <src> <dst>'")
+                graph.add_edge(int(parts[1]), int(parts[2]))
+                edges_seen += 1
+            else:
+                raise GraphFormatError(f"line {lineno}: unknown record type {parts[0]!r}")
+
+        if graph.num_vertices != num_vertices:
+            raise GraphFormatError(
+                f"header declares {num_vertices} vertices, file has {graph.num_vertices}"
+            )
+        if edges_seen != num_edges:
+            raise GraphFormatError(f"header declares {num_edges} edges, file has {edges_seen}")
+        graph.freeze()
+        for v, declared in enumerate(declared_degrees):
+            if declared >= 0 and graph.degree(v) != declared:
+                raise GraphFormatError(
+                    f"vertex {v}: declared degree {declared} != actual {graph.degree(v)}"
+                )
+        return graph
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_cfl(graph: Graph, target: Union[PathLike, TextIO]) -> None:
+    """Write ``graph`` in the ``t/v/e`` community format."""
+    graph._require_frozen()
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as stream:
+            write_cfl(graph, stream)
+        return
+    target.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+    for v in graph.vertices():
+        target.write(f"v {v} {graph.label(v)} {graph.degree(v)}\n")
+    for u, v in graph.edges():
+        target.write(f"e {u} {v}\n")
+
+
+def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
+    """Read a graph from the plain labeled edge-list format."""
+    stream, owned = _open_for_read(source)
+    try:
+        lines = _significant_lines(stream)
+        try:
+            lineno, first = next(lines)
+            num_vertices = int(first)
+        except StopIteration:
+            raise GraphFormatError("empty graph file") from None
+        except ValueError:
+            raise GraphFormatError(f"line {lineno}: expected vertex count") from None
+        graph = Graph()
+        for _ in range(num_vertices):
+            try:
+                lineno, line = next(lines)
+            except StopIteration:
+                raise GraphFormatError("truncated vertex section") from None
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(f"line {lineno}: expected '<id> <label>'")
+            if int(parts[0]) != graph.num_vertices:
+                raise GraphFormatError(f"line {lineno}: vertex ids must be consecutive from 0")
+            graph.add_vertex(parts[1])
+        for lineno, line in lines:
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(f"line {lineno}: expected '<src> <dst>'")
+            graph.add_edge(int(parts[0]), int(parts[1]))
+        return graph.freeze()
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_edge_list(graph: Graph, target: Union[PathLike, TextIO]) -> None:
+    """Write ``graph`` in the plain labeled edge-list format."""
+    graph._require_frozen()
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as stream:
+            write_edge_list(graph, stream)
+        return
+    target.write(f"{graph.num_vertices}\n")
+    for v in graph.vertices():
+        target.write(f"{v} {graph.label(v)}\n")
+    for u, v in graph.edges():
+        target.write(f"{u} {v}\n")
+
+
+def graph_from_string(text: str) -> Graph:
+    """Parse a ``t/v/e`` graph from an inline string (tests, examples)."""
+    return read_cfl(io.StringIO(text))
+
+
+def graph_to_string(graph: Graph) -> str:
+    """Serialize ``graph`` to a ``t/v/e`` string."""
+    buffer = io.StringIO()
+    write_cfl(graph, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,95 @@
+"""NetworkX interoperability.
+
+Most Python graph pipelines live in networkx; these converters bridge to
+and from :class:`repro.graph.graph.Graph` so downstream users can feed
+existing graphs straight into the matchers.
+
+networkx is an *optional* dependency: it is imported lazily, and the rest
+of the library never touches it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from .graph import Graph
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env-dependent
+        raise ImportError(
+            "networkx is required for the interop helpers; install it or "
+            "build repro.Graph objects directly"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph,
+    label_attribute: str = "label",
+    default_label: Hashable = "_",
+) -> tuple[Graph, dict[Hashable, int]]:
+    """Convert an undirected networkx graph to a frozen :class:`Graph`.
+
+    Vertex labels come from the ``label_attribute`` node attribute
+    (``default_label`` when missing).  Node names may be arbitrary
+    hashables; the returned mapping takes each networkx node to its dense
+    vertex id.  Directed graphs, multigraphs and self-loops are rejected
+    — the matchers operate on simple undirected graphs (paper §2).
+    """
+    networkx = _require_networkx()
+    if nx_graph.is_directed():
+        raise ValueError("directed graphs are not supported; use .to_undirected() first")
+    if nx_graph.is_multigraph():
+        raise ValueError("multigraphs are not supported; collapse parallel edges first")
+    if any(u == v for u, v in nx_graph.edges()):
+        raise ValueError("self-loops are not supported; remove them first")
+    graph = Graph()
+    node_to_id: dict[Hashable, int] = {}
+    for node in nx_graph.nodes():
+        label = nx_graph.nodes[node].get(label_attribute, default_label)
+        node_to_id[node] = graph.add_vertex(label)
+    for u, v in nx_graph.edges():
+        graph.add_edge(node_to_id[u], node_to_id[v])
+    return graph.freeze(), node_to_id
+
+
+def to_networkx(graph: Graph, label_attribute: str = "label"):
+    """Convert a frozen :class:`Graph` to a networkx ``Graph``.
+
+    Vertex ids become node names; labels land in ``label_attribute``.
+    """
+    networkx = _require_networkx()
+    graph._require_frozen()
+    nx_graph = networkx.Graph()
+    for v in graph.vertices():
+        nx_graph.add_node(v, **{label_attribute: graph.label(v)})
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def match_networkx(
+    query,
+    data,
+    limit: int = 100_000,
+    time_limit: Optional[float] = None,
+    label_attribute: str = "label",
+    config=None,
+) -> list[dict[Hashable, Hashable]]:
+    """Find embeddings between two networkx graphs directly.
+
+    Returns a list of dicts mapping query node names to data node names.
+    """
+    from ..core.matcher import DAFMatcher
+
+    q, q_map = from_networkx(query, label_attribute=label_attribute)
+    d, d_map = from_networkx(data, label_attribute=label_attribute)
+    q_names = {i: name for name, i in q_map.items()}
+    d_names = {i: name for name, i in d_map.items()}
+    result = DAFMatcher(config).match(q, d, limit=limit, time_limit=time_limit)
+    return [
+        {q_names[u]: d_names[v] for u, v in enumerate(embedding)}
+        for embedding in result.embeddings
+    ]

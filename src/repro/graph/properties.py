@@ -1,0 +1,148 @@
+"""Structural graph properties used across the library.
+
+All functions take frozen :class:`~repro.graph.graph.Graph` objects.  These
+are the properties the paper's workload generation and evaluation rely on:
+connectivity (query graphs must be connected), diameter (a Fig. 11
+sensitivity axis), the 2-core (CFL-Match's core-forest-leaf decomposition),
+and degree-one vertex sets (DAF's leaf decomposition, §3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .graph import Graph
+
+
+def connected_components(graph: Graph) -> list[list[int]]:
+    """Connected components, each a sorted vertex list, in id order."""
+    graph._require_frozen()
+    seen = [False] * graph.num_vertices
+    components: list[list[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    component.append(w)
+                    queue.append(w)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph has exactly one connected component.
+
+    The empty graph is considered disconnected (it has no component),
+    matching the paper's setting of non-empty connected query graphs.
+    """
+    if graph.num_vertices == 0:
+        return False
+    return len(connected_components(graph)) == 1
+
+
+def bfs_levels(graph: Graph, root: int) -> list[list[int]]:
+    """Vertices grouped by BFS distance from ``root`` (level 0 = root).
+
+    Unreachable vertices are omitted.
+    """
+    graph._require_frozen()
+    dist = {root: 0}
+    levels: list[list[int]] = [[root]]
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if w not in dist:
+                dist[w] = dist[v] + 1
+                if dist[w] == len(levels):
+                    levels.append([])
+                levels[dist[w]].append(w)
+                queue.append(w)
+    return levels
+
+
+def eccentricity(graph: Graph, v: int) -> int:
+    """Largest BFS distance from ``v`` to any reachable vertex."""
+    return len(bfs_levels(graph, v)) - 1
+
+
+def diameter(graph: Graph) -> int:
+    """Exact diameter of a connected graph (max pairwise distance).
+
+    O(|V| * |E|); fine for query graphs and the scaled data graphs used in
+    tests.  Raises ``ValueError`` on disconnected input, where the diameter
+    is undefined.
+    """
+    if not is_connected(graph):
+        raise ValueError("diameter is undefined for disconnected graphs")
+    return max(eccentricity(graph, v) for v in graph.vertices())
+
+
+def degree_one_vertices(graph: Graph) -> tuple[int, ...]:
+    """Vertices with degree exactly one (DAF's leaf decomposition, §3)."""
+    graph._require_frozen()
+    return tuple(v for v in graph.vertices() if graph.degree(v) == 1)
+
+
+def k_core_vertices(graph: Graph, k: int) -> frozenset[int]:
+    """Vertices of the maximal subgraph with minimum degree >= k.
+
+    ``k_core_vertices(g, 2)`` is the *core* of CFL-Match's core-forest-leaf
+    decomposition: repeatedly delete vertices of degree < k.
+    """
+    graph._require_frozen()
+    degree = list(graph.degrees)
+    removed = [False] * graph.num_vertices
+    queue = deque(v for v in graph.vertices() if degree[v] < k)
+    while queue:
+        v = queue.popleft()
+        if removed[v]:
+            continue
+        removed[v] = True
+        for w in graph.neighbors(v):
+            if not removed[w]:
+                degree[w] -= 1
+                if degree[w] < k:
+                    queue.append(w)
+    return frozenset(v for v in graph.vertices() if not removed[v])
+
+
+def spanning_tree_edges(graph: Graph, root: int) -> list[tuple[int, int]]:
+    """BFS spanning-tree edges ``(parent, child)`` from ``root``.
+
+    Used by the spanning-tree-based baselines (Turbo_iso, CFL-Match,
+    QuickSI's default tree).
+    """
+    graph._require_frozen()
+    parent = {root: root}
+    edges: list[tuple[int, int]] = []
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if w not in parent:
+                parent[w] = v
+                edges.append((v, w))
+                queue.append(w)
+    return edges
+
+
+def non_tree_edges(
+    graph: Graph, tree_edges: Iterable[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Edges of ``graph`` absent from ``tree_edges`` (as undirected pairs)."""
+    tree = {(min(u, v), max(u, v)) for u, v in tree_edges}
+    return [(u, v) for u, v in graph.edges() if (u, v) not in tree]
+
+
+def density_class(graph: Graph, threshold: float = 3.0) -> str:
+    """The paper's sparse/non-sparse query split (§7): avg-deg <= 3 is sparse."""
+    return "sparse" if graph.average_degree() <= threshold else "non-sparse"

@@ -1,0 +1,152 @@
+"""Query extraction by random walk (paper §7, "Query Graphs").
+
+The paper generates each query as a connected subgraph of the data graph:
+perform a random walk until ``i`` distinct vertices are visited, then take
+those vertices and *some* edges between them.  Sampling from the data graph
+guarantees every (positive) query has at least one embedding.
+
+:func:`random_walk_vertices` implements the walk, and
+:func:`extract_query` builds a query graph over the walked vertices with a
+controllable edge density so the sparse (avg-deg <= 3) and non-sparse
+query classes Q_iS / Q_iN can both be hit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .graph import Graph
+from .properties import is_connected
+
+
+class SamplingError(RuntimeError):
+    """Raised when a walk or density target cannot be satisfied."""
+
+
+def random_walk_vertices(
+    graph: Graph,
+    num_vertices: int,
+    rng: random.Random,
+    start: Optional[int] = None,
+    max_steps: Optional[int] = None,
+) -> list[int]:
+    """Distinct vertices collected by a random walk on ``graph``.
+
+    The walk restarts from a fresh random vertex if it gets stuck in a
+    small component.  Raises :class:`SamplingError` if ``num_vertices``
+    distinct vertices cannot be collected within ``max_steps`` steps
+    (default ``200 * num_vertices``).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    if num_vertices > graph.num_vertices:
+        raise SamplingError(
+            f"cannot sample {num_vertices} vertices from a graph with "
+            f"{graph.num_vertices}"
+        )
+    if max_steps is None:
+        max_steps = 200 * num_vertices
+    current = start if start is not None else rng.randrange(graph.num_vertices)
+    visited: dict[int, None] = {current: None}  # insertion-ordered set
+    steps = 0
+    while len(visited) < num_vertices:
+        steps += 1
+        if steps > max_steps:
+            raise SamplingError(
+                f"random walk collected only {len(visited)} of {num_vertices} "
+                f"vertices in {max_steps} steps"
+            )
+        neighbors = graph.neighbors(current)
+        if not neighbors:
+            current = rng.randrange(graph.num_vertices)
+            visited.setdefault(current, None)
+            continue
+        current = neighbors[rng.randrange(len(neighbors))]
+        visited.setdefault(current, None)
+    return list(visited)
+
+
+def extract_query(
+    graph: Graph,
+    num_vertices: int,
+    rng: random.Random,
+    keep_edge_probability: float = 1.0,
+    max_attempts: int = 50,
+) -> tuple[Graph, dict[int, int]]:
+    """Extract a connected query of ``num_vertices`` vertices from ``graph``.
+
+    Returns ``(query, query_vertex -> data_vertex map)``.  The query's
+    vertex set comes from a random walk; its edge set is the induced edge
+    set thinned by ``keep_edge_probability`` (1.0 keeps the full induced
+    subgraph).  Thinning that disconnects the query is retried, and a BFS
+    spanning tree of the induced subgraph is always kept so connectivity
+    survives aggressive thinning.
+    """
+    if not 0.0 <= keep_edge_probability <= 1.0:
+        raise ValueError("keep_edge_probability must be in [0, 1]")
+    last_error: Optional[Exception] = None
+    for _ in range(max_attempts):
+        try:
+            walked = random_walk_vertices(graph, num_vertices, rng)
+        except SamplingError as exc:
+            last_error = exc
+            continue
+        induced, old_to_new = graph.induced_subgraph(walked)
+        if not is_connected(induced):
+            # The walk itself is connected through walk edges, but the
+            # *induced* subgraph is connected too since walk edges are
+            # induced edges.  This branch guards against future sampling
+            # strategies; it cannot trigger for random walks.
+            last_error = SamplingError("induced subgraph disconnected")
+            continue
+        query = _thin_edges(induced, keep_edge_probability, rng)
+        new_to_old = {new: old for old, new in old_to_new.items()}
+        return query, new_to_old
+    raise SamplingError(f"query extraction failed after {max_attempts} attempts: {last_error}")
+
+
+def _thin_edges(induced: Graph, keep_probability: float, rng: random.Random) -> Graph:
+    """Drop non-spanning-tree edges with probability ``1 - keep_probability``."""
+    if keep_probability >= 1.0:
+        return induced
+    from .properties import non_tree_edges, spanning_tree_edges
+
+    tree = spanning_tree_edges(induced, root=0)
+    optional = non_tree_edges(induced, tree)
+    thinned = Graph()
+    for v in induced.vertices():
+        thinned.add_vertex(induced.label(v))
+    for u, v in tree:
+        thinned.add_edge(min(u, v), max(u, v))
+    for u, v in optional:
+        if rng.random() < keep_probability:
+            thinned.add_edge(u, v)
+    return thinned.freeze()
+
+
+def extract_query_with_degree(
+    graph: Graph,
+    num_vertices: int,
+    rng: random.Random,
+    min_avg_degree: float = 0.0,
+    max_avg_degree: float = float("inf"),
+    max_attempts: int = 200,
+) -> tuple[Graph, dict[int, int]]:
+    """Extract a query whose average degree falls in the requested band.
+
+    This is how the paper's sparse (avg-deg <= 3) and non-sparse
+    (avg-deg > 3) query sets are produced: sample, then accept/reject on
+    density, adjusting edge thinning to steer toward the band.
+    """
+    for attempt in range(max_attempts):
+        # Sweep the thinning knob: start with the full induced subgraph
+        # (densest) and progressively thin if we keep overshooting.
+        keep = max(0.0, 1.0 - (attempt % 10) * 0.1)
+        query, mapping = extract_query(graph, num_vertices, rng, keep_edge_probability=keep)
+        if min_avg_degree <= query.average_degree() <= max_avg_degree:
+            return query, mapping
+    raise SamplingError(
+        f"no query of {num_vertices} vertices with avg degree in "
+        f"[{min_avg_degree}, {max_avg_degree}] found in {max_attempts} attempts"
+    )

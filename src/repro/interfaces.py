@@ -1,0 +1,212 @@
+"""Shared matcher interface, result objects, and search accounting.
+
+Every matcher in this library — DAF and all seven baselines — implements
+the same contract so the benchmark harness can treat them uniformly and so
+*recursive calls*, the paper's machine-independent cost metric (§5.3), is
+counted the same way everywhere:
+
+- a matcher is constructed once (possibly with algorithm options) and
+  invoked as ``matcher.match(query, data, limit=..., time_limit=...)``;
+- the result carries the embeddings found (each a tuple mapping query
+  vertex ``i`` to its data vertex), a :class:`SearchStats` record, and
+  flags for limit/timeout termination;
+- an *embedding* follows the paper's §2 definition: label-preserving,
+  edge-preserving, and injective.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .graph.graph import Graph
+
+Embedding = tuple[int, ...]
+
+#: Default number of embeddings to enumerate before stopping, mirroring the
+#: paper's k = 10^5 (we default lower because pure Python pays ~3 orders of
+#: magnitude more per recursive call than the authors' C++).
+DEFAULT_LIMIT = 100_000
+
+
+@dataclass
+class SearchStats:
+    """Cost accounting for one ``match()`` invocation.
+
+    Attributes
+    ----------
+    recursive_calls:
+        Nodes of the backtracking search tree that were *examined* — every
+        entry into the recursive extend step, including nodes that fail
+        immediately.  This is the paper's primary comparison metric.
+    embeddings_found:
+        Full embeddings reported (bounded by the limit).
+    candidates_total:
+        Sum over query vertices of the final candidate-set sizes — the
+        auxiliary-structure size measure of Fig. 9.
+    filter_iterations:
+        Refinement passes the candidate-space construction performed.
+    preprocess_seconds / search_seconds:
+        Wall-clock split (Fig. 12 reports this breakdown).
+    """
+
+    recursive_calls: int = 0
+    embeddings_found: int = 0
+    candidates_total: int = 0
+    filter_iterations: int = 0
+    preprocess_seconds: float = 0.0
+    search_seconds: float = 0.0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.preprocess_seconds + self.search_seconds
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one ``match()`` invocation."""
+
+    embeddings: list[Embedding] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+    limit_reached: bool = False
+    timed_out: bool = False
+
+    @property
+    def solved(self) -> bool:
+        """Paper §7: a query is *solved* if it finished within the limit."""
+        return not self.timed_out
+
+    @property
+    def count(self) -> int:
+        return self.stats.embeddings_found
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.limit_reached:
+            flags.append("limit")
+        if self.timed_out:
+            flags.append("timeout")
+        suffix = f", {'+'.join(flags)}" if flags else ""
+        return (
+            f"MatchResult(count={self.count}, "
+            f"calls={self.stats.recursive_calls}{suffix})"
+        )
+
+
+class TimeoutSignal(Exception):
+    """Internal control-flow signal raised when the deadline passes."""
+
+
+class Deadline:
+    """A cheap cooperative deadline checker.
+
+    ``time.perf_counter()`` is too expensive to call on every recursive
+    step of a hot search loop, so the deadline is polled every
+    ``check_interval`` ticks.
+    """
+
+    __slots__ = ("_deadline", "_interval", "_countdown")
+
+    def __init__(self, seconds: Optional[float], check_interval: int = 256) -> None:
+        self._deadline = None if seconds is None else time.perf_counter() + seconds
+        self._interval = check_interval
+        self._countdown = check_interval
+
+    def tick(self) -> None:
+        """Raise :class:`TimeoutSignal` if the deadline has passed."""
+        if self._deadline is None:
+            return
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self._interval
+            if time.perf_counter() > self._deadline:
+                raise TimeoutSignal
+
+    def expired(self) -> bool:
+        return self._deadline is not None and time.perf_counter() > self._deadline
+
+
+class Matcher(ABC):
+    """Abstract base for all subgraph-matching algorithms."""
+
+    #: Human-readable algorithm name used in benchmark reports.
+    name: str = "matcher"
+
+    @abstractmethod
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        """Find up to ``limit`` embeddings of ``query`` in ``data``.
+
+        Parameters
+        ----------
+        limit:
+            Stop after this many embeddings (paper: k = 10^5).
+        time_limit:
+            Wall-clock budget in seconds; on expiry the result is returned
+            with ``timed_out=True`` and whatever was found so far.
+        on_embedding:
+            Optional streaming callback invoked for each embedding as it is
+            found (embeddings are still collected in the result).
+        """
+
+    def count(self, query: Graph, data: Graph, **kwargs) -> int:
+        """Convenience: number of embeddings (same kwargs as ``match``)."""
+        return self.match(query, data, **kwargs).count
+
+    def exists(self, query: Graph, data: Graph, **kwargs) -> bool:
+        """Convenience: is there at least one embedding?"""
+        kwargs.pop("limit", None)
+        return self.match(query, data, limit=1, **kwargs).count > 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_inputs(query: Graph, data: Graph) -> None:
+    """Shared input validation for all matchers.
+
+    Matchers require frozen graphs and a non-empty query (an empty query
+    has exactly one trivial embedding, which every published algorithm
+    declines to define; we reject it explicitly).
+    """
+    query._require_frozen()
+    data._require_frozen()
+    if query.num_vertices == 0:
+        raise ValueError("query graph must have at least one vertex")
+
+
+def is_embedding(mapping: Embedding, query: Graph, data: Graph) -> bool:
+    """Check the §2 embedding conditions: injective, label- and
+    edge-preserving.  Used by tests and by defensive assertions."""
+    if len(mapping) != query.num_vertices:
+        return False
+    if len(set(mapping)) != len(mapping):
+        return False
+    for u in query.vertices():
+        if query.label(u) != data.label(mapping[u]):
+            return False
+    for u, w in query.edges():
+        if not data.has_edge(mapping[u], mapping[w]):
+            return False
+    return True
+
+
+def is_induced_embedding(mapping: Embedding, query: Graph, data: Graph) -> bool:
+    """An embedding that additionally maps query non-edges to data
+    non-edges (induced subgraph isomorphism, ``MatchConfig(induced=True)``)."""
+    if not is_embedding(mapping, query, data):
+        return False
+    n = query.num_vertices
+    for u in range(n):
+        for w in range(u + 1, n):
+            if not query.has_edge(u, w) and data.has_edge(mapping[u], mapping[w]):
+                return False
+    return True

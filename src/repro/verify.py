@@ -1,0 +1,137 @@
+"""Result certification: validate and cross-check matcher output.
+
+Subgraph matchers are exactly the kind of code whose bugs produce
+*plausible* wrong answers (a missed embedding looks like a true negative).
+This module provides the checks a downstream user can run cheaply:
+
+- :func:`verify_embeddings` — every reported mapping is a genuine
+  (optionally induced) embedding and the list is duplicate-free;
+- :func:`cross_validate` — run several matchers on the same instance and
+  diff their answer sets (exact when uncapped, count-consistent when the
+  k-limit bites);
+- :func:`certify_negative` — confirm a "no embeddings" answer with an
+  algorithmically unrelated second matcher.
+
+These are also the checks this repository's own CI runs at scale; see
+``tests/test_baselines_agreement.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .graph.graph import Graph
+from .interfaces import Embedding, Matcher, is_embedding, is_induced_embedding
+
+
+class VerificationError(AssertionError):
+    """Raised when a matcher result fails verification."""
+
+
+def verify_embeddings(
+    embeddings: Sequence[Embedding],
+    query: Graph,
+    data: Graph,
+    induced: bool = False,
+) -> None:
+    """Raise :class:`VerificationError` unless every embedding is valid
+    and the sequence has no duplicates."""
+    seen: set[Embedding] = set()
+    check = is_induced_embedding if induced else is_embedding
+    for position, embedding in enumerate(embeddings):
+        if embedding in seen:
+            raise VerificationError(f"duplicate embedding at position {position}: {embedding}")
+        seen.add(embedding)
+        if not check(embedding, query, data):
+            kind = "induced embedding" if induced else "embedding"
+            raise VerificationError(f"invalid {kind} at position {position}: {embedding}")
+
+
+@dataclass
+class CrossValidationReport:
+    """Outcome of running several matchers on one instance."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    capped: dict[str, bool] = field(default_factory=dict)
+    #: Embeddings found by some matcher but not all (only populated when
+    #: no matcher was capped, i.e. the full sets are comparable).
+    disagreements: dict[str, set[Embedding]] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        if any(self.capped.values()):
+            # Capped runs may legitimately return different subsets; only
+            # the "found at least limit" property is comparable.
+            return len(set(self.counts.values())) <= 1 or all(self.capped.values())
+        return not self.disagreements and len(set(self.counts.values())) <= 1
+
+
+def cross_validate(
+    query: Graph,
+    data: Graph,
+    matchers: dict[str, Matcher],
+    limit: int = 10_000,
+    time_limit: Optional[float] = None,
+) -> CrossValidationReport:
+    """Run every matcher and diff the results.
+
+    Each result is first validated with :func:`verify_embeddings`; a
+    matcher returning an invalid embedding raises immediately.  Timed-out
+    matchers are skipped (their partial sets are not comparable).
+    """
+    if len(matchers) < 2:
+        raise ValueError("cross-validation needs at least two matchers")
+    report = CrossValidationReport()
+    full_sets: dict[str, set[Embedding]] = {}
+    for name, matcher in matchers.items():
+        result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+        if result.timed_out:
+            continue
+        verify_embeddings(result.embeddings, query, data)
+        report.counts[name] = result.count
+        report.capped[name] = result.limit_reached
+        full_sets[name] = set(result.embeddings)
+    if full_sets and not any(report.capped.values()):
+        union: set[Embedding] = set()
+        for embeddings in full_sets.values():
+            union |= embeddings
+        for name, embeddings in full_sets.items():
+            missing = union - embeddings
+            if missing:
+                report.disagreements[name] = missing
+    return report
+
+
+def certify_negative(
+    query: Graph,
+    data: Graph,
+    primary: Optional[Matcher] = None,
+    witness: Optional[Matcher] = None,
+    time_limit: Optional[float] = None,
+) -> bool:
+    """Confirm that no embedding exists, using two unrelated matchers.
+
+    Returns ``True`` when both agree on emptiness; raises
+    :class:`VerificationError` if they disagree (a bug in one of them);
+    returns ``False`` if an embedding exists.
+    """
+    from .baselines.vf2 import VF2Matcher
+    from .core.matcher import DAFMatcher
+
+    primary = primary if primary is not None else DAFMatcher()
+    witness = witness if witness is not None else VF2Matcher()
+    primary_result = primary.match(query, data, limit=1, time_limit=time_limit)
+    witness_result = witness.match(query, data, limit=1, time_limit=time_limit)
+    if primary_result.timed_out or witness_result.timed_out:
+        raise VerificationError("certification inconclusive: a matcher timed out")
+    primary_empty = primary_result.count == 0
+    witness_empty = witness_result.count == 0
+    if primary_empty != witness_empty:
+        raise VerificationError(
+            f"matchers disagree on negativity: {type(primary).__name__} says "
+            f"{'negative' if primary_empty else 'positive'}, "
+            f"{type(witness).__name__} says "
+            f"{'negative' if witness_empty else 'positive'}"
+        )
+    return primary_empty

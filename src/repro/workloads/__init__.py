@@ -1,0 +1,29 @@
+"""Workload generation: the paper's query sets and negative queries."""
+
+from .negative import (
+    NegativeBreakdown,
+    add_random_edges,
+    classify_queries,
+    complete_query,
+    perturb_labels,
+)
+from .query_sets import (
+    PAPER_QUERY_SIZES,
+    SPARSE_THRESHOLD,
+    QuerySet,
+    generate_query_set,
+    paper_query_sizes,
+)
+
+__all__ = [
+    "NegativeBreakdown",
+    "PAPER_QUERY_SIZES",
+    "QuerySet",
+    "SPARSE_THRESHOLD",
+    "add_random_edges",
+    "classify_queries",
+    "complete_query",
+    "generate_query_set",
+    "paper_query_sizes",
+    "perturb_labels",
+]

@@ -1,0 +1,107 @@
+"""Negative-query generation and classification (Appendix A.3).
+
+The paper studies matcher behaviour on queries with no embeddings by
+perturbing positive queries in two ways:
+
+- :func:`perturb_labels` — replace the labels of ``k`` random query
+  vertices with random labels from the data graph's alphabet;
+- :func:`add_random_edges` — insert ``k`` random non-edges into the query
+  (``k`` large enough turns the query into a complete graph, the "C"
+  point of Fig. 14).
+
+:func:`classify_queries` partitions a perturbed query set the way Fig. 14
+reports it: positive / negative-with-empty-CS (preprocessing alone proves
+negativity, zero search) / negative-searched / unsolved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.config import MatchConfig
+from ..core.matcher import DAFMatcher
+from ..graph.graph import Graph
+
+
+def perturb_labels(query: Graph, k: int, alphabet: Sequence[object], rng: random.Random) -> Graph:
+    """A copy of ``query`` with ``k`` random vertices relabeled randomly."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    k = min(k, query.num_vertices)
+    victims = rng.sample(range(query.num_vertices), k)
+    new_labels = {u: alphabet[rng.randrange(len(alphabet))] for u in victims}
+    return query.relabeled(new_labels)
+
+
+def add_random_edges(query: Graph, k: int, rng: random.Random) -> Graph:
+    """A copy of ``query`` with up to ``k`` random non-edges added (fewer
+    if the query saturates into a complete graph first)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    n = query.num_vertices
+    non_edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if not query.has_edge(u, v)
+    ]
+    rng.shuffle(non_edges)
+    extended = query.copy()
+    for u, v in non_edges[:k]:
+        extended.add_edge(u, v)
+    return extended.freeze()
+
+
+def complete_query(query: Graph) -> Graph:
+    """The complete graph over the query's labels (Fig. 14's "C" point)."""
+    n = query.num_vertices
+    return add_random_edges(query, n * (n - 1) // 2, random.Random(0))
+
+
+@dataclass
+class NegativeBreakdown:
+    """Fig. 14-style classification of a query set."""
+
+    positive: int = 0
+    negative_empty_cs: int = 0
+    negative_searched: int = 0
+    unsolved: int = 0
+    positive_elapsed: float = 0.0
+    negative_elapsed: float = 0.0
+    negative_searched_elapsed: float = 0.0
+    cs_size_total: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.positive + self.negative_empty_cs + self.negative_searched + self.unsolved
+
+    @property
+    def negative(self) -> int:
+        return self.negative_empty_cs + self.negative_searched
+
+
+def classify_queries(
+    queries: Sequence[Graph],
+    data: Graph,
+    limit: int = 1000,
+    time_limit: Optional[float] = 5.0,
+    config: Optional[MatchConfig] = None,
+) -> NegativeBreakdown:
+    """Run DAF on each query and classify the outcomes (Appendix A.3)."""
+    matcher = DAFMatcher(config)
+    breakdown = NegativeBreakdown()
+    for query in queries:
+        result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+        breakdown.cs_size_total += result.stats.candidates_total
+        if result.timed_out:
+            breakdown.unsolved += 1
+        elif result.count > 0:
+            breakdown.positive += 1
+            breakdown.positive_elapsed += result.stats.elapsed_seconds
+        elif result.stats.candidates_total == 0 or result.stats.recursive_calls == 0:
+            breakdown.negative_empty_cs += 1
+            breakdown.negative_elapsed += result.stats.elapsed_seconds
+        else:
+            breakdown.negative_searched += 1
+            breakdown.negative_elapsed += result.stats.elapsed_seconds
+            breakdown.negative_searched_elapsed += result.stats.elapsed_seconds
+    return breakdown

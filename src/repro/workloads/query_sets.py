@@ -1,0 +1,127 @@
+"""Query-set generation (paper §7, "Query Graphs").
+
+For each data graph the paper builds eight query sets ``Q_iS`` / ``Q_iN``:
+100 connected subgraphs of ``i`` vertices each, extracted by random walk,
+split into *sparse* (avg-deg <= 3) and *non-sparse* (avg-deg > 3).
+:func:`generate_query_set` reproduces that recipe with a configurable
+count; when the data graph simply has no region dense (or sparse) enough
+for the requested class at the requested size, the closest-achievable
+queries are returned and flagged, rather than looping forever — real
+datasets always satisfied the paper's classes, synthetic ones almost
+always do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..graph.graph import Graph
+from ..graph.properties import density_class
+from ..graph.sampling import SamplingError, extract_query
+
+SPARSE_THRESHOLD = 3.0
+
+
+@dataclass
+class QuerySet:
+    """A generated query set with its provenance."""
+
+    dataset: str
+    size: int
+    density: str  # "sparse" | "nonsparse"
+    queries: list[Graph] = field(default_factory=list)
+    #: Queries that missed the density band (kept, but counted here).
+    off_class: int = 0
+
+    @property
+    def name(self) -> str:
+        suffix = "S" if self.density == "sparse" else "N"
+        return f"Q_{self.size}{suffix}"
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def _matches_density(query: Graph, density: str) -> bool:
+    cls = density_class(query, SPARSE_THRESHOLD)
+    return (cls == "sparse") == (density == "sparse")
+
+
+def generate_query_set(
+    data: Graph,
+    size: int,
+    density: str,
+    count: int,
+    rng: random.Random,
+    dataset: str = "?",
+    attempts_per_query: int = 60,
+) -> QuerySet:
+    """Generate ``count`` connected queries of ``size`` vertices in the
+    requested density class, by random walk extraction (paper §7).
+
+    Sparse queries are steered by thinning non-spanning-tree edges of the
+    induced subgraph; non-sparse queries keep the full induced subgraph
+    and retry walks until a dense-enough region is hit.
+    """
+    if density not in ("sparse", "nonsparse"):
+        raise ValueError("density must be 'sparse' or 'nonsparse'")
+    result = QuerySet(dataset=dataset, size=size, density=density)
+    for _ in range(count):
+        best: Graph | None = None
+        best_gap = float("inf")
+        hit = False
+        for attempt in range(attempts_per_query):
+            if density == "sparse":
+                # Thin optional edges progressively harder.
+                keep = max(0.0, 0.8 - 0.1 * (attempt % 8))
+            else:
+                keep = 1.0
+            try:
+                query, _ = extract_query(data, size, rng, keep_edge_probability=keep)
+            except SamplingError:
+                continue
+            if _matches_density(query, density):
+                result.queries.append(query)
+                hit = True
+                break
+            target = SPARSE_THRESHOLD
+            gap = abs(query.average_degree() - target)
+            if gap < best_gap:
+                best_gap = gap
+                best = query
+        if not hit:
+            if best is None:
+                raise SamplingError(
+                    f"could not extract any {size}-vertex query from {dataset}"
+                )
+            result.queries.append(best)
+            result.off_class += 1
+    return result
+
+
+#: The paper's query sizes per dataset family: large sizes for the small
+#: protein graphs, small sizes for the rest (§7).
+PAPER_QUERY_SIZES = {
+    "yeast": (50, 100, 150, 200),
+    "hprd": (50, 100, 150, 200),
+    "human": (10, 20, 30, 40),
+    "email": (10, 20, 30, 40),
+    "dblp": (10, 20, 30, 40),
+    "yago": (10, 20, 30, 40),
+    "twitter": (10, 20, 30, 40),
+}
+
+
+def paper_query_sizes(dataset: str, scaled: bool = True) -> tuple[int, ...]:
+    """Query sizes for ``dataset``.
+
+    With ``scaled=True`` the sizes are divided by ~2.5 (minimum 5 — below
+    that, queries are trivial and call counts measure noise) so the
+    pure-Python harness finishes in CI-friendly time while preserving the
+    small-to-large progression (DESIGN.md substitution 3).
+    """
+    sizes = PAPER_QUERY_SIZES.get(dataset, (10, 20, 30, 40))
+    if not scaled:
+        return sizes
+    return tuple(max(5, round(s / 2.5)) for s in sizes)

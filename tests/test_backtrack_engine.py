@@ -1,0 +1,185 @@
+"""White-box tests for the backtracking engine internals (§5-6)."""
+
+import pytest
+
+from repro import DAFMatcher, MatchConfig
+from repro.core.backtrack import BacktrackEngine, _count_injective
+from repro.core.candidate_space import build_candidate_space
+from repro.core.dag import build_dag
+from repro.interfaces import Deadline, SearchStats
+from repro.graph import Graph, star_graph
+from tests.conftest import random_graph_case
+
+
+def make_engine(query, data, config=None, **kwargs):
+    cfg = config if config is not None else MatchConfig()
+    dag = build_dag(query, data)
+    cs = build_candidate_space(query, data, dag)
+    return BacktrackEngine(
+        cs,
+        cfg,
+        limit=kwargs.pop("limit", 10**6),
+        deadline=Deadline(None),
+        stats=SearchStats(),
+        **kwargs,
+    )
+
+
+class TestCountInjective:
+    def test_single_list(self):
+        assert _count_injective([[1, 2, 3]], cap=10, injective=True) == 3
+
+    def test_cap_applied(self):
+        assert _count_injective([[1, 2, 3]], cap=2, injective=True) == 2
+
+    def test_two_disjoint_lists(self):
+        assert _count_injective([[1, 2], [3, 4]], cap=100, injective=True) == 4
+
+    def test_two_overlapping_lists(self):
+        # Ordered injective pairs from {1,2} x {1,2}: (1,2) and (2,1).
+        assert _count_injective([[1, 2], [1, 2]], cap=100, injective=True) == 2
+
+    def test_hall_violation_gives_zero(self):
+        assert _count_injective([[1], [1]], cap=100, injective=True) == 0
+
+    def test_non_injective_is_product(self):
+        assert _count_injective([[1, 2], [1, 2]], cap=100, injective=False) == 4
+
+    def test_non_injective_cap(self):
+        assert _count_injective([[1, 2, 3]] * 5, cap=7, injective=False) == 7
+
+    def test_zero_cap_clamped(self):
+        assert _count_injective([[1]], cap=0, injective=True) == 1
+
+    def test_three_way_permanent(self):
+        # Permanent of the all-ones 3x3 matrix = 3! = 6.
+        lists = [[1, 2, 3]] * 3
+        assert _count_injective(lists, cap=100, injective=True) == 6
+
+
+class TestEngineSetup:
+    def test_root_initially_extendable(self, triangle_data, edge_query):
+        engine = make_engine(edge_query, triangle_data)
+        assert engine.extendable == {engine.dag.root}
+        assert engine.cmu[engine.dag.root] is not None
+
+    def test_root_candidate_slice(self, triangle_data, edge_query):
+        engine = make_engine(edge_query, triangle_data, root_candidate_indices=[0])
+        assert engine.cmu[engine.dag.root] == [0]
+
+    def test_leaf_deferral_marks_degree_one(self):
+        data = star_graph("H", ["L"] * 4)
+        query = star_graph("H", ["L", "L"])
+        engine = make_engine(query, data)
+        assert engine.deferred == (False, True, True)
+        assert engine.num_core == 1
+
+    def test_no_deferral_for_two_vertex_query(self, triangle_data, edge_query):
+        engine = make_engine(edge_query, triangle_data)
+        assert not any(engine.deferred)
+
+    def test_no_deferral_when_disabled(self):
+        data = star_graph("H", ["L"] * 4)
+        query = star_graph("H", ["L", "L"])
+        engine = make_engine(query, data, config=MatchConfig(leaf_decomposition=False))
+        assert not any(engine.deferred)
+
+    def test_root_never_deferred(self):
+        # Path query: both ends have degree 1; if the root lands on one it
+        # must stay in the core.
+        data = Graph(labels=["X", "Y", "Z"], edges=[(0, 1), (1, 2)])
+        query = Graph(labels=["X", "Y", "Z"], edges=[(0, 1), (1, 2)])
+        engine = make_engine(query, data)
+        assert not engine.deferred[engine.dag.root]
+
+
+class TestStateRestoration:
+    def test_search_restores_all_state(self, rng):
+        """After run() completes, the engine's mutable state is back to
+        its initial configuration (every map has a matching unmap)."""
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            engine = make_engine(query, data)
+            initial_extendable = set(engine.extendable)
+            initial_pending = list(engine.pending)
+            engine.run()
+            assert engine.mapping == [-1] * query.num_vertices
+            assert engine.visited_by == {}
+            assert engine.extendable == initial_extendable
+            assert engine.pending == initial_pending
+            assert engine.mapped_core == 0
+
+
+class TestAdaptivity:
+    def test_next_vertex_differs_per_partial_embedding(self):
+        """Example 5.4's phenomenon: the selected vertex depends on the
+        current partial embedding, not on a precomputed global order.
+
+        Construction: root R with children X and Y.  Data region 1 gives
+        X one candidate and Y many; region 2 swaps the sizes.  Record the
+        order in which vertices are first mapped under each root
+        candidate — they must differ.
+        """
+        data = Graph()
+        r1 = data.add_vertex("R")
+        r2 = data.add_vertex("R")
+        # Region 1: r1 has 1 X, 3 Y.
+        x = data.add_vertex("X")
+        data.add_edge(r1, x)
+        for _ in range(3):
+            y = data.add_vertex("Y")
+            data.add_edge(r1, y)
+        # Region 2: r2 has 3 X, 1 Y.
+        for _ in range(3):
+            x = data.add_vertex("X")
+            data.add_edge(r2, x)
+        y = data.add_vertex("Y")
+        data.add_edge(r2, y)
+        data.freeze()
+        query = Graph(labels=["R", "X", "Y"], edges=[(0, 1), (0, 2)])
+
+        # Trace mapping order via the embedding tuples' construction: use
+        # the streaming callback and leaf_decomposition off so both X and
+        # Y go through the adaptive selector.
+        matcher = DAFMatcher(MatchConfig(leaf_decomposition=False))
+        result = matcher.match(query, data, limit=10**6)
+        by_root: dict[int, set[int]] = {}
+        for embedding in result.embeddings:
+            by_root.setdefault(embedding[0], set()).add(embedding)
+        assert len(by_root[0]) == 3  # r1: 1 X x 3 Y
+        assert len(by_root[1]) == 3  # r2: 3 X x 1 Y
+
+    def test_weights_computed_when_extendable(self, rng):
+        """cmu/wmu are populated exactly for extendable vertices."""
+        query, data = random_graph_case(rng)
+        engine = make_engine(query, data)
+        for u in range(engine.n):
+            if u in engine.extendable:
+                assert engine.cmu[u] is not None
+            else:
+                assert engine.cmu[u] is None
+
+
+class TestHomomorphismMode:
+    def test_homomorphism_counts_on_fold(self):
+        # Query path X-Y-X can fold both X endpoints onto one data X.
+        data = Graph(labels=["X", "Y"], edges=[(0, 1)])
+        query = Graph(labels=["X", "Y", "X"], edges=[(0, 1), (1, 2)])
+        cfg = MatchConfig(injective=False)
+        result = DAFMatcher(cfg).match(query, data)
+        assert result.count == 1
+        assert result.embeddings == [(0, 1, 0)]
+
+    def test_homomorphism_with_leaves(self):
+        data = star_graph("H", ["L", "L"])
+        query = star_graph("H", ["L", "L", "L"])
+        injective = DAFMatcher().match(query, data).count
+        folded = DAFMatcher(MatchConfig(injective=False)).match(query, data).count
+        assert injective == 0  # needs 3 distinct leaves
+        assert folded == 8  # 2^3 label-preserving maps
+
+    def test_homomorphism_counting_mode(self):
+        data = star_graph("H", ["L", "L"])
+        query = star_graph("H", ["L", "L", "L"])
+        cfg = MatchConfig(injective=False, collect_embeddings=False)
+        assert DAFMatcher(cfg).match(query, data).count == 8

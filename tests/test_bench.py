@@ -1,0 +1,195 @@
+"""Unit tests for the benchmark harness (runner, report, experiment
+drivers on the smoke profile)."""
+
+import pytest
+
+from repro import DAFMatcher
+from repro.bench import (
+    SMOKE,
+    QueryOutcome,
+    compare_matchers,
+    counting_config,
+    daf_variant,
+    render_table,
+    run_query,
+    summarize,
+)
+from repro.bench.experiments import BenchProfile, dataset_sizes, queries_for
+from repro.graph import Graph
+
+
+class TestRunner:
+    def test_run_query_outcome(self, edge_query, triangle_data):
+        outcome = run_query(DAFMatcher(), edge_query, triangle_data, limit=10, time_limit=None)
+        assert outcome.solved
+        assert outcome.embeddings == 2
+        assert outcome.elapsed >= 0
+
+    def test_summarize_top_n_takes_fastest(self):
+        outcomes = [
+            QueryOutcome(True, elapsed, 0, elapsed, calls, 1, 10)
+            for elapsed, calls in [(0.3, 300), (0.1, 100), (0.2, 200)]
+        ]
+        summary = summarize("X", "Q", outcomes, top_n=2)
+        assert summary.solved_queries == 3
+        assert summary.avg_recursive_calls == pytest.approx(150)
+
+    def test_summarize_excludes_unsolved(self):
+        outcomes = [
+            QueryOutcome(True, 0.1, 0, 0.1, 10, 1, 5),
+            QueryOutcome(False, 9.0, 0, 9.0, 999, 0, 5),
+        ]
+        summary = summarize("X", "Q", outcomes)
+        assert summary.solved_queries == 1
+        assert summary.solved_percent == pytest.approx(50.0)
+        assert summary.avg_recursive_calls == pytest.approx(10)
+
+    def test_compare_matchers_shared_n(self, edge_query, triangle_data):
+        matchers = {"DAF": daf_variant("DAF"), "DA": daf_variant("DA")}
+        summaries = compare_matchers(
+            matchers, "t", [edge_query], triangle_data, limit=10, time_limit=None
+        )
+        assert set(summaries) == {"DAF", "DA"}
+        assert all(s.solved_queries == 1 for s in summaries.values())
+
+    def test_counting_config_disables_collection(self):
+        assert counting_config().collect_embeddings is False
+
+    def test_daf_variant_names(self):
+        assert daf_variant("DAF-cand").config.order == "candidate"
+        assert daf_variant("DA").config.use_failing_sets is False
+        with pytest.raises(KeyError):
+            daf_variant("DAF-alphabetical")
+
+
+class TestReport:
+    def test_render_table_aligns_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = render_table(rows, "demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], "none")
+
+    def test_render_table_collects_late_columns(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows)
+        assert "b" in text
+
+    def test_number_formatting(self):
+        from repro.bench.report import format_number
+
+        assert format_number(1234567) == "1,234,567"
+        assert format_number(0.12345) == "0.1235"
+        assert format_number(12.3) == "12.30"
+        assert format_number(1234.5) == "1,234"
+        assert format_number("text") == "text"
+
+    def test_bar_chart_groups_and_scales(self):
+        from repro.bench import render_bar_chart
+
+        rows = [
+            {"ds": "yeast", "alg": "DAF", "calls": 10},
+            {"ds": "yeast", "alg": "CFL", "calls": 10000},
+            {"ds": "human", "alg": "DAF", "calls": 100},
+            {"ds": "human", "alg": "CFL", "calls": 1000},
+        ]
+        text = render_bar_chart(rows, "ds", "alg", "calls", title="demo", width=30)
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "yeast" in text and "human" in text
+        # Log scaling: the 10000 bar is full width, the 10 bar is minimal.
+        bar_widths = [line.count("#") for line in lines if "|" in line]
+        assert max(bar_widths) == 30
+        assert min(bar_widths) <= 2
+
+    def test_bar_chart_empty(self):
+        from repro.bench import render_bar_chart
+
+        assert "(no data)" in render_bar_chart([], "a", "b", "c", title="x")
+
+    def test_bar_chart_linear_scale(self):
+        from repro.bench import render_bar_chart
+
+        rows = [
+            {"g": "one", "s": "A", "v": 1},
+            {"g": "one", "s": "B", "v": 2},
+        ]
+        text = render_bar_chart(rows, "g", "s", "v", width=10, log_scale=False)
+        assert "linear scale" in text
+
+    def test_ablation_drivers_smoke(self):
+        from repro.bench import (
+            SMOKE,
+            ablation_leaf_decomposition,
+            ablation_local_filters,
+            ablation_refinement,
+        )
+
+        assert ablation_refinement(SMOKE)
+        assert ablation_local_filters(SMOKE)
+        assert ablation_leaf_decomposition(SMOKE)
+
+
+class TestExperimentHelpers:
+    def test_dataset_sizes_ladder(self):
+        profile = BenchProfile(name="t", queries_per_set=1, limit=10, time_limit=1.0)
+        sizes = dataset_sizes("yeast", profile)
+        assert len(sizes) == profile.sizes_per_dataset
+        assert all(s >= 4 for s in sizes)
+
+    def test_queries_for_cached(self):
+        qs1 = queries_for("yeast", 6, "nonsparse", SMOKE)
+        qs2 = queries_for("yeast", 6, "nonsparse", SMOKE)
+        assert qs1 is qs2
+
+
+class TestDriversSmoke:
+    """Every figure driver must produce non-empty, well-formed rows on the
+    smoke profile.  (Full-size runs live in benchmarks/.)"""
+
+    def test_table2(self):
+        from repro.bench import table2
+
+        rows = table2(SMOKE)
+        assert len(rows) == 7
+
+    def test_figure9(self):
+        from repro.bench import figure9
+
+        rows = figure9(SMOKE)
+        assert rows and all("avg_CS_size" in r for r in rows)
+
+    def test_figure10(self):
+        from repro.bench import figure10
+
+        rows = figure10(SMOKE)
+        algorithms = {r["algorithm"] for r in rows}
+        assert algorithms == {"CFL-Match", "DA", "DAF"}
+
+    def test_figure14(self):
+        from repro.bench import figure14
+
+        rows = figure14(SMOKE)
+        assert any(str(r["perturbation"]).startswith("labels:") for r in rows)
+        assert any(str(r["perturbation"]) == "edges:C" for r in rows)
+
+    def test_figure17(self):
+        from repro.bench import figure17
+
+        rows = figure17(SMOKE, datasets=("yeast",))
+        assert {r["algorithm"] for r in rows} == {"DAF", "DAF-Boost"}
+
+    def test_figure18(self):
+        from repro.bench import figure18
+
+        rows = figure18(SMOKE)
+        assert {r["algorithm"] for r in rows} == {
+            "DA-cand",
+            "DA-path",
+            "DAF-cand",
+            "DAF-path",
+        }

@@ -1,0 +1,153 @@
+"""Unit tests for the CS structure and DAG-graph DP (paper §4)."""
+
+import pytest
+
+from repro.baselines import BruteForceMatcher
+from repro.core import build_candidate_space, build_dag, has_weak_embedding
+from repro.graph import Graph
+from tests.conftest import make_cartesian_trap, random_graph_case
+
+
+def build_cs(query, data, **kwargs):
+    dag = build_dag(query, data)
+    return build_candidate_space(query, data, dag, **kwargs)
+
+
+class TestSoundness:
+    """Definition 4.2: every true embedding survives in the CS."""
+
+    def test_sound_on_random_cases(self, rng):
+        for _ in range(20):
+            query, data = random_graph_case(rng)
+            cs = build_cs(query, data)
+            embeddings = BruteForceMatcher().match(query, data, limit=200).embeddings
+            for embedding in embeddings:
+                for u in query.vertices():
+                    assert embedding[u] in cs.candidate_index[u], (
+                        f"vertex {embedding[u]} pruned from C({u}) despite embedding"
+                    )
+
+    def test_sound_with_fixpoint_refinement(self, rng):
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            cs = build_cs(query, data, refine_to_fixpoint=True)
+            embeddings = BruteForceMatcher().match(query, data, limit=100).embeddings
+            for embedding in embeddings:
+                for u in query.vertices():
+                    assert embedding[u] in cs.candidate_index[u]
+
+    def test_cs_edges_match_definition(self, rng):
+        """Condition 2: CS edge iff query edge and data edge."""
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            cs = build_cs(query, data)
+            for u in query.vertices():
+                for u_c in cs.dag.children(u):
+                    for i, v in enumerate(cs.candidates[u]):
+                        listed = {cs.candidates[u_c][j] for j in cs.down[u][u_c][i]}
+                        expected = {
+                            w for w in cs.candidates[u_c] if data.has_edge(v, w)
+                        }
+                        assert listed == expected
+
+
+class TestEquivalence:
+    """Theorem 4.1: embeddings of q in G == embeddings of q in the CS."""
+
+    def test_search_in_cs_equals_search_in_g(self, rng):
+        from repro import DAFMatcher
+
+        for _ in range(15):
+            query, data = random_graph_case(rng)
+            via_cs = sorted(DAFMatcher().match(query, data, limit=10**6).embeddings)
+            via_g = sorted(BruteForceMatcher().match(query, data, limit=10**6).embeddings)
+            assert via_cs == via_g
+
+
+class TestRefinement:
+    def test_refinement_only_shrinks(self, rng):
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            one = build_cs(query, data, refinement_steps=1, use_local_filters=False)
+            three = build_cs(query, data, refinement_steps=3, use_local_filters=False)
+            for u in query.vertices():
+                assert set(three.candidates[u]) <= set(one.candidates[u])
+
+    def test_fixpoint_no_larger_than_three_steps(self, rng):
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            three = build_cs(query, data, refinement_steps=3)
+            fix = build_cs(query, data, refine_to_fixpoint=True)
+            assert fix.size <= three.size
+
+    def test_refinement_steps_recorded(self, triangle_data, edge_query):
+        cs = build_cs(edge_query, triangle_data, refinement_steps=5)
+        assert cs.refinement_steps == 5
+
+    def test_invalid_dag_rejected(self, triangle_data, edge_query, square_data):
+        dag = build_dag(edge_query, triangle_data)
+        other_query = Graph(labels=["A", "B"], edges=[(0, 1)])
+        with pytest.raises(ValueError, match="orient"):
+            build_candidate_space(other_query, triangle_data, dag)
+
+    def test_initial_sets_override(self, triangle_data, edge_query):
+        dag = build_dag(edge_query, triangle_data)
+        cs = build_candidate_space(
+            edge_query,
+            triangle_data,
+            dag,
+            initial_sets=[{0}, {1}],
+            use_local_filters=False,
+        )
+        assert cs.candidates[0] == [0]
+        assert cs.candidates[1] == [1]
+
+    def test_initial_sets_wrong_length_rejected(self, triangle_data, edge_query):
+        dag = build_dag(edge_query, triangle_data)
+        with pytest.raises(ValueError, match="one candidate set per"):
+            build_candidate_space(edge_query, triangle_data, dag, initial_sets=[{0}])
+
+
+class TestCartesianTrap:
+    """The Figure 2 scenario: non-tree edges must prune candidates."""
+
+    def test_full_edge_filtering_prunes_trap(self):
+        query, data = make_cartesian_trap(branch_a=5, branch_b=8)
+        cs = build_cs(query, data)
+        # Only the connected (X, Y) pair survives: sizes 1 + 1 + 1.
+        assert cs.size == 3
+
+    def test_weak_embedding_reference_agrees_with_dp(self, rng):
+        for _ in range(8):
+            query, data = random_graph_case(rng, max_vertices=10, max_query=4)
+            dag = build_dag(query, data)
+            cs = build_candidate_space(query, data, dag, refine_to_fixpoint=True)
+            # At the fixpoint every surviving candidate has weak embeddings
+            # in both directions (the DP's invariant).
+            for u in query.vertices():
+                for v in cs.candidates[u]:
+                    assert has_weak_embedding(cs, dag, u, v)
+                    assert has_weak_embedding(cs, dag.reverse(), u, v)
+
+
+class TestStructure:
+    def test_size_is_total_candidates(self, triangle_data, edge_query):
+        cs = build_cs(edge_query, triangle_data)
+        assert cs.size == sum(len(c) for c in cs.candidates)
+        assert cs.size == 3  # A -> {0}, B -> {1, 2}
+
+    def test_num_edges_counts_cs_edges(self, triangle_data, edge_query):
+        cs = build_cs(edge_query, triangle_data)
+        assert cs.num_edges == 2  # v0 adjacent to both B candidates
+
+    def test_is_empty_detects_negative_query(self, triangle_data):
+        query = Graph(labels=["A", "Z"], edges=[(0, 1)])
+        cs = build_cs(query, triangle_data)
+        assert cs.is_empty()
+
+    def test_neighbors_down_uses_data_vertices(self, triangle_data, edge_query):
+        cs = build_cs(edge_query, triangle_data)
+        root = cs.dag.root
+        (child,) = cs.dag.children(root)
+        v = cs.candidates[root][0]
+        assert set(cs.neighbors_down(root, child, v)) <= set(cs.candidates[child])

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import graph_to_string
+
+
+@pytest.fixture
+def graph_files(tmp_path, triangle_data, edge_query):
+    data_path = tmp_path / "data.graph"
+    query_path = tmp_path / "query.graph"
+    data_path.write_text(graph_to_string(triangle_data))
+    query_path.write_text(graph_to_string(edge_query))
+    return str(query_path), str(data_path)
+
+
+class TestMatch:
+    def test_match_outputs_json(self, graph_files, capsys):
+        query, data = graph_files
+        assert main(["match", query, data]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert sorted(payload["embeddings"]) == [[0, 1], [0, 2]]
+        assert payload["algorithm"] == "DAF-path"
+
+    def test_count_only(self, graph_files, capsys):
+        query, data = graph_files
+        main(["match", query, data, "--count-only"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert "embeddings" not in payload
+
+    def test_limit(self, graph_files, capsys):
+        query, data = graph_files
+        main(["match", query, data, "--limit", "1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["limit_reached"]
+
+    def test_baseline_algorithm(self, graph_files, capsys):
+        query, data = graph_files
+        main(["match", query, data, "--algorithm", "vf2"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+
+    def test_unknown_algorithm_rejected(self, graph_files):
+        query, data = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", query, data, "--algorithm", "magic"])
+
+    def test_induced_is_daf_only(self, graph_files):
+        query, data = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", query, data, "--algorithm", "vf2", "--induced"])
+
+    def test_homomorphism_flag(self, graph_files, capsys):
+        query, data = graph_files
+        main(["match", query, data, "--homomorphism"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2  # injectivity irrelevant for an edge
+
+    def test_variant_flags(self, graph_files, capsys):
+        query, data = graph_files
+        main(["match", query, data, "--order", "candidate", "--no-failing-sets"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "DA-cand"
+
+
+class TestInfoConvert:
+    def test_info(self, graph_files, capsys):
+        _, data = graph_files
+        main(["info", data])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vertices"] == 3
+        assert payload["edges"] == 3
+        assert payload["connected_components"] == 1
+
+    def test_convert_round_trip(self, graph_files, tmp_path, capsys):
+        _, data = graph_files
+        out = tmp_path / "converted.el"
+        main(["convert", data, str(out), "--to-format", "edgelist"])
+        back = tmp_path / "back.graph"
+        main(["convert", str(out), str(back), "--from-format", "edgelist", "--to-format", "cfl"])
+        from repro.graph import read_cfl
+
+        assert read_cfl(back).num_edges == 3
+
+
+class TestGenerate:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out = tmp_path / "yeast.graph"
+        main(["generate", "dataset", "yeast", str(out)])
+        from repro.graph import read_cfl
+
+        g = read_cfl(out)
+        assert g.num_vertices == 3112
+
+    def test_generate_queries(self, tmp_path, capsys):
+        data_path = tmp_path / "data.graph"
+        from repro.graph import cycle_graph, write_cfl
+
+        write_cfl(cycle_graph(["A"] * 30), data_path)
+        out_dir = tmp_path / "queries"
+        main([
+            "generate", "queries", str(data_path), str(out_dir),
+            "--size", "4", "--density", "sparse", "--count", "3",
+        ])
+        files = list(out_dir.glob("*.graph"))
+        assert len(files) == 3
+
+
+class TestBench:
+    def test_bench_table2_smoke(self, capsys):
+        main(["bench", "table2", "--profile", "smoke"])
+        out = capsys.readouterr().out
+        assert "yeast" in out
+
+    def test_bench_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,103 @@
+"""Unit tests for BuildDAG (root selection + BFS orientation)."""
+
+import pytest
+
+from repro.core import build_dag, select_root
+from repro.core.dag import bfs_vertex_order
+from repro.graph import Graph, star_graph
+
+
+class TestSelectRoot:
+    def test_prefers_rare_label_high_degree(self):
+        # Query: hub H with leaves L, L.  Data: one H (degree large), many L.
+        query = star_graph("H", ["L", "L"])
+        data = star_graph("H", ["L"] * 10)
+        # |C_ini(H)|/deg = 1/2; each L leaf: 10/1.  Root must be the hub.
+        assert select_root(query, data) == 0
+
+    def test_degree_zero_query(self):
+        query = Graph(labels=["A"], edges=[])
+        data = Graph(labels=["A", "A"], edges=[])
+        assert select_root(query, data) == 0
+
+    def test_tie_breaks_to_smaller_id(self):
+        query = Graph(labels=["A", "A"], edges=[(0, 1)])
+        data = Graph(labels=["A", "A"], edges=[(0, 1)])
+        assert select_root(query, data) == 0
+
+
+class TestBfsOrder:
+    def test_root_first_levels_in_order(self, square_data):
+        query = Graph(labels=["A", "B", "A", "B"], edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        order = bfs_vertex_order(query, square_data, root=0)
+        assert order[0] == 0
+        assert set(order[1:3]) == {1, 3}  # level 1
+        assert order[3] == 2
+
+    def test_rare_labels_first_within_level(self):
+        # Level-1 vertices: one labeled R (rare in data), one labeled C
+        # (common in data).  R must precede C.
+        query = Graph(labels=["H", "C", "R"], edges=[(0, 1), (0, 2)])
+        data = Graph(
+            labels=["H", "C", "C", "C", "R"],
+            edges=[(0, 1), (0, 2), (0, 3), (0, 4)],
+        )
+        order = bfs_vertex_order(query, data, root=0)
+        assert order == [0, 2, 1]
+
+    def test_higher_degree_first_within_label_group(self):
+        # Two level-1 vertices share a label; the one with more query
+        # neighbors comes first.
+        query = Graph(
+            labels=["H", "X", "X", "Y"],
+            edges=[(0, 1), (0, 2), (2, 3)],
+        )
+        data = Graph(
+            labels=["H", "X", "X", "Y"],
+            edges=[(0, 1), (0, 2), (2, 3)],
+        )
+        order = bfs_vertex_order(query, data, root=0)
+        assert order.index(2) < order.index(1)
+
+    def test_disconnected_query_rejected(self):
+        query = Graph(labels=["A", "B"], edges=[])
+        data = Graph(labels=["A", "B"], edges=[])
+        with pytest.raises(ValueError, match="connected"):
+            bfs_vertex_order(query, data, root=0)
+
+
+class TestBuildDag:
+    def test_contains_every_query_edge(self, rng):
+        from tests.conftest import random_graph_case
+
+        for _ in range(15):
+            query, data = random_graph_case(rng)
+            dag = build_dag(query, data)
+            dag_edges = {tuple(sorted(e)) for e in dag.edges()}
+            query_edges = {tuple(sorted(e)) for e in query.edges()}
+            assert dag_edges == query_edges
+
+    def test_single_root_no_incoming(self, rng):
+        from tests.conftest import random_graph_case
+
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            dag = build_dag(query, data)
+            roots = [u for u in range(dag.num_vertices) if not dag.parents(u)]
+            assert roots == [dag.root]
+
+    def test_explicit_root_honored(self, square_data):
+        query = Graph(labels=["A", "B", "A", "B"], edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        dag = build_dag(query, square_data, root=2)
+        assert dag.root == 2
+
+    def test_edges_point_down_bfs_levels(self, rng):
+        from repro.core.dag import bfs_levels_of_order
+        from tests.conftest import random_graph_case
+
+        for _ in range(10):
+            query, data = random_graph_case(rng)
+            dag = build_dag(query, data)
+            depth = bfs_levels_of_order(query, dag.root)
+            for parent, child in dag.edges():
+                assert depth[parent] <= depth[child]

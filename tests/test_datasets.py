@@ -1,0 +1,145 @@
+"""Unit tests for the dataset registry and the EvoGraph-style upscaler."""
+
+import random
+
+import pytest
+
+from repro.datasets import SPECS, dataset_names, generate, load, table2_rows, upscale
+from repro.datasets.registry import DatasetSpec
+from repro.graph import Graph, cycle_graph, is_connected
+
+
+class TestSpecs:
+    def test_all_paper_datasets_present(self):
+        assert set(dataset_names()) == {"yeast", "human", "hprd", "email", "dblp", "yago"}
+        assert "twitter" in dataset_names(include_twitter=True)
+
+    def test_spec_average_degree(self):
+        spec = SPECS["yeast"]
+        assert spec.average_degree == pytest.approx(2 * 12519 / 3112)
+
+    def test_unscaled_sets_match_paper_exactly(self):
+        for name in ("yeast", "human", "hprd"):
+            spec = SPECS[name]
+            assert spec.num_vertices == spec.paper_vertices
+            assert spec.num_edges == spec.paper_edges
+            assert spec.scale_divisor == 1.0
+
+    def test_scaled_sets_keep_avg_degree(self):
+        for name in ("email", "dblp", "yago"):
+            spec = SPECS[name]
+            assert spec.average_degree == pytest.approx(spec.paper_avg_degree, rel=0.1)
+
+
+class TestGeneration:
+    def test_generate_matches_spec(self):
+        spec = DatasetSpec(
+            name="tiny",
+            num_vertices=200,
+            num_edges=500,
+            num_labels=7,
+            label_distribution="power",
+            seed=42,
+            paper_vertices=200,
+            paper_edges=500,
+            paper_labels=7,
+            paper_avg_degree=5.0,
+        )
+        g = generate(spec)
+        assert g.num_vertices == 200
+        assert g.num_edges >= 500  # connectivity patching may add a few
+        assert g.num_edges <= 550  # at most ~10% patch edges on tiny graphs
+        assert is_connected(g)
+        assert g.num_labels <= 7
+
+    def test_generate_deterministic(self):
+        spec = SPECS["yeast"]
+        assert generate(spec) == generate(spec)
+
+    def test_unknown_label_distribution_rejected(self):
+        spec = DatasetSpec(
+            name="bad",
+            num_vertices=10,
+            num_edges=10,
+            num_labels=2,
+            label_distribution="bogus",
+            seed=1,
+            paper_vertices=10,
+            paper_edges=10,
+            paper_labels=2,
+            paper_avg_degree=2.0,
+        )
+        with pytest.raises(ValueError):
+            generate(spec)
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("imaginary")
+
+    def test_load_memory_cached(self):
+        a = load("yeast")
+        b = load("yeast")
+        assert a is b
+
+    def test_load_disk_round_trip(self, tmp_path, monkeypatch):
+        import repro.datasets.registry as registry
+
+        monkeypatch.setattr(registry, "cache_directory", lambda: tmp_path)
+        registry._memory_cache.pop("yeast", None)
+        first = load("yeast")
+        registry._memory_cache.pop("yeast")
+        second = load("yeast")  # from disk this time
+        assert first.num_vertices == second.num_vertices
+        assert first.num_edges == second.num_edges
+        registry._memory_cache.pop("yeast", None)
+
+    def test_table2_rows_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        assert all("paper_V" in row for row in rows)
+
+
+class TestUpscale:
+    def test_factor_one_identity(self):
+        g = cycle_graph([0, 1, 2, 0, 1])
+        rng = random.Random(0)
+        assert upscale(g, 1, rng) is g
+
+    def test_sizes_scale(self):
+        g = cycle_graph([0, 1, 2, 0, 1, 2])
+        rng = random.Random(0)
+        big = upscale(g, 3, rng)
+        assert big.num_vertices == 3 * g.num_vertices
+        # Edges: 3x plus possibly a couple of connectivity patches.
+        assert 3 * g.num_edges <= big.num_edges <= 3 * g.num_edges + 3
+
+    def test_degree_distribution_preserved(self):
+        rng = random.Random(1)
+        from repro.graph import gnm_random_graph, random_labels
+
+        g = gnm_random_graph(40, 90, random_labels(40, 3, rng), rng)
+        big = upscale(g, 4, rng)
+        base_degrees = sorted(g.degrees)
+        big_degrees = sorted(big.degrees)
+        # The multiset of degrees replicates 4x (up to patch edges).
+        expected = sorted(base_degrees * 4)
+        diffs = sum(1 for a, b in zip(expected, big_degrees) if a != b)
+        assert diffs <= 8  # patching perturbs at most a handful
+
+    def test_result_connected(self):
+        rng = random.Random(2)
+        g = cycle_graph([0, 1, 2, 3, 4])
+        assert is_connected(upscale(g, 4, rng))
+
+    def test_label_multiset_replicated(self):
+        rng = random.Random(3)
+        g = cycle_graph(["a", "b", "c"])
+        big = upscale(g, 2, rng)
+        assert sorted(big.labels) == sorted(g.labels * 2)
+
+    def test_invalid_parameters_rejected(self):
+        g = cycle_graph([0, 1, 2])
+        with pytest.raises(ValueError):
+            upscale(g, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            upscale(g, 2, random.Random(0), rewire_fraction=1.5)

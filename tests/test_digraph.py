@@ -1,0 +1,142 @@
+"""Unit tests for RootedDAG / ReversedDAG."""
+
+import pytest
+
+from repro.graph import Graph, GraphError, RootedDAG, path_tree_size
+
+
+def diamond_query() -> Graph:
+    """u0 -> (u1, u2) -> u3: the classic diamond."""
+    return Graph(labels=list("ABCD"), edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def diamond_dag() -> RootedDAG:
+    q = diamond_query()
+    return RootedDAG(q, [(0, 1), (0, 2), (1, 3), (2, 3)], root=0)
+
+
+class TestConstruction:
+    def test_valid_dag(self):
+        dag = diamond_dag()
+        assert dag.root == 0
+        assert dag.children(0) == (1, 2)
+        assert dag.parents(3) == (1, 2)
+
+    def test_every_query_edge_must_be_oriented(self):
+        q = diamond_query()
+        with pytest.raises(GraphError, match="every query edge"):
+            RootedDAG(q, [(0, 1), (0, 2), (1, 3)], root=0)
+
+    def test_edge_oriented_twice_rejected(self):
+        q = diamond_query()
+        with pytest.raises(GraphError, match="twice"):
+            RootedDAG(q, [(0, 1), (1, 0), (0, 2), (1, 3), (2, 3)], root=0)
+
+    def test_non_query_edge_rejected(self):
+        q = diamond_query()
+        with pytest.raises(GraphError, match="not a query edge"):
+            RootedDAG(q, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)], root=0)
+
+    def test_cycle_rejected(self):
+        q = Graph(labels=list("ABC"), edges=[(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(GraphError, match="cycle"):
+            RootedDAG(q, [(0, 1), (1, 2), (2, 0)], root=0)
+
+    def test_multiple_roots_rejected(self):
+        q = Graph(labels=list("ABC"), edges=[(0, 2), (1, 2)])
+        with pytest.raises(GraphError, match="root"):
+            RootedDAG(q, [(0, 2), (1, 2)], root=0)
+
+    def test_wrong_root_rejected(self):
+        q = Graph(labels=list("AB"), edges=[(0, 1)])
+        with pytest.raises(GraphError, match="root"):
+            RootedDAG(q, [(0, 1)], root=1)
+
+
+class TestOrderAndAncestors:
+    def test_topological_order_respects_edges(self):
+        dag = diamond_dag()
+        order = dag.topological_order()
+        rank = {v: i for i, v in enumerate(order)}
+        for parent, child in dag.edges():
+            assert rank[parent] < rank[child]
+
+    def test_topo_rank_consistent(self):
+        dag = diamond_dag()
+        order = dag.topological_order()
+        for i, v in enumerate(order):
+            assert dag.topo_rank(v) == i
+
+    def test_ancestor_masks_include_self(self):
+        dag = diamond_dag()
+        for v in range(4):
+            assert dag.ancestor_mask(v) >> v & 1
+
+    def test_ancestors_of_sink(self):
+        dag = diamond_dag()
+        assert dag.ancestors(3) == frozenset({0, 1, 2, 3})
+        assert dag.ancestors(1) == frozenset({0, 1})
+        assert dag.ancestors(0) == frozenset({0})
+
+    def test_is_leaf(self):
+        dag = diamond_dag()
+        assert dag.is_leaf(3)
+        assert not dag.is_leaf(0)
+
+    def test_edges_iteration(self):
+        dag = diamond_dag()
+        assert sorted(dag.edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+
+class TestReverse:
+    def test_reverse_swaps_children_and_parents(self):
+        dag = diamond_dag()
+        rev = dag.reverse()
+        assert rev.children(3) == (1, 2)
+        assert rev.parents(0) == (1, 2)
+
+    def test_reverse_topological_order(self):
+        dag = diamond_dag()
+        rev = dag.reverse()
+        assert rev.topological_order() == tuple(reversed(dag.topological_order()))
+
+    def test_reverse_edges(self):
+        dag = diamond_dag()
+        assert sorted(dag.reverse().edges()) == [(1, 0), (2, 0), (3, 1), (3, 2)]
+
+    def test_reverse_shares_query(self):
+        dag = diamond_dag()
+        assert dag.reverse().query is dag.query
+        assert dag.reverse().num_vertices == 4
+
+
+class TestTreeLikePaths:
+    def test_single_parent_children(self):
+        dag = diamond_dag()
+        # u1 and u2 have single parent u0; u3 has two parents.
+        assert dag.single_parent_children(0) == (1, 2)
+        assert dag.single_parent_children(1) == ()
+
+    def test_maximal_tree_like_paths_diamond(self):
+        dag = diamond_dag()
+        # Paths stop before u3 (two parents): (0,1) and (0,2).
+        assert sorted(dag.maximal_tree_like_paths(0)) == [(0, 1), (0, 2)]
+        # From u1 the only tree-like path is the trivial one.
+        assert dag.maximal_tree_like_paths(1) == [(1,)]
+
+    def test_maximal_tree_like_paths_chain(self):
+        q = Graph(labels=list("ABC"), edges=[(0, 1), (1, 2)])
+        dag = RootedDAG(q, [(0, 1), (1, 2)], root=0)
+        assert dag.maximal_tree_like_paths(0) == [(0, 1, 2)]
+
+
+class TestPathTree:
+    def test_path_tree_size_chain(self):
+        q = Graph(labels=list("ABC"), edges=[(0, 1), (1, 2)])
+        dag = RootedDAG(q, [(0, 1), (1, 2)], root=0)
+        assert path_tree_size(dag) == 3
+
+    def test_path_tree_size_diamond_duplicates_sink(self):
+        # The diamond's path tree has root, two middles, and the sink
+        # twice (once per root-to-leaf path): 5 vertices.
+        assert path_tree_size(diamond_dag()) == 5

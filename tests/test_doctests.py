@@ -1,0 +1,17 @@
+"""Run the doctests embedded in public-API docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.matcher
+import repro.graph.graph
+
+MODULES = [repro.graph.graph, repro.core.matcher]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its doctests"
+    assert result.failed == 0

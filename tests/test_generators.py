@@ -1,0 +1,128 @@
+"""Unit tests for random graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    ensure_connected,
+    gnm_random_graph,
+    is_connected,
+    path_graph,
+    power_law_graph,
+    power_law_labels,
+    random_labels,
+    star_graph,
+)
+
+
+class TestLabels:
+    def test_random_labels_size_and_range(self, rng):
+        labels = random_labels(100, 5, rng)
+        assert len(labels) == 100
+        assert set(labels) <= set(range(5))
+
+    def test_random_labels_requires_positive_alphabet(self, rng):
+        with pytest.raises(ValueError):
+            random_labels(10, 0, rng)
+
+    def test_power_law_labels_skewed(self, rng):
+        labels = power_law_labels(5000, 10, rng, exponent=1.5)
+        counts = [labels.count(i) for i in range(10)]
+        # The most frequent label must dominate the least frequent.
+        assert counts[0] > counts[-1] * 2
+
+    def test_power_law_labels_deterministic_per_seed(self):
+        a = power_law_labels(50, 5, random.Random(1))
+        b = power_law_labels(50, 5, random.Random(1))
+        assert a == b
+
+
+class TestGnm:
+    def test_exact_edge_count(self, rng):
+        g = gnm_random_graph(20, 35, random_labels(20, 3, rng), rng)
+        assert g.num_vertices == 20
+        assert g.num_edges == 35
+
+    def test_no_self_loops_or_duplicates(self, rng):
+        g = gnm_random_graph(15, 40, random_labels(15, 2, rng), rng)
+        seen = set()
+        for u, v in g.edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ValueError, match="at most"):
+            gnm_random_graph(3, 4, random_labels(3, 1, rng), rng)
+
+    def test_label_count_must_match(self, rng):
+        with pytest.raises(ValueError, match="one label per vertex"):
+            gnm_random_graph(3, 1, ["A"], rng)
+
+    def test_dense_limit_reachable(self, rng):
+        g = gnm_random_graph(5, 10, random_labels(5, 1, rng), rng)
+        assert g.num_edges == 10  # K5
+
+
+class TestPowerLaw:
+    def test_exact_edge_count(self, rng):
+        g = power_law_graph(100, 300, random_labels(100, 4, rng), rng)
+        assert g.num_edges == 300
+
+    def test_heavier_tail_than_gnm(self, rng):
+        labels = random_labels(400, 1, rng)
+        pl = power_law_graph(400, 800, labels, rng)
+        er = gnm_random_graph(400, 800, labels, rng)
+        assert max(pl.degrees) > max(er.degrees)
+
+    def test_dense_limit_reachable(self, rng):
+        g = power_law_graph(5, 10, random_labels(5, 1, rng), rng)
+        assert g.num_edges == 10
+
+
+class TestEnsureConnected:
+    def test_connects_components(self, rng):
+        g = gnm_random_graph(30, 20, random_labels(30, 2, rng), rng)
+        connected = ensure_connected(g, rng)
+        assert is_connected(connected)
+
+    def test_already_connected_returned_as_is(self, rng):
+        g = cycle_graph(list("ABCDE"))
+        assert ensure_connected(g, rng) is g
+
+    def test_adds_minimal_edges(self, rng):
+        from repro.graph import connected_components
+
+        g = gnm_random_graph(30, 15, random_labels(30, 2, rng), rng)
+        parts = len(connected_components(g))
+        connected = ensure_connected(g, rng)
+        assert connected.num_edges == g.num_edges + parts - 1
+
+
+class TestSpecialGraphs:
+    def test_complete_graph(self):
+        g = complete_graph(list("ABCD"))
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_cycle_graph(self):
+        g = cycle_graph(list("ABC"))
+        assert g.num_edges == 3
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_graph(list("AB"))
+
+    def test_path_graph(self):
+        g = path_graph(list("ABCD"))
+        assert g.num_edges == 3
+        assert g.degree(0) == g.degree(3) == 1
+
+    def test_star_graph(self):
+        g = star_graph("C", ["L"] * 4)
+        assert g.degree(0) == 4
+        assert all(g.degree(v) == 1 for v in range(1, 5))

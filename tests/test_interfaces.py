@@ -1,0 +1,90 @@
+"""Unit tests for the shared matcher interface layer."""
+
+import time
+
+import pytest
+
+from repro import DAFMatcher, Graph, MatchResult, SearchStats, is_embedding
+from repro.interfaces import Deadline, TimeoutSignal, validate_inputs
+
+
+class TestIsEmbedding:
+    def test_valid(self, edge_query, triangle_data):
+        assert is_embedding((0, 1), edge_query, triangle_data)
+
+    def test_wrong_length(self, edge_query, triangle_data):
+        assert not is_embedding((0,), edge_query, triangle_data)
+
+    def test_not_injective(self, triangle_data):
+        query = Graph(labels=["B", "B"], edges=[])
+        assert not is_embedding((1, 1), query, triangle_data)
+
+    def test_label_mismatch(self, edge_query, triangle_data):
+        assert not is_embedding((1, 0), edge_query, triangle_data)
+
+    def test_missing_edge(self):
+        data = Graph(labels=["A", "B", "B"], edges=[(0, 1)])
+        query = Graph(labels=["A", "B"], edges=[(0, 1)])
+        assert not is_embedding((0, 2), query, data)
+
+
+class TestDeadline:
+    def test_no_deadline_never_fires(self):
+        deadline = Deadline(None, check_interval=1)
+        for _ in range(100):
+            deadline.tick()
+        assert not deadline.expired()
+
+    def test_expired_deadline_raises_on_tick(self):
+        deadline = Deadline(0.0, check_interval=1)
+        time.sleep(0.01)
+        with pytest.raises(TimeoutSignal):
+            deadline.tick()
+
+    def test_expired_query(self):
+        assert Deadline(0.0).expired() or True  # may race; just exercise
+        assert not Deadline(100.0).expired()
+
+    def test_interval_batches_checks(self):
+        deadline = Deadline(0.0, check_interval=10)
+        time.sleep(0.01)
+        for _ in range(9):
+            deadline.tick()  # under the interval: no check yet
+        with pytest.raises(TimeoutSignal):
+            deadline.tick()
+
+
+class TestResultObjects:
+    def test_stats_elapsed_is_sum(self):
+        stats = SearchStats(preprocess_seconds=1.0, search_seconds=2.0)
+        assert stats.elapsed_seconds == pytest.approx(3.0)
+
+    def test_result_flags_in_repr(self):
+        result = MatchResult()
+        result.limit_reached = True
+        assert "limit" in repr(result)
+        result.timed_out = True
+        assert "timeout" in repr(result)
+
+    def test_solved_is_not_timed_out(self):
+        result = MatchResult()
+        assert result.solved
+        result.timed_out = True
+        assert not result.solved
+
+
+class TestMatcherConvenience:
+    def test_count_and_exists(self, edge_query, triangle_data):
+        matcher = DAFMatcher()
+        assert matcher.count(edge_query, triangle_data) == 2
+        assert matcher.exists(edge_query, triangle_data)
+
+    def test_exists_overrides_limit_kwarg(self, edge_query, triangle_data):
+        assert DAFMatcher().exists(edge_query, triangle_data, limit=999)
+
+    def test_validate_inputs(self, triangle_data):
+        with pytest.raises(ValueError):
+            validate_inputs(Graph().freeze(), triangle_data)
+
+    def test_matcher_repr(self):
+        assert "DAF-path" in repr(DAFMatcher())

@@ -1,0 +1,128 @@
+"""Unit tests for graph file I/O."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphFormatError,
+    graph_from_string,
+    graph_to_string,
+    read_cfl,
+    read_edge_list,
+    write_cfl,
+    write_edge_list,
+)
+
+VALID_CFL = """
+t 3 2
+v 0 A 1
+v 1 B 2
+v 2 A 1
+e 0 1
+e 1 2
+"""
+
+
+class TestCflFormat:
+    def test_read_valid(self):
+        g = graph_from_string(VALID_CFL)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.labels == ("A", "B", "A")
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_round_trip(self, triangle_data):
+        text = graph_to_string(triangle_data)
+        again = graph_from_string(text)
+        assert again == triangle_data
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header comment\n\nt 1 0\nv 0 X 0  # trailing\n"
+        g = graph_from_string(text)
+        assert g.num_vertices == 1
+
+    def test_degree_column_optional(self):
+        g = graph_from_string("t 2 1\nv 0 A\nv 1 A\ne 0 1\n")
+        assert g.num_edges == 1
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(GraphFormatError, match="empty"):
+            graph_from_string("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(GraphFormatError, match="header"):
+            graph_from_string("x 1 0\n")
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            graph_from_string("t one 0\n")
+
+    def test_vertex_count_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError, match="declares 2 vertices"):
+            graph_from_string("t 2 0\nv 0 A 0\n")
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError, match="declares 1 edges"):
+            graph_from_string("t 2 1\nv 0 A 0\nv 1 A 0\n")
+
+    def test_non_consecutive_vertex_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="consecutive"):
+            graph_from_string("t 2 0\nv 0 A 0\nv 5 A 0\n")
+
+    def test_declared_degree_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError, match="declared degree"):
+            graph_from_string("t 2 1\nv 0 A 7\nv 1 A 1\ne 0 1\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            graph_from_string("t 1 0\nv 0 A 0\nq 1 2\n")
+
+    def test_write_read_via_path(self, tmp_path, square_data):
+        path = tmp_path / "g.graph"
+        write_cfl(square_data, path)
+        assert read_cfl(path) == square_data
+
+    def test_read_from_stream(self):
+        g = read_cfl(io.StringIO(VALID_CFL))
+        assert g.num_vertices == 3
+
+
+class TestEdgeListFormat:
+    def test_round_trip_stream(self, triangle_data):
+        buffer = io.StringIO()
+        write_edge_list(triangle_data, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == triangle_data
+
+    def test_round_trip_path(self, tmp_path, square_data):
+        path = tmp_path / "g.el"
+        write_edge_list(square_data, path)
+        assert read_edge_list(path) == square_data
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_edge_list(io.StringIO(""))
+
+    def test_truncated_vertex_section_rejected(self):
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_edge_list(io.StringIO("3\n0 A\n"))
+
+    def test_bad_vertex_line_rejected(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(io.StringIO("1\n0 A extra\n"))
+
+    def test_non_consecutive_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="consecutive"):
+            read_edge_list(io.StringIO("2\n0 A\n9 B\n"))
+
+
+class TestLargeRoundTrip:
+    def test_random_graph_round_trips(self, rng):
+        from repro.graph import gnm_random_graph, random_labels
+
+        g = gnm_random_graph(50, 120, random_labels(50, 5, rng), rng)
+        assert graph_from_string(graph_to_string(g)) == g.relabeled(
+            [str(label) for label in g.labels]
+        )

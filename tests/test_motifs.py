@@ -1,0 +1,109 @@
+"""Tests for the motif-analysis module (automorphisms, occurrences)."""
+
+import pytest
+
+from repro.analysis import (
+    MotifCensus,
+    automorphism_count,
+    automorphisms,
+    count_occurrences,
+    occurrence_vertex_sets,
+)
+from repro.graph import Graph, complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestAutomorphisms:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(["A"] * 3), 6),  # S_3
+            (cycle_graph(["A"] * 4), 8),  # dihedral D_4
+            (path_graph(["A"] * 3), 2),  # flip
+            (star_graph("H", ["L"] * 3), 6),  # permute leaves
+            (Graph(labels=["A", "B"], edges=[(0, 1)]), 1),  # labels break it
+        ],
+    )
+    def test_known_groups(self, graph, expected):
+        assert automorphism_count(graph) == expected
+
+    def test_identity_always_present(self):
+        g = path_graph(["A", "B", "C"])
+        autos = automorphisms(g)
+        assert tuple(range(3)) in autos
+
+    def test_labels_constrain_group(self):
+        # C4 with alternating labels: only rotations by 2 and the flips
+        # that preserve the labeling: group size 4.
+        g = cycle_graph(["A", "B", "A", "B"])
+        assert automorphism_count(g) == 4
+
+    def test_automorphisms_are_induced(self):
+        # P3 in itself as a *plain* subgraph has the same 2 maps here,
+        # but for denser graphs induced matters: K3 minus an edge ("cherry")
+        # inside K3 would wrongly count without the induced check.
+        cherry = Graph(labels=["A", "A", "A"], edges=[(0, 1), (1, 2)])
+        assert automorphism_count(cherry) == 2
+
+
+class TestOccurrences:
+    def test_triangle_occurrences_in_k4(self):
+        data = complete_graph(["A"] * 4)
+        triangle = complete_graph(["A"] * 3)
+        # 24 embeddings, C(4,3) = 4 distinct vertex sets.
+        assert count_occurrences(triangle, data) == 4
+
+    def test_ring_occurrence_in_benzene(self):
+        benzene = cycle_graph(["C"] * 6)
+        assert count_occurrences(cycle_graph(["C"] * 6), benzene) == 1
+
+    def test_occurrence_sets_are_images(self):
+        data = cycle_graph(["A"] * 5)
+        p3 = path_graph(["A"] * 3)
+        images = occurrence_vertex_sets(p3, data)
+        assert len(images) == 5  # one per center vertex
+        for image in images:
+            assert len(image) == 3
+
+    def test_induced_mode_changes_counts(self):
+        data = complete_graph(["A"] * 4)
+        p3 = path_graph(["A"] * 3)
+        assert count_occurrences(p3, data, induced=False) == 4
+        assert count_occurrences(p3, data, induced=True) == 0
+
+    def test_occurrences_times_autos_equals_embeddings_for_cliques(self):
+        from repro import count_embeddings
+
+        data = complete_graph(["A"] * 5)
+        triangle = complete_graph(["A"] * 3)
+        embeddings = count_embeddings(triangle, data)
+        occurrences = count_occurrences(triangle, data)
+        assert embeddings == occurrences * automorphism_count(triangle)
+
+
+class TestCensus:
+    def test_census_reports(self):
+        data = cycle_graph(["A"] * 6)
+        census = MotifCensus(
+            {
+                "edge": path_graph(["A"] * 2),
+                "P3": path_graph(["A"] * 3),
+                "triangle": complete_graph(["A"] * 3),
+            }
+        )
+        reports = {r.name: r for r in census.run(data)}
+        assert reports["edge"].occurrences == 6
+        assert reports["P3"].occurrences == 6
+        assert reports["triangle"].occurrences == 0
+        assert reports["P3"].automorphisms == 2
+        assert not reports["edge"].capped
+
+    def test_census_capped_flag(self):
+        data = complete_graph(["A"] * 7)
+        census = MotifCensus({"edge": path_graph(["A"] * 2)})
+        (report,) = census.run(data, limit=3)
+        assert report.capped
+        assert report.embeddings == 3
+
+    def test_empty_census_rejected(self):
+        with pytest.raises(ValueError):
+            MotifCensus({})

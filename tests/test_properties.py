@@ -1,0 +1,117 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_levels,
+    connected_components,
+    cycle_graph,
+    degree_one_vertices,
+    density_class,
+    diameter,
+    eccentricity,
+    is_connected,
+    k_core_vertices,
+    non_tree_edges,
+    path_graph,
+    spanning_tree_edges,
+    star_graph,
+)
+
+
+class TestConnectivity:
+    def test_connected_components_single(self, triangle_data):
+        assert connected_components(triangle_data) == [[0, 1, 2]]
+
+    def test_connected_components_multiple(self):
+        g = Graph(labels=list("ABCD"), edges=[(0, 1), (2, 3)])
+        assert connected_components(g) == [[0, 1], [2, 3]]
+
+    def test_is_connected(self, square_data):
+        assert is_connected(square_data)
+        g = Graph(labels=["A", "B"], edges=[])
+        assert not is_connected(g)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph().freeze())
+
+    def test_single_vertex_connected(self):
+        assert is_connected(Graph(labels=["A"], edges=[]))
+
+
+class TestDistances:
+    def test_bfs_levels(self):
+        g = path_graph(list("ABCD"))
+        assert bfs_levels(g, 0) == [[0], [1], [2], [3]]
+        assert bfs_levels(g, 1) == [[1], [0, 2], [3]]
+
+    def test_bfs_levels_omit_unreachable(self):
+        g = Graph(labels=list("ABC"), edges=[(0, 1)])
+        assert bfs_levels(g, 0) == [[0], [1]]
+
+    def test_eccentricity(self):
+        g = path_graph(list("ABCD"))
+        assert eccentricity(g, 0) == 3
+        assert eccentricity(g, 1) == 2
+
+    def test_diameter_path(self):
+        assert diameter(path_graph(list("ABCDE"))) == 4
+
+    def test_diameter_cycle(self):
+        assert diameter(cycle_graph(list("ABCDEF"))) == 3
+
+    def test_diameter_disconnected_rejected(self):
+        g = Graph(labels=["A", "B"], edges=[])
+        with pytest.raises(ValueError, match="disconnected"):
+            diameter(g)
+
+
+class TestDecompositions:
+    def test_degree_one_vertices_star(self):
+        g = star_graph("C", ["L", "L", "L"])
+        assert degree_one_vertices(g) == (1, 2, 3)
+
+    def test_degree_one_vertices_cycle_empty(self):
+        assert degree_one_vertices(cycle_graph(list("ABC"))) == ()
+
+    def test_two_core_strips_hanging_trees(self):
+        # Triangle 0-1-2 with a pendant path 2-3-4.
+        g = Graph(labels=list("ABCDE"), edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert k_core_vertices(g, 2) == frozenset({0, 1, 2})
+
+    def test_two_core_of_tree_is_empty(self):
+        assert k_core_vertices(path_graph(list("ABCD")), 2) == frozenset()
+
+    def test_three_core_of_k4(self):
+        from repro.graph import complete_graph
+
+        g = complete_graph(list("ABCD"))
+        assert k_core_vertices(g, 3) == frozenset({0, 1, 2, 3})
+
+    def test_spanning_tree_covers_all_vertices(self, square_data):
+        edges = spanning_tree_edges(square_data, 0)
+        assert len(edges) == square_data.num_vertices - 1
+        reached = {0} | {child for _, child in edges}
+        assert reached == set(square_data.vertices())
+
+    def test_non_tree_edges(self, square_data):
+        tree = spanning_tree_edges(square_data, 0)
+        extra = non_tree_edges(square_data, tree)
+        assert len(extra) == square_data.num_edges - len(tree)
+
+
+class TestDensityClass:
+    def test_sparse_boundary(self):
+        # avg-deg exactly 3 is sparse (paper: avg-deg(q) <= 3).
+        g = cycle_graph(list("ABCD")).copy()
+        g.add_edge(0, 2)
+        g.add_edge(1, 3)
+        g.freeze()  # 4 vertices, 6 edges -> avg-deg 3
+        assert g.average_degree() == pytest.approx(3.0)
+        assert density_class(g) == "sparse"
+
+    def test_non_sparse(self):
+        from repro.graph import complete_graph
+
+        assert density_class(complete_graph(list("ABCDE"))) == "non-sparse"

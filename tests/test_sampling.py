@@ -1,0 +1,104 @@
+"""Unit tests for random-walk query extraction."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    SamplingError,
+    cycle_graph,
+    ensure_connected,
+    extract_query,
+    extract_query_with_degree,
+    gnm_random_graph,
+    is_connected,
+    random_labels,
+    random_walk_vertices,
+)
+from repro.interfaces import is_embedding
+
+
+class TestRandomWalk:
+    def test_collects_requested_count(self, rng):
+        g = cycle_graph([0] * 10)
+        walked = random_walk_vertices(g, 6, rng)
+        assert len(walked) == 6
+        assert len(set(walked)) == 6
+
+    def test_start_vertex_respected(self, rng):
+        g = cycle_graph([0] * 10)
+        walked = random_walk_vertices(g, 3, rng, start=4)
+        assert walked[0] == 4
+
+    def test_too_many_vertices_rejected(self, rng):
+        g = cycle_graph([0] * 5)
+        with pytest.raises(SamplingError):
+            random_walk_vertices(g, 6, rng)
+
+    def test_zero_vertices_rejected(self, rng):
+        g = cycle_graph([0] * 5)
+        with pytest.raises(ValueError):
+            random_walk_vertices(g, 0, rng)
+
+    def test_step_budget_enforced(self, rng):
+        # Two far-apart components; tiny budget forces failure.
+        from repro.graph import Graph
+
+        g = Graph(labels=[0, 0, 0, 0], edges=[(0, 1), (2, 3)])
+        with pytest.raises(SamplingError, match="steps"):
+            random_walk_vertices(g, 4, rng, start=0, max_steps=2)
+
+
+class TestExtractQuery:
+    def test_query_is_connected_and_embeds(self, rng):
+        for _ in range(15):
+            data = ensure_connected(
+                gnm_random_graph(20, 40, random_labels(20, 3, rng), rng), rng
+            )
+            query, mapping = extract_query(data, 5, rng)
+            assert is_connected(query)
+            embedding = tuple(mapping[u] for u in query.vertices())
+            assert is_embedding(embedding, query, data)
+
+    def test_full_induced_subgraph_by_default(self, rng):
+        data = cycle_graph([0] * 8)
+        query, mapping = extract_query(data, 3, rng)
+        # Three consecutive cycle vertices induce a path of 2 edges.
+        assert query.num_edges == 2
+
+    def test_thinning_preserves_connectivity(self, rng):
+        data = ensure_connected(
+            gnm_random_graph(25, 80, random_labels(25, 2, rng), rng), rng
+        )
+        for _ in range(10):
+            query, _ = extract_query(data, 6, rng, keep_edge_probability=0.0)
+            assert is_connected(query)
+            assert query.num_edges == query.num_vertices - 1  # spanning tree only
+
+    def test_invalid_probability_rejected(self, rng):
+        data = cycle_graph([0] * 5)
+        with pytest.raises(ValueError):
+            extract_query(data, 3, rng, keep_edge_probability=1.5)
+
+
+class TestExtractWithDegree:
+    def test_density_band_respected(self, rng):
+        data = ensure_connected(
+            gnm_random_graph(30, 140, random_labels(30, 2, rng), rng), rng
+        )
+        query, _ = extract_query_with_degree(data, 6, rng, min_avg_degree=3.0)
+        assert query.average_degree() >= 3.0
+
+    def test_sparse_band(self, rng):
+        data = ensure_connected(
+            gnm_random_graph(30, 60, random_labels(30, 2, rng), rng), rng
+        )
+        query, _ = extract_query_with_degree(data, 6, rng, max_avg_degree=3.0)
+        assert query.average_degree() <= 3.0
+
+    def test_impossible_band_raises(self, rng):
+        data = cycle_graph([0] * 10)  # max avg degree of any subgraph is 2
+        with pytest.raises(SamplingError):
+            extract_query_with_degree(
+                data, 4, rng, min_avg_degree=5.0, max_attempts=10
+            )

@@ -1,0 +1,61 @@
+"""Every matcher must honor the wall-clock limit (paper §7 protocol)."""
+
+import random
+
+import pytest
+
+from repro import DAFMatcher, MatchConfig
+from repro.baselines import ALL_BASELINES
+from repro.extensions import BoostedDAFMatcher
+from repro.graph import ensure_connected, gnm_random_graph
+
+
+def hard_instance():
+    """A single-label dense blob: astronomically many partial matches."""
+    rng = random.Random(13)
+    n = 50
+    data = ensure_connected(gnm_random_graph(n, 700, ["A"] * n, rng), rng)
+    query = ensure_connected(gnm_random_graph(11, 30, ["A"] * 11, rng), rng)
+    return query, data
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return hard_instance()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+def test_baseline_respects_time_limit(name, instance):
+    query, data = instance
+    matcher = ALL_BASELINES[name]()
+    result = matcher.match(query, data, limit=10**9, time_limit=0.3)
+    # Either it timed out, or it genuinely exhausted the space fast.
+    assert result.timed_out or result.stats.elapsed_seconds < 2.0
+
+
+def test_daf_respects_time_limit(instance):
+    query, data = instance
+    result = DAFMatcher(MatchConfig(collect_embeddings=False)).match(
+        query, data, limit=10**9, time_limit=0.3
+    )
+    assert result.timed_out
+    assert result.stats.search_seconds < 2.0
+
+
+def test_boost_respects_time_limit(instance):
+    query, data = instance
+    result = BoostedDAFMatcher(MatchConfig(collect_embeddings=False)).match(
+        query, data, limit=10**9, time_limit=0.3
+    )
+    assert result.timed_out or result.stats.elapsed_seconds < 2.0
+
+
+def test_timeout_result_contains_partial_progress(instance):
+    query, data = instance
+    result = DAFMatcher(MatchConfig(collect_embeddings=False)).match(
+        query, data, limit=10**9, time_limit=0.3
+    )
+    # Progress was made and is reported faithfully alongside the flag.
+    assert result.stats.recursive_calls > 0
+    assert result.count >= 0
+    assert not result.solved

@@ -1,0 +1,127 @@
+"""Unit tests for query-set generation and negative-query workloads."""
+
+import random
+
+import pytest
+
+from repro import count_embeddings
+from repro.graph import Graph, complete_graph, ensure_connected, gnm_random_graph, is_connected, random_labels
+from repro.workloads import (
+    NegativeBreakdown,
+    add_random_edges,
+    classify_queries,
+    complete_query,
+    generate_query_set,
+    paper_query_sizes,
+    perturb_labels,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_data():
+    rng = random.Random(77)
+    return ensure_connected(
+        gnm_random_graph(120, 480, random_labels(120, 4, rng), rng), rng
+    )
+
+
+class TestQuerySets:
+    def test_counts_and_sizes(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 6, "sparse", 5, rng, dataset="test")
+        assert len(qs) == 5
+        assert all(q.num_vertices == 6 for q in qs.queries)
+        assert qs.name == "Q_6S"
+
+    def test_sparse_class_respected(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 8, "sparse", 5, rng)
+        on_class = [q for q in qs.queries if q.average_degree() <= 3.0]
+        assert len(on_class) >= len(qs.queries) - qs.off_class
+
+    def test_nonsparse_class_respected(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 8, "nonsparse", 5, rng)
+        on_class = [q for q in qs.queries if q.average_degree() > 3.0]
+        assert len(on_class) >= len(qs.queries) - qs.off_class
+
+    def test_queries_connected_and_positive(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 5, "sparse", 4, rng)
+        for q in qs.queries:
+            assert is_connected(q)
+            assert count_embeddings(q, workload_data, limit=1) == 1
+
+    def test_invalid_density_rejected(self, workload_data, rng):
+        with pytest.raises(ValueError):
+            generate_query_set(workload_data, 5, "medium", 1, rng)
+
+    def test_name_suffixes(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 4, "nonsparse", 1, rng)
+        assert qs.name == "Q_4N"
+
+
+class TestPaperQuerySizes:
+    def test_protein_graphs_get_large_ladders(self):
+        assert paper_query_sizes("yeast", scaled=False) == (50, 100, 150, 200)
+        assert paper_query_sizes("human", scaled=False) == (10, 20, 30, 40)
+
+    def test_scaled_sizes_preserve_progression(self):
+        sizes = paper_query_sizes("yeast")
+        assert sizes == tuple(sorted(sizes))
+        assert sizes[0] >= 4
+
+    def test_unknown_dataset_gets_default(self):
+        assert paper_query_sizes("mystery", scaled=False) == (10, 20, 30, 40)
+
+
+class TestPerturbations:
+    def test_perturb_labels_changes_at_most_k(self, rng):
+        query = complete_graph(["A", "B", "C", "D"])
+        mutated = perturb_labels(query, 2, ["X", "Y"], rng)
+        changed = sum(1 for u in query.vertices() if mutated.label(u) != query.label(u))
+        assert changed <= 2
+        assert mutated.num_edges == query.num_edges
+
+    def test_perturb_labels_k_zero_identity(self, rng):
+        query = complete_graph(["A", "B"])
+        assert perturb_labels(query, 0, ["X"], rng).labels == ("A", "B")
+
+    def test_perturb_negative_k_rejected(self, rng):
+        with pytest.raises(ValueError):
+            perturb_labels(complete_graph(["A"]), -1, ["X"], rng)
+
+    def test_add_random_edges(self, rng):
+        query = Graph(labels=list("ABCD"), edges=[(0, 1), (1, 2), (2, 3)])
+        extended = add_random_edges(query, 2, rng)
+        assert extended.num_edges == 5
+        # Original edges preserved.
+        for u, v in query.edges():
+            assert extended.has_edge(u, v)
+
+    def test_add_edges_saturates_at_complete(self, rng):
+        query = Graph(labels=list("ABC"), edges=[(0, 1)])
+        extended = add_random_edges(query, 100, rng)
+        assert extended.num_edges == 3  # K3
+
+    def test_complete_query(self):
+        query = Graph(labels=list("ABCD"), edges=[(0, 1)])
+        full = complete_query(query)
+        assert full.num_edges == 6
+        assert full.labels == query.labels
+
+
+class TestClassification:
+    def test_positive_queries_classified(self, workload_data, rng):
+        qs = generate_query_set(workload_data, 5, "sparse", 3, rng)
+        breakdown = classify_queries(qs.queries, workload_data, limit=10)
+        assert breakdown.positive == 3
+        assert breakdown.negative == 0
+        assert breakdown.total == 3
+
+    def test_impossible_label_queries_are_empty_cs(self, workload_data):
+        query = Graph(labels=["missing-label", "missing-label"], edges=[(0, 1)])
+        breakdown = classify_queries([query], workload_data, limit=10)
+        assert breakdown.negative_empty_cs == 1
+        assert breakdown.positive == 0
+
+    def test_breakdown_totals(self):
+        b = NegativeBreakdown(positive=2, negative_empty_cs=3, negative_searched=1, unsolved=1)
+        assert b.total == 7
+        assert b.negative == 4
