@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# CI entry point: tier-1 suite + the fault-injection suite, each under a
+# global wall-clock cap (coreutils `timeout`, so a wedged supervisor or a
+# leaked worker process fails the build instead of hanging it).
+#
+# Usage: scripts/ci.sh            (from the repository root)
+#   TIER1_TIMEOUT / FAULTS_TIMEOUT override the caps (seconds).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+TIER1_TIMEOUT="${TIER1_TIMEOUT:-900}"
+FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
+
+echo "==> tier-1 suite (cap: ${TIER1_TIMEOUT}s)"
+timeout --kill-after=30 "$TIER1_TIMEOUT" \
+    python -m pytest -x -q -m "not faults"
+
+echo "==> fault-injection suite (cap: ${FAULTS_TIMEOUT}s)"
+timeout --kill-after=30 "$FAULTS_TIMEOUT" \
+    python -m pytest -x -q -m faults
+
+echo "==> CI green"

@@ -12,6 +12,9 @@ Public API highlights:
 - :mod:`repro.datasets` / :mod:`repro.workloads` — the evaluation's data
   graphs and query sets.
 - :mod:`repro.bench` — drivers regenerating every table and figure.
+- :mod:`repro.resilience` — execution budgets (:class:`repro.Budget`),
+  the graceful-degradation wrapper (:class:`repro.ResilientMatcher`),
+  and deterministic fault injection (see ``docs/robustness.md``).
 """
 
 from .core.config import DA_CAND, DA_PATH, DAF_CAND, DAF_PATH, MatchConfig
@@ -29,12 +32,17 @@ from .interfaces import (
     Matcher,
     MatchResult,
     SearchStats,
+    WorkerOutcome,
     is_embedding,
 )
+from .resilience import Budget, BudgetExceeded
+from .resilience.resilient import ResilientMatcher
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "DAFMatcher",
     "DA_CAND",
     "DA_PATH",
@@ -48,7 +56,9 @@ __all__ = [
     "MatchResult",
     "Matcher",
     "PreparedQuery",
+    "ResilientMatcher",
     "SearchStats",
+    "WorkerOutcome",
     "__version__",
     "count_embeddings",
     "find_embeddings",

@@ -25,6 +25,7 @@ from ..interfaces import (
     SearchStats,
     TimeoutSignal,
 )
+from ..resilience.budget import BudgetExceeded, embedding_bytes
 
 
 class _LimitReached(Exception):
@@ -69,6 +70,13 @@ def ordered_backtrack(
     the first already-mapped query neighbor (or the full candidate set for
     the order's first vertex) and every backward edge is verified against
     ``data``.
+
+    ``deadline`` may be a plain :class:`~repro.interfaces.Deadline` or a
+    :class:`repro.resilience.Budget`: budgets additionally meter
+    recursive calls on every tick and are charged for each collected
+    embedding, and a breach flags ``result.budget_breach`` instead of
+    raising.  ``KeyboardInterrupt`` likewise returns the partial result
+    with ``result.interrupted`` set.
     """
     if stats is None:
         stats = SearchStats()
@@ -76,6 +84,8 @@ def ordered_backtrack(
     n = query.num_vertices
     if any(not candidate_sets[u] for u in query.vertices()):
         return result
+    charge_memory = getattr(deadline, "charge_memory", None)
+    embedding_cost = embedding_bytes(n)
     position_of = {u: i for i, u in enumerate(order)}
     backward: list[tuple[int, ...]] = []
     for i, u in enumerate(order):
@@ -87,6 +97,8 @@ def ordered_backtrack(
         stats.recursive_calls += 1
         deadline.tick()
         if position == n:
+            if charge_memory is not None:
+                charge_memory(embedding_cost)
             stats.embeddings_found += 1
             embedding = tuple(mapping)
             result.embeddings.append(embedding)
@@ -120,8 +132,13 @@ def ordered_backtrack(
         extend(0)
     except _LimitReached:
         result.limit_reached = True
+    except BudgetExceeded as exc:
+        result.budget_breach = exc.dimension
+        result.timed_out = exc.dimension == "time"
     except TimeoutSignal:
         result.timed_out = True
+    except KeyboardInterrupt:
+        result.interrupted = True
     stats.search_seconds = time.perf_counter() - start
     return result
 

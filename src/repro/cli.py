@@ -45,6 +45,7 @@ def _write_graph(graph: Graph, path: str, fmt: str) -> None:
 
 
 def _build_matcher(args: argparse.Namespace):
+    workers = getattr(args, "workers", 1)
     if args.algorithm == "daf":
         config = MatchConfig(
             order=args.order,
@@ -53,6 +54,10 @@ def _build_matcher(args: argparse.Namespace):
             induced=args.induced,
             collect_embeddings=not args.count_only,
         )
+        if workers > 1:
+            from .extensions import ParallelDAFMatcher
+
+            return ParallelDAFMatcher(num_workers=workers, config=config)
         return DAFMatcher(config)
     try:
         cls = next(
@@ -63,6 +68,8 @@ def _build_matcher(args: argparse.Namespace):
         raise SystemExit(f"unknown algorithm {args.algorithm!r}; choices: {choices}")
     if args.induced or args.homomorphism:
         raise SystemExit("--induced/--homomorphism are DAF-only options")
+    if workers > 1:
+        raise SystemExit("--workers is a DAF-only option")
     return cls()
 
 
@@ -70,7 +77,47 @@ def cmd_match(args: argparse.Namespace) -> int:
     query = _read_graph(args.query, args.format)
     data = _read_graph(args.data, args.format)
     matcher = _build_matcher(args)
-    result = matcher.match(query, data, limit=args.limit, time_limit=args.time_limit)
+    max_memory = (
+        int(args.max_memory_mb * 1024 * 1024) if args.max_memory_mb is not None else None
+    )
+    match_kwargs: dict = {}
+    if args.resilient:
+        from .resilience import ResilientMatcher
+
+        matcher = ResilientMatcher(
+            primary=matcher, max_calls=args.max_calls, max_memory=max_memory
+        )
+    elif args.max_calls is not None or max_memory is not None:
+        if not isinstance(matcher, DAFMatcher):
+            raise SystemExit(
+                "--max-calls/--max-memory-mb need --algorithm daf "
+                "with --workers 1 (or add --resilient)"
+            )
+        from .resilience import Budget
+
+        try:
+            match_kwargs["budget"] = Budget(
+                time_limit=args.time_limit,
+                max_calls=args.max_calls,
+                max_memory=max_memory,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    try:
+        result = matcher.match(
+            query, data, limit=args.limit, time_limit=args.time_limit, **match_kwargs
+        )
+    except KeyboardInterrupt:
+        # The interrupt landed outside the cooperative search window
+        # (e.g. during preprocessing): report it rather than traceback.
+        payload = {
+            "algorithm": getattr(matcher, "name", args.algorithm),
+            "count": 0,
+            "interrupted": True,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 130
     payload = {
         "algorithm": getattr(matcher, "name", args.algorithm),
         "count": result.count,
@@ -81,11 +128,24 @@ def cmd_match(args: argparse.Namespace) -> int:
         "preprocess_seconds": round(result.stats.preprocess_seconds, 6),
         "search_seconds": round(result.stats.search_seconds, 6),
     }
+    if result.interrupted:
+        payload["interrupted"] = True
+    if result.budget_breach is not None:
+        payload["budget_breach"] = result.budget_breach
+    if result.partial_failure:
+        payload["partial_failure"] = True
+    if result.degradations:
+        payload["degradations"] = result.degradations
+    if result.stats.worker_outcomes:
+        payload["workers"] = [
+            {"slice": o.slice_index, "status": o.status, "attempts": o.attempts}
+            for o in result.stats.worker_outcomes
+        ]
     if not args.count_only:
         payload["embeddings"] = [list(e) for e in result.embeddings]
     json.dump(payload, sys.stdout, indent=2)
     print()
-    return 0
+    return 130 if result.interrupted else 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -181,6 +241,23 @@ def build_parser() -> argparse.ArgumentParser:
     match_p.add_argument("--induced", action="store_true", help="induced isomorphism")
     match_p.add_argument("--homomorphism", action="store_true", help="drop injectivity")
     match_p.add_argument("--count-only", action="store_true", help="omit embedding lists")
+    match_p.add_argument(
+        "--workers", type=int, default=1, help="parallel DAF worker processes (DAF only)"
+    )
+    match_p.add_argument(
+        "--max-calls", type=int, default=None, help="recursive-call budget (DAF only)"
+    )
+    match_p.add_argument(
+        "--max-memory-mb",
+        type=float,
+        default=None,
+        help="estimated memory budget in MiB (DAF only)",
+    )
+    match_p.add_argument(
+        "--resilient",
+        action="store_true",
+        help="wrap the matcher in the graceful-degradation chain (docs/robustness.md)",
+    )
     match_p.set_defaults(func=cmd_match)
 
     info_p = sub.add_parser("info", help="print graph statistics")

@@ -43,6 +43,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..interfaces import Deadline, Embedding, SearchStats, TimeoutSignal
+from ..resilience.budget import embedding_bytes
+from ..resilience.faults import FAULTS
 from .candidate_space import CandidateSpace
 from .config import MatchConfig
 from .ordering import make_order
@@ -91,6 +93,10 @@ class BacktrackEngine:
         self.order = make_order(config.order, cs)
         self.injective = config.injective
         self.collect = config.collect_embeddings
+        # Budget governors expose charge_memory (plain Deadline does not);
+        # collected embeddings are the search's dominant allocation.
+        self._charge_memory = getattr(deadline, "charge_memory", None)
+        self._embedding_cost = embedding_bytes(n)
 
         query = cs.query
         self.induced = config.induced
@@ -228,6 +234,9 @@ class BacktrackEngine:
         return -1
 
     def _report(self) -> None:
+        if self.collect and self._charge_memory is not None:
+            # Charge before counting so a breach leaves count == collected.
+            self._charge_memory(self._embedding_cost)
         self.stats.embeddings_found += 1
         if self.collect or self.on_embedding is not None:
             embedding = tuple(self.mapping)
@@ -255,6 +264,8 @@ class BacktrackEngine:
         found in this subtree (Case 1 makes the parent's F empty)."""
         self.stats.recursive_calls += 1
         self.deadline.tick()
+        if FAULTS.active:
+            FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
         if self.mapped_core == self.num_core:
             return self._match_leaves_fs()
         u = self._select()
@@ -315,6 +326,8 @@ class BacktrackEngine:
     def _extend_plain(self) -> None:
         self.stats.recursive_calls += 1
         self.deadline.tick()
+        if FAULTS.active:
+            FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
         if self.mapped_core == self.num_core:
             self._match_leaves_plain()
             return

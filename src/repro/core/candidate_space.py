@@ -30,6 +30,8 @@ from typing import Optional, Union
 
 from ..graph.digraph import ReversedDAG, RootedDAG
 from ..graph.graph import Graph
+from ..resilience.budget import CANDIDATE_BYTES, CS_EDGE_BYTES, Budget
+from ..resilience.faults import FAULTS
 from .filters import initial_candidates, passes_local_filters
 
 AnyDAG = Union[RootedDAG, ReversedDAG]
@@ -148,6 +150,7 @@ def build_candidate_space(
     use_local_filters: bool = True,
     max_fixpoint_steps: int = 64,
     initial_sets: Optional[list[set[int]]] = None,
+    budget: Optional[Budget] = None,
 ) -> CandidateSpace:
     """BuildCS(q, q_D, G): construct the optimized CS (paper §4).
 
@@ -167,6 +170,12 @@ def build_candidate_space(
         degree filter would get wrong — e.g. the capacity-weighted
         degrees of BoostIso hypergraphs.  The caller is responsible for
         soundness; local filters should usually be disabled alongside.
+    budget:
+        Optional :class:`repro.resilience.Budget`.  Construction polls
+        the wall clock around every DP pass and holds the estimated CS
+        footprint (candidate entries + materialized edges) against the
+        memory dimension, raising :class:`BudgetExceeded` *before* an
+        oversized structure is fully allocated.
     """
     if dag.query is not query:
         raise ValueError("the DAG must orient exactly this query graph")
@@ -176,14 +185,24 @@ def build_candidate_space(
         cand = [set(s) for s in initial_sets]
     else:
         cand = _candidate_sets_initial(query, data)
+    def _checkpoint(step: int) -> None:
+        """Per-pass governance: fault hook + budget time/memory check."""
+        if FAULTS.active:
+            FAULTS.fire("cs.refine", step=step)
+        if budget is not None:
+            budget.note_memory(sum(len(c) for c in cand) * CANDIDATE_BYTES)
+            budget.poll()
+
     directions: tuple[AnyDAG, AnyDAG] = (dag.reverse(), dag)
     steps_done = 0
+    _checkpoint(0)
     if refine_to_fixpoint:
         for step in range(max_fixpoint_steps):
             changed = _refine_pass(
                 query, data, directions[step % 2], cand, apply_local_filters=(step == 0)
             )
             steps_done += 1
+            _checkpoint(steps_done)
             if not changed and step > 0:
                 break
     else:
@@ -196,6 +215,7 @@ def build_candidate_space(
                 apply_local_filters=(step == 0 and use_local_filters),
             )
             steps_done += 1
+            _checkpoint(steps_done)
 
     candidates = [sorted(c) for c in cand]
     candidate_index = [{v: i for i, v in enumerate(c)} for c in candidates]
@@ -204,6 +224,8 @@ def build_candidate_space(
     # "immediate from E(q) and E(G) once candidate sets are decided" (§4):
     # (v, v_c) is a CS edge iff (u, u_c) in E(q_D) and (v, v_c) in E(G).
     down: list[dict[int, list[tuple[int, ...]]]] = [{} for _ in query.vertices()]
+    candidate_footprint = sum(len(c) for c in candidates) * CANDIDATE_BYTES
+    edges_materialized = 0
     for u in query.vertices():
         for u_c in dag.children(u):
             child_index = candidate_index[u_c]
@@ -216,7 +238,14 @@ def build_candidate_space(
                         if w in child_index
                     )
                 )
+                edges_materialized += len(adjacency[-1])
             down[u][u_c] = adjacency
+        if budget is not None:
+            # Catch a blowing-up CS per query vertex, before it finishes.
+            budget.note_memory(
+                candidate_footprint + edges_materialized * CS_EDGE_BYTES
+            )
+            budget.poll()
 
     return CandidateSpace(
         query=query,

@@ -27,6 +27,7 @@ from ..interfaces import (
     TimeoutSignal,
     validate_inputs,
 )
+from ..resilience.budget import Budget, BudgetExceeded
 from .backtrack import BacktrackEngine
 from .candidate_space import CandidateSpace, build_candidate_space
 from .config import MatchConfig
@@ -71,8 +72,16 @@ class DAFMatcher(Matcher):
         self.name = self.config.variant_name
 
     # ------------------------------------------------------------------
-    def prepare(self, query: Graph, data: Graph) -> PreparedQuery:
-        """Run BuildDAG + BuildCS (Algorithm 1 lines 1-2)."""
+    def prepare(
+        self, query: Graph, data: Graph, budget: Optional[Budget] = None
+    ) -> PreparedQuery:
+        """Run BuildDAG + BuildCS (Algorithm 1 lines 1-2).
+
+        With a ``budget``, CS construction is governed too: an oversized
+        or overlong build raises
+        :class:`~repro.resilience.BudgetExceeded` (``match`` converts it
+        into a flagged result).
+        """
         validate_inputs(query, data)
         if query.num_vertices > 1 and not is_connected(query):
             raise ValueError(
@@ -101,6 +110,7 @@ class DAFMatcher(Matcher):
             refine_to_fixpoint=self.config.refine_to_fixpoint,
             use_local_filters=use_local_filters,
             initial_sets=initial_sets,
+            budget=budget,
         )
         return PreparedQuery(
             query=query,
@@ -118,12 +128,20 @@ class DAFMatcher(Matcher):
         on_embedding: Optional[Callable[[Embedding], None]] = None,
         root_candidate_indices: Optional[list[int]] = None,
         tracer=None,
+        budget: Optional[Budget] = None,
     ) -> MatchResult:
         """Run Backtrack (Algorithm 1 line 4) over a prepared query.
 
         Pass a :class:`repro.core.trace.SearchTracer` as ``tracer`` to
         record the full search tree (nodes, leaf classes, failing sets —
         the paper's Figure 6/8 view).
+
+        A ``budget`` replaces the plain wall-clock deadline with the
+        multi-dimension governor (``time_limit`` additionally tightens
+        its wall-clock dimension when both are given).  The search never
+        raises on expiry: timeouts, budget breaches and
+        ``KeyboardInterrupt`` all return the partial result with the
+        corresponding flag set.
         """
         if limit < 1:
             raise ValueError("limit must be >= 1")
@@ -135,7 +153,12 @@ class DAFMatcher(Matcher):
         result = MatchResult(stats=stats)
         if prepared.is_negative:
             return result  # negativity proven by preprocessing alone (A.3)
-        deadline = Deadline(time_limit)
+        if budget is not None:
+            if time_limit is not None:
+                budget.cap_time(time_limit)
+            deadline = budget
+        else:
+            deadline = Deadline(time_limit)
         engine = BacktrackEngine(
             prepared.cs,
             self.config,
@@ -155,8 +178,15 @@ class DAFMatcher(Matcher):
         search_start = time.perf_counter()
         try:
             engine.run()
+        except BudgetExceeded as exc:
+            result.budget_breach = exc.dimension
+            result.timed_out = exc.dimension == "time"
         except TimeoutSignal:
             result.timed_out = True
+        except KeyboardInterrupt:
+            # Cooperative cancel: surface what was found, flagged, instead
+            # of discarding the work (the CLI maps this to exit code 130).
+            result.interrupted = True
         finally:
             stats.search_seconds = time.perf_counter() - search_start
             if old_depth < needed_depth:
@@ -172,10 +202,22 @@ class DAFMatcher(Matcher):
         limit: int = DEFAULT_LIMIT,
         time_limit: Optional[float] = None,
         on_embedding: Optional[Callable[[Embedding], None]] = None,
+        budget: Optional[Budget] = None,
     ) -> MatchResult:
-        """Algorithm 1: find up to ``limit`` embeddings of query in data."""
+        """Algorithm 1: find up to ``limit`` embeddings of query in data.
+
+        ``budget`` optionally governs the *whole* invocation (CS build
+        included) across every dimension; a breach returns a flagged
+        partial result rather than raising.
+        """
         overall_deadline = Deadline(time_limit)
-        prepared = self.prepare(query, data)
+        try:
+            prepared = self.prepare(query, data, budget=budget)
+        except BudgetExceeded as exc:
+            result = MatchResult()
+            result.budget_breach = exc.dimension
+            result.timed_out = exc.dimension == "time"
+            return result
         if overall_deadline.expired():
             result = MatchResult(
                 stats=SearchStats(
@@ -190,7 +232,11 @@ class DAFMatcher(Matcher):
         if time_limit is not None:
             remaining = max(0.0, time_limit - prepared.preprocess_seconds)
         return self.search(
-            prepared, limit=limit, time_limit=remaining, on_embedding=on_embedding
+            prepared,
+            limit=limit,
+            time_limit=remaining,
+            on_embedding=on_embedding,
+            budget=budget,
         )
 
 

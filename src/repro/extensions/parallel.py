@@ -1,4 +1,4 @@
-"""Parallel DAF (Appendix A.4).
+"""Parallel DAF (Appendix A.4) under crash-isolated supervision.
 
 The paper parallelizes the loop over the root's candidates (line 4 of
 Algorithm 2) with OpenMP threads over shared memory.  CPython's GIL makes
@@ -7,17 +7,40 @@ run across *processes* (DESIGN.md substitution 4): the CS structure is
 built once in the parent, workers inherit it by fork (zero-copy on
 Linux), and each worker backtracks from its slice of root candidates.
 
+Dispatch is **supervised**, not a bare ``pool.map``: each slice runs in
+its own forked process with a dedicated result pipe, and the parent's
+supervision loop
+
+- receives result envelopes as workers finish (no barrier — the global
+  embedding count is known continuously, so remaining slices are
+  **cancelled early** once the limit is met);
+- detects workers that die without an envelope (hard kill, OOM) via pipe
+  EOF and **retries** the slice with exponential backoff, up to
+  ``max_retries`` times;
+- reaps workers that overrun the wall-clock budget (terminating them a
+  small grace period past the deadline) while keeping every envelope
+  already received — partial results are salvaged, never discarded;
+- records one :class:`~repro.interfaces.WorkerOutcome` per slice in
+  ``SearchStats.worker_outcomes`` and flags
+  ``MatchResult.partial_failure`` when a slice is permanently lost.
+
 The paper's workers share a global embedding counter and stop at ``k``;
 across processes we approximate by giving every worker the full budget
-and truncating on merge — the wall-clock effect is the same "first
-workers to find embeddings win" behaviour, slightly pessimistic for the
-parallel side.
+and truncating on merge — plus the supervisor's early cancellation once
+the merged count reaches ``k``.
+
+The wall-clock budget handed to workers is the *remaining* time after CS
+construction (``time_limit - preprocess_seconds``), matching the
+sequential path's accounting.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Callable, Optional
 
 from ..core.config import MatchConfig
@@ -29,27 +52,60 @@ from ..interfaces import (
     Matcher,
     MatchResult,
     SearchStats,
+    WorkerOutcome,
 )
+from ..resilience.faults import FAULTS
 
-# Fork-shared state for workers (set in the parent right before the pool
-# is spawned; inherited copy-on-write by each forked worker).
+# Fork-shared state for workers (set in the parent right before workers
+# are spawned; inherited copy-on-write by each forked worker).
 _shared: dict[str, object] = {}
 
 
-def _worker(args: tuple[list[int], int, Optional[float]]) -> tuple[list[Embedding], int, int, bool, bool]:
-    indices, limit, time_limit = args
-    matcher: DAFMatcher = _shared["matcher"]  # type: ignore[assignment]
-    prepared: PreparedQuery = _shared["prepared"]  # type: ignore[assignment]
-    result = matcher.search(
-        prepared, limit=limit, time_limit=time_limit, root_candidate_indices=indices
-    )
-    return (
-        result.embeddings,
-        result.stats.recursive_calls,
-        result.stats.embeddings_found,
-        result.limit_reached,
-        result.timed_out,
-    )
+def _slice_worker(
+    conn,
+    slice_index: int,
+    attempt: int,
+    indices: list[int],
+    limit: int,
+    time_limit: Optional[float],
+) -> None:
+    """Worker body: search one root-candidate slice, send one envelope.
+
+    Every Python-level failure (including injected ``kind="raise"``
+    faults) is converted into an ``("error", message)`` envelope;
+    ``kind="exit"`` faults and real hard kills bypass this entirely,
+    which the parent observes as pipe EOF.
+    """
+    try:
+        FAULTS.fire("worker.start", slice_index=slice_index, attempt=attempt)
+        matcher: DAFMatcher = _shared["matcher"]  # type: ignore[assignment]
+        prepared: PreparedQuery = _shared["prepared"]  # type: ignore[assignment]
+        result = matcher.search(
+            prepared,
+            limit=limit,
+            time_limit=time_limit,
+            root_candidate_indices=indices,
+        )
+        conn.send(
+            (
+                "ok",
+                result.embeddings,
+                result.stats.recursive_calls,
+                result.stats.embeddings_found,
+                result.limit_reached,
+                result.timed_out,
+            )
+        )
+    except BaseException as exc:  # the envelope IS the error channel
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
 
 
 def split_round_robin(count: int, parts: int) -> list[list[int]]:
@@ -59,19 +115,58 @@ def split_round_robin(count: int, parts: int) -> list[list[int]]:
     return [s for s in slices if s]
 
 
-class ParallelDAFMatcher(Matcher):
-    """DAF with the root-candidate loop split across worker processes."""
+@dataclass
+class _Active:
+    """One in-flight worker process and its result pipe."""
 
-    def __init__(self, num_workers: Optional[int] = None, config: Optional[MatchConfig] = None) -> None:
+    process: object
+    conn: object
+    slice_index: int
+    attempt: int
+
+
+class ParallelDAFMatcher(Matcher):
+    """DAF with the root-candidate loop split across supervised workers.
+
+    Parameters
+    ----------
+    num_workers:
+        Maximum concurrently running worker processes (default: CPU
+        count).
+    max_retries:
+        Re-dispatches allowed per slice after a crash or worker error
+        before the slice is declared lost.
+    backoff_base:
+        First retry delay in seconds; doubles per subsequent attempt.
+    kill_grace:
+        Seconds past the wall-clock deadline before still-running
+        workers are forcibly terminated (they normally stop themselves
+        cooperatively well within this).
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        config: Optional[MatchConfig] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        kill_grace: float = 0.5,
+    ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.num_workers = num_workers
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.kill_grace = kill_grace
         self.config = config if config is not None else MatchConfig()
         self.name = f"{self.config.variant_name}-p{num_workers}"
         self._matcher = DAFMatcher(self.config)
 
+    # ------------------------------------------------------------------
     def match(
         self,
         query: Graph,
@@ -89,37 +184,34 @@ class ParallelDAFMatcher(Matcher):
         merged = MatchResult(stats=stats)
         if prepared.is_negative:
             return merged
+        remaining: Optional[float] = None
+        if time_limit is not None:
+            # Workers get what is left after CS construction, exactly as
+            # the sequential path deducts preprocess time.
+            remaining = time_limit - prepared.preprocess_seconds
+            if remaining <= 0:
+                merged.timed_out = True
+                return merged
         root_count = len(prepared.cs.candidates[prepared.dag.root])
         slices = split_round_robin(root_count, self.num_workers)
         if self.num_workers == 1 or len(slices) <= 1:
             result = self._matcher.search(
-                prepared, limit=limit, time_limit=time_limit, on_embedding=on_embedding
+                prepared, limit=limit, time_limit=remaining, on_embedding=on_embedding
             )
             result.stats.preprocess_seconds = prepared.preprocess_seconds
             return result
-
-        import time
 
         search_start = time.perf_counter()
         _shared["matcher"] = self._matcher
         _shared["prepared"] = prepared
         try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=len(slices)) as pool:
-                outcomes = pool.map(
-                    _worker, [(s, limit, time_limit) for s in slices]
-                )
+            embeddings, any_timeout = self._supervise(
+                slices, limit, remaining, stats, merged
+            )
         finally:
             _shared.clear()
         stats.search_seconds = time.perf_counter() - search_start
 
-        embeddings: list[Embedding] = []
-        any_timeout = False
-        for worker_embeddings, calls, found, limit_hit, timed_out in outcomes:
-            embeddings.extend(worker_embeddings)
-            stats.recursive_calls += calls
-            stats.embeddings_found += found
-            any_timeout = any_timeout or timed_out
         if stats.embeddings_found > limit:
             stats.embeddings_found = limit
         merged.embeddings = embeddings[:limit] if self.config.collect_embeddings else []
@@ -129,3 +221,147 @@ class ParallelDAFMatcher(Matcher):
         merged.limit_reached = stats.embeddings_found >= limit
         merged.timed_out = any_timeout and not merged.limit_reached
         return merged
+
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        slices: list[list[int]],
+        limit: int,
+        remaining: Optional[float],
+        stats: SearchStats,
+        merged: MatchResult,
+    ) -> tuple[list[Embedding], bool]:
+        """Dispatch every slice, salvage whatever the workers deliver.
+
+        Returns the merged embedding list and whether any slice (or the
+        supervisor itself) hit the wall clock.  Populates
+        ``stats.worker_outcomes`` / ``worker_retries`` and
+        ``merged.partial_failure`` as side effects.
+        """
+        ctx = multiprocessing.get_context("fork")
+        deadline = None if remaining is None else time.perf_counter() + remaining
+        # (slice_index, attempt, not_before) — retries wait out a backoff.
+        pending: list[tuple[int, int, float]] = [(i, 0, 0.0) for i in range(len(slices))]
+        active: dict[int, _Active] = {}
+        outcomes: dict[int, WorkerOutcome] = {}
+        embeddings: list[Embedding] = []
+        any_timeout = False
+
+        def outcome(index: int, status: str, attempt: int, **kw) -> None:
+            outcomes[index] = WorkerOutcome(
+                slice_index=index,
+                size=len(slices[index]),
+                status=status,
+                attempts=attempt + 1,
+                **kw,
+            )
+
+        def stop_all(status: str, timed_out: bool) -> None:
+            for entry in pending:
+                # attempts = tries already made (entry[1] is the next one).
+                outcome(entry[0], status, entry[1] - 1, timed_out=timed_out)
+            pending.clear()
+            for act in active.values():
+                act.process.terminate()
+                act.process.join()
+                act.conn.close()
+                outcome(act.slice_index, status, act.attempt, timed_out=timed_out)
+            active.clear()
+
+        try:
+            while pending or active:
+                now = time.perf_counter()
+                if deadline is not None and now > deadline + self.kill_grace:
+                    # Cooperative stop failed (hung or stuck workers):
+                    # reap them and keep everything already salvaged.
+                    stop_all("killed", timed_out=True)
+                    any_timeout = True
+                    break
+                # Launch due work into free slots.
+                launched = True
+                while launched and len(active) < self.num_workers:
+                    launched = False
+                    for position, (index, attempt, not_before) in enumerate(pending):
+                        if index in active or not_before > now:
+                            continue
+                        pending.pop(position)
+                        worker_limit = (
+                            None if deadline is None else max(0.001, deadline - now)
+                        )
+                        parent_conn, child_conn = ctx.Pipe(duplex=False)
+                        process = ctx.Process(
+                            target=_slice_worker,
+                            args=(
+                                child_conn,
+                                index,
+                                attempt,
+                                slices[index],
+                                limit,
+                                worker_limit,
+                            ),
+                            daemon=True,
+                        )
+                        process.start()
+                        child_conn.close()
+                        active[index] = _Active(process, parent_conn, index, attempt)
+                        launched = True
+                        break
+                if not active:
+                    # Everything pending is backing off; sleep to the
+                    # earliest retry (bounded so deadline checks still run).
+                    wake = min(entry[2] for entry in pending)
+                    time.sleep(min(max(wake - now, 0.0), 0.05) or 0.001)
+                    continue
+                ready = mp_connection.wait(
+                    [act.conn for act in active.values()], timeout=0.05
+                )
+                for conn in ready:
+                    act = next(a for a in active.values() if a.conn is conn)
+                    try:
+                        envelope = conn.recv()
+                    except (EOFError, OSError):
+                        envelope = None  # died without a word: hard crash
+                    del active[act.slice_index]
+                    act.process.join(timeout=5.0)
+                    if act.process.is_alive():
+                        act.process.terminate()
+                        act.process.join()
+                    conn.close()
+                    if envelope is not None and envelope[0] == "ok":
+                        _, embs, calls, found, _limit_hit, timed_out = envelope
+                        embeddings.extend(embs)
+                        stats.recursive_calls += calls
+                        stats.embeddings_found += found
+                        any_timeout = any_timeout or timed_out
+                        outcome(
+                            act.slice_index,
+                            "ok",
+                            act.attempt,
+                            recursive_calls=calls,
+                            embeddings_found=found,
+                            timed_out=timed_out,
+                        )
+                        if stats.embeddings_found >= limit:
+                            # Global limit met: remaining slices are moot.
+                            stop_all("cancelled", timed_out=False)
+                            break
+                        continue
+                    # Worker raised (envelope) or died silently (EOF).
+                    error = envelope[1] if envelope is not None else "worker process died"
+                    status = "error" if envelope is not None else "crashed"
+                    if act.attempt < self.max_retries:
+                        stats.worker_retries += 1
+                        delay = self.backoff_base * (2**act.attempt)
+                        pending.append(
+                            (act.slice_index, act.attempt + 1, time.perf_counter() + delay)
+                        )
+                    else:
+                        outcome(act.slice_index, status, act.attempt, error=error)
+                        merged.partial_failure = True
+        except BaseException:
+            # Supervisor itself interrupted/crashed: reap children first.
+            stop_all("killed", timed_out=False)
+            raise
+        finally:
+            stats.worker_outcomes = [outcomes[i] for i in sorted(outcomes)]
+        return embeddings, any_timeout

@@ -32,6 +32,29 @@ DEFAULT_LIMIT = 100_000
 
 
 @dataclass
+class WorkerOutcome:
+    """Final fate of one parallel-search slice (supervised dispatch).
+
+    ``status`` is one of ``"ok"`` (result envelope received), ``"error"``
+    (every attempt raised; the envelope carried the message), ``"crashed"``
+    (every attempt died without an envelope — hard kill / OOM),
+    ``"killed"`` (supervisor terminated a worker that overran the
+    wall-clock deadline) or ``"cancelled"`` (slice abandoned because the
+    global embedding limit was already met).  ``attempts`` counts
+    dispatches, so ``attempts > 1`` means the retry path ran.
+    """
+
+    slice_index: int
+    size: int
+    status: str
+    attempts: int = 1
+    error: str = ""
+    recursive_calls: int = 0
+    embeddings_found: int = 0
+    timed_out: bool = False
+
+
+@dataclass
 class SearchStats:
     """Cost accounting for one ``match()`` invocation.
 
@@ -50,6 +73,11 @@ class SearchStats:
         Refinement passes the candidate-space construction performed.
     preprocess_seconds / search_seconds:
         Wall-clock split (Fig. 12 reports this breakdown).
+    worker_outcomes:
+        Per-slice :class:`WorkerOutcome` records when the search ran under
+        the supervised parallel dispatcher (empty for sequential runs).
+    worker_retries:
+        Total slice re-dispatches the parallel supervisor performed.
     """
 
     recursive_calls: int = 0
@@ -58,6 +86,8 @@ class SearchStats:
     filter_iterations: int = 0
     preprocess_seconds: float = 0.0
     search_seconds: float = 0.0
+    worker_outcomes: list[WorkerOutcome] = field(default_factory=list)
+    worker_retries: int = 0
 
     @property
     def elapsed_seconds(self) -> float:
@@ -66,17 +96,45 @@ class SearchStats:
 
 @dataclass
 class MatchResult:
-    """Outcome of one ``match()`` invocation."""
+    """Outcome of one ``match()`` invocation.
+
+    Beyond the paper's limit/timeout flags, the result carries the
+    resilience layer's outcome markers — all default-off so a normal
+    completed search looks exactly as before:
+
+    - ``budget_breach``: which :class:`repro.resilience.Budget` dimension
+      cut the search short (``"time"``, ``"calls"`` or ``"memory"``),
+      or ``None``;
+    - ``interrupted``: the search was stopped by ``KeyboardInterrupt``
+      and the embeddings/stats are the partial state at that point;
+    - ``partial_failure``: a supervised parallel search lost at least one
+      slice permanently (see ``stats.worker_outcomes`` for details) —
+      the embeddings present are genuine but possibly incomplete;
+    - ``degradations``: human-readable log of every attempt a
+      :class:`repro.resilience.ResilientMatcher` made before producing
+      this result.
+    """
 
     embeddings: list[Embedding] = field(default_factory=list)
     stats: SearchStats = field(default_factory=SearchStats)
     limit_reached: bool = False
     timed_out: bool = False
+    budget_breach: Optional[str] = None
+    interrupted: bool = False
+    partial_failure: bool = False
+    degradations: list[str] = field(default_factory=list)
 
     @property
     def solved(self) -> bool:
-        """Paper §7: a query is *solved* if it finished within the limit."""
-        return not self.timed_out
+        """Paper §7: a query is *solved* if it finished within the limit
+        (and was not cut short by a budget, an interrupt, or a lost
+        parallel slice)."""
+        return not (
+            self.timed_out
+            or self.interrupted
+            or self.partial_failure
+            or self.budget_breach is not None
+        )
 
     @property
     def count(self) -> int:
@@ -88,6 +146,12 @@ class MatchResult:
             flags.append("limit")
         if self.timed_out:
             flags.append("timeout")
+        if self.budget_breach is not None and self.budget_breach != "time":
+            flags.append(f"budget:{self.budget_breach}")
+        if self.interrupted:
+            flags.append("interrupted")
+        if self.partial_failure:
+            flags.append("partial")
         suffix = f", {'+'.join(flags)}" if flags else ""
         return (
             f"MatchResult(count={self.count}, "

@@ -1,0 +1,52 @@
+"""Resilient execution layer: budgets, fault injection, degradation.
+
+The paper's evaluation protocol (§7) assumes every matcher respects a
+wall-clock budget and reports partial work on expiry; a production
+service additionally needs call/memory ceilings, crash-isolated parallel
+workers, and a degradation path for the heavy-tail queries where all of
+this actually triggers.  This package provides those pieces:
+
+- :class:`Budget` / :class:`BudgetExceeded` — a cooperative
+  multi-dimension governor (wall clock, recursive calls, estimated
+  memory) duck-compatible with :class:`repro.interfaces.Deadline`;
+- :mod:`repro.resilience.faults` — deterministic, seedable fault
+  injection at the worker-start / CS-refinement / backtrack-step hooks;
+- :class:`ResilientMatcher` — a wrapper walking a graceful-degradation
+  chain (counting mode → light filters → fallback baseline) instead of
+  crashing.
+
+See ``docs/robustness.md`` for the full tour.
+"""
+
+from .budget import (
+    CANDIDATE_BYTES,
+    CS_EDGE_BYTES,
+    Budget,
+    BudgetExceeded,
+    embedding_bytes,
+)
+from .faults import FAULTS, FaultInjector, FaultSpec, InjectedFault, inject
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CANDIDATE_BYTES",
+    "CS_EDGE_BYTES",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilientMatcher",
+    "embedding_bytes",
+    "inject",
+]
+
+
+def __getattr__(name: str):
+    # ResilientMatcher pulls in repro.core, which itself imports this
+    # package for the fault hooks — resolve it lazily to avoid the cycle.
+    if name == "ResilientMatcher":
+        from .resilient import ResilientMatcher
+
+        return ResilientMatcher
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,170 @@
+"""Deterministic, seedable fault injection for resilience testing.
+
+Real worker crashes (OOM kills, segfaulting C extensions, preempted
+containers) are impossible to reproduce on demand, so the degradation
+paths that handle them tend to rot untested.  This module plants cheap
+hooks at the three places the engine can die in production:
+
+- ``"worker.start"`` — entry of a parallel-search worker process
+  (:mod:`repro.extensions.parallel`), context ``slice_index``/``attempt``;
+- ``"cs.refine"`` — before each DP refinement pass of CS construction
+  (:mod:`repro.core.candidate_space`), context ``step``;
+- ``"backtrack.step"`` — every recursive call of the backtracking engine
+  (:mod:`repro.core.backtrack`), context ``calls``.
+
+Hooks are compiled to a single attribute check (``FAULTS.active``) when
+disarmed, so the hot search loop pays one ``bool`` load per recursive
+call — negligible next to the existing deadline tick.
+
+Faults are *specifications*, not monkeypatches: a :class:`FaultSpec`
+names a site, an optional context filter (exact-match on the hook's
+keyword context), an optional deterministic visit index, a seeded
+probability, and a kind:
+
+- ``"raise"`` — raise :class:`InjectedFault` (a Python-level crash;
+  supervised workers convert it into an error envelope);
+- ``"exit"``  — ``os._exit(3)`` (a hard kill: no exception propagation,
+  no result envelope — exactly what an OOM kill looks like);
+- ``"hang"``  — sleep ``hang_seconds`` (a stuck worker the supervisor
+  must reap by deadline).
+
+Because parallel workers are forked, arming the injector in the parent
+arms it in every worker — which is precisely how the tests kill one
+worker out of N deterministically (filter on ``slice_index``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: The hook sites the engine exposes, for validation and documentation.
+SITES = ("worker.start", "cs.refine", "backtrack.step")
+
+KINDS = ("raise", "exit", "hang")
+
+
+class InjectedFault(RuntimeError):
+    """The crash raised by a ``kind="raise"`` fault."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planted fault.
+
+    Attributes
+    ----------
+    site:
+        Hook site name (one of :data:`SITES`).
+    kind:
+        ``"raise"``, ``"exit"`` or ``"hang"`` (see module docstring).
+    match:
+        Context filter: the fault only fires at hook visits whose keyword
+        context contains every ``key: value`` pair listed here (e.g.
+        ``{"slice_index": 0, "attempt": 0}`` kills only the first attempt
+        of the first parallel slice).
+    at_visit:
+        Fire only on the Nth (0-based) *matching* visit; ``None`` means
+        every matching visit is eligible.
+    probability:
+        Chance an eligible visit actually fires, drawn from the
+        injector's seeded RNG (1.0 = always — fully deterministic).
+    hang_seconds:
+        Sleep duration for ``kind="hang"``.
+    """
+
+    site: str
+    kind: str = "raise"
+    match: dict = field(default_factory=dict)
+    at_visit: Optional[int] = None
+    probability: float = 1.0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; choices: {SITES}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; choices: {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+
+class FaultInjector:
+    """Process-global fault registry with per-spec visit counters.
+
+    Disarmed by default; arm with :meth:`configure` (or the
+    :func:`inject` context manager) and the hook sites start consulting
+    the spec list.  Counters and the RNG are part of the injector, so a
+    forked worker inherits the parent's arming — deterministic across
+    the fork boundary.
+    """
+
+    def __init__(self) -> None:
+        self.active = False
+        self._specs: list[FaultSpec] = []
+        self._visits: list[int] = []
+        self._rng = random.Random(0)
+        self.fired: list[tuple[str, dict]] = []
+
+    def configure(self, specs: list[FaultSpec], seed: int = 0) -> None:
+        self._specs = list(specs)
+        self._visits = [0] * len(specs)
+        self._rng = random.Random(seed)
+        self.fired = []
+        self.active = bool(specs)
+
+    def clear(self) -> None:
+        self.configure([])
+
+    def fire(self, site: str, **context) -> None:
+        """Hook entry point: trigger any armed fault matching this visit.
+
+        Cheap no-op when disarmed (guard with ``if FAULTS.active`` at hot
+        sites to skip even the call).
+        """
+        if not self.active:
+            return
+        for index, spec in enumerate(self._specs):
+            if spec.site != site:
+                continue
+            if any(context.get(k) != v for k, v in spec.match.items()):
+                continue
+            visit = self._visits[index]
+            self._visits[index] = visit + 1
+            if spec.at_visit is not None and visit != spec.at_visit:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self.fired.append((site, dict(context)))
+            self._detonate(spec, site)
+
+    def _detonate(self, spec: FaultSpec, site: str) -> None:
+        if spec.kind == "exit":
+            os._exit(3)
+        if spec.kind == "hang":
+            time.sleep(spec.hang_seconds)
+            return
+        raise InjectedFault(f"injected fault at {site}")
+
+
+#: The process-global injector every hook site consults.
+FAULTS = FaultInjector()
+
+
+@contextmanager
+def inject(*specs: FaultSpec, seed: int = 0) -> Iterator[FaultInjector]:
+    """Arm :data:`FAULTS` with ``specs`` for the duration of the block.
+
+    >>> from repro.resilience.faults import FaultSpec, inject
+    >>> with inject(FaultSpec(site="cs.refine", at_visit=1)):
+    ...     pass  # any CS build in here crashes on its second DP pass
+    """
+    FAULTS.configure(list(specs), seed=seed)
+    try:
+        yield FAULTS
+    finally:
+        FAULTS.clear()

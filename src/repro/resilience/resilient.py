@@ -1,0 +1,202 @@
+"""Graceful degradation: a matcher wrapper that refuses to crash.
+
+A production matching service cannot answer a heavy-tail query with a
+traceback.  :class:`ResilientMatcher` wraps a primary matcher (DAF by
+default) and walks a *degradation chain* when an attempt dies or blows
+its memory budget, trading answer richness for survival:
+
+1. the primary matcher, under the full :class:`~repro.resilience.Budget`;
+2. the same DAF configuration in **counting mode**
+   (``collect_embeddings=False``) — the dominant allocation (materialized
+   embeddings) disappears and leaf counting goes combinatorial;
+3. a **light preprocessing** DAF configuration (one refinement pass, no
+   local filters) — the CS structure shrinks to near the label filter;
+4. a designated **fallback baseline** (VF2 by default: zero auxiliary
+   structure, worst-case time but minimal space).
+
+Time and call budgets are *global* across the chain — a timed-out attempt
+is returned immediately, because retrying cannot manufacture wall clock —
+while the memory ceiling is re-armed per attempt (each stage allocates
+less than the one before).  Unexpected exceptions (including injected
+faults) are crash-isolated: logged to ``result.degradations`` and the
+chain moves on.  Every attempt, successful or not, leaves one line in
+``MatchResult.degradations``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Optional
+
+from ..core.config import MatchConfig
+from ..core.matcher import DAFMatcher
+from ..graph.graph import Graph
+from ..interfaces import (
+    DEFAULT_LIMIT,
+    Embedding,
+    Matcher,
+    MatchResult,
+    SearchStats,
+)
+from .budget import Budget
+
+#: Config overrides for the light-preprocessing degradation stage.
+_LIGHT_OVERRIDES = dict(
+    refinement_steps=1,
+    refine_to_fixpoint=False,
+    use_local_filters=False,
+    collect_embeddings=False,
+)
+
+
+class ResilientMatcher(Matcher):
+    """Wrap a matcher in the budgeted graceful-degradation chain.
+
+    Parameters
+    ----------
+    primary:
+        The first matcher tried; defaults to ``DAFMatcher(config)``.
+    config:
+        DAF configuration for the primary (ignored when ``primary`` is
+        given and is not a :class:`DAFMatcher`).
+    fallback:
+        Last-resort matcher; defaults to VF2 (no candidate
+        precomputation, minimal memory).  Pass ``None`` explicitly via
+        ``use_fallback=False`` to disable the final stage.
+    max_calls / max_memory:
+        Budget dimensions applied to every DAF attempt (``max_calls``
+        is global: calls spent by failed attempts count against it).
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> data = Graph(labels=["A", "B", "B"], edges=[(0, 1), (0, 2), (1, 2)])
+    >>> query = Graph(labels=["A", "B"], edges=[(0, 1)])
+    >>> ResilientMatcher().match(query, data).count
+    2
+    """
+
+    def __init__(
+        self,
+        primary: Optional[Matcher] = None,
+        config: Optional[MatchConfig] = None,
+        fallback: Optional[Matcher] = None,
+        use_fallback: bool = True,
+        max_calls: Optional[int] = None,
+        max_memory: Optional[int] = None,
+    ) -> None:
+        if primary is None:
+            primary = DAFMatcher(config if config is not None else MatchConfig())
+        self.primary = primary
+        if fallback is None and use_fallback:
+            from ..baselines.vf2 import VF2Matcher
+
+            fallback = VF2Matcher()
+        self.fallback = fallback
+        self.max_calls = max_calls
+        self.max_memory = max_memory
+        self.name = f"resilient({getattr(primary, 'name', type(primary).__name__)})"
+
+    # ------------------------------------------------------------------
+    def _chain(self) -> list[tuple[str, Matcher]]:
+        """The degradation stages for this primary, most capable first."""
+        stages: list[tuple[str, Matcher]] = [
+            (getattr(self.primary, "name", type(self.primary).__name__), self.primary)
+        ]
+        base = getattr(self.primary, "config", None)
+        if isinstance(self.primary, DAFMatcher) and isinstance(base, MatchConfig):
+            if base.collect_embeddings:
+                counting = dataclasses.replace(base, collect_embeddings=False)
+                stages.append((f"{counting.variant_name}(counting)", DAFMatcher(counting)))
+            else:
+                counting = base
+            light = dataclasses.replace(counting, **_LIGHT_OVERRIDES)
+            stages.append((f"{light.variant_name}(light-filter)", DAFMatcher(light)))
+        if self.fallback is not None:
+            stages.append(
+                (getattr(self.fallback, "name", type(self.fallback).__name__), self.fallback)
+            )
+        return stages
+
+    def match(
+        self,
+        query: Graph,
+        data: Graph,
+        limit: int = DEFAULT_LIMIT,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+    ) -> MatchResult:
+        start = time.perf_counter()
+        log: list[str] = []
+        calls_spent = 0
+        last_result: Optional[MatchResult] = None
+
+        def remaining_time() -> Optional[float]:
+            if time_limit is None:
+                return None
+            return max(0.0, time_limit - (time.perf_counter() - start))
+
+        stages = self._chain()
+        for position, (stage_name, matcher) in enumerate(stages, start=1):
+            prefix = f"attempt {position}/{len(stages)} ({stage_name})"
+            span = remaining_time()
+            if span is not None and span <= 0.0:
+                log.append(f"{prefix}: skipped, wall-clock budget exhausted")
+                break
+            remaining_calls = None
+            if self.max_calls is not None:
+                remaining_calls = self.max_calls - calls_spent
+                if remaining_calls <= 0:
+                    log.append(f"{prefix}: skipped, call budget exhausted")
+                    break
+            try:
+                if isinstance(matcher, DAFMatcher):
+                    budget = Budget(
+                        time_limit=span,
+                        max_calls=remaining_calls,
+                        max_memory=self.max_memory,
+                    )
+                    result = matcher.match(query, data, limit=limit, budget=budget)
+                else:
+                    result = matcher.match(query, data, limit=limit, time_limit=span)
+            except MemoryError:
+                log.append(f"{prefix}: MemoryError; degrading")
+                continue
+            except Exception as exc:  # crash isolation — keep KeyboardInterrupt fatal
+                log.append(f"{prefix}: crashed ({type(exc).__name__}: {exc}); degrading")
+                continue
+
+            calls_spent += result.stats.recursive_calls
+            last_result = result
+            if result.interrupted:
+                log.append(f"{prefix}: interrupted; returning partial result")
+                break
+            if result.timed_out or result.budget_breach == "time":
+                log.append(f"{prefix}: timed out; returning partial result")
+                break
+            if result.budget_breach == "calls":
+                log.append(f"{prefix}: call budget exceeded; returning partial result")
+                break
+            if result.budget_breach == "memory":
+                log.append(
+                    f"{prefix}: memory budget exceeded after "
+                    f"{result.stats.recursive_calls} calls; degrading"
+                )
+                continue
+            log.append(f"{prefix}: ok ({result.count} embeddings)")
+            break
+
+        if last_result is None:
+            # Every stage crashed or was skipped: surface flags, not a raise.
+            last_result = MatchResult(stats=SearchStats())
+            span = remaining_time()
+            if span is not None and span <= 0.0:
+                last_result.timed_out = True
+            else:
+                last_result.partial_failure = True
+        last_result.degradations = log
+        if on_embedding is not None:
+            for embedding in last_result.embeddings:
+                on_embedding(embedding)
+        return last_result

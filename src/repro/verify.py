@@ -77,8 +77,9 @@ def cross_validate(
     """Run every matcher and diff the results.
 
     Each result is first validated with :func:`verify_embeddings`; a
-    matcher returning an invalid embedding raises immediately.  Timed-out
-    matchers are skipped (their partial sets are not comparable).
+    matcher returning an invalid embedding raises immediately.  Matchers
+    that did not finish — timeout, interrupt, budget breach, or a lost
+    parallel slice — are skipped (their partial sets are not comparable).
     """
     if len(matchers) < 2:
         raise ValueError("cross-validation needs at least two matchers")
@@ -86,7 +87,7 @@ def cross_validate(
     full_sets: dict[str, set[Embedding]] = {}
     for name, matcher in matchers.items():
         result = matcher.match(query, data, limit=limit, time_limit=time_limit)
-        if result.timed_out:
+        if not result.solved:
             continue
         verify_embeddings(result.embeddings, query, data)
         report.counts[name] = result.count
@@ -123,8 +124,11 @@ def certify_negative(
     witness = witness if witness is not None else VF2Matcher()
     primary_result = primary.match(query, data, limit=1, time_limit=time_limit)
     witness_result = witness.match(query, data, limit=1, time_limit=time_limit)
-    if primary_result.timed_out or witness_result.timed_out:
-        raise VerificationError("certification inconclusive: a matcher timed out")
+    if not primary_result.solved or not witness_result.solved:
+        raise VerificationError(
+            "certification inconclusive: a matcher did not finish "
+            "(timeout, interrupt, or budget breach)"
+        )
     primary_empty = primary_result.count == 0
     witness_empty = witness_result.count == 0
     if primary_empty != witness_empty:

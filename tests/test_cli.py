@@ -69,6 +69,65 @@ class TestMatch:
         assert payload["algorithm"] == "DA-cand"
 
 
+class TestResilienceFlags:
+    def test_interrupt_during_match_reports_partial(self, graph_files, capsys, monkeypatch):
+        """Ctrl-C mid-search: partial JSON with the marker, exit code 130."""
+        from repro.core.matcher import DAFMatcher
+
+        def interrupted_match(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(DAFMatcher, "match", interrupted_match)
+        query, data = graph_files
+        assert main(["match", query, data]) == 130
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted"] is True
+
+    def test_cooperative_interrupt_keeps_partial_result(
+        self, graph_files, capsys, monkeypatch
+    ):
+        """An interrupt the search loop absorbed: embeddings found before
+        the Ctrl-C are in the payload, exit code still 130."""
+        from repro.core.matcher import DAFMatcher
+        from repro.interfaces import MatchResult, SearchStats
+
+        def partial_match(self, *args, **kwargs):
+            stats = SearchStats(recursive_calls=7, embeddings_found=1)
+            return MatchResult(embeddings=[(0, 1)], stats=stats, interrupted=True)
+
+        monkeypatch.setattr(DAFMatcher, "match", partial_match)
+        query, data = graph_files
+        assert main(["match", query, data]) == 130
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted"] is True
+        assert payload["count"] == 1
+        assert payload["embeddings"] == [[0, 1]]
+
+    def test_max_calls_flag(self, graph_files, capsys):
+        query, data = graph_files
+        assert main(["match", query, data, "--max-calls", "1000000"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert "budget_breach" not in payload
+
+    def test_budget_flags_are_daf_only(self, graph_files):
+        query, data = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", query, data, "--algorithm", "vf2", "--max-calls", "10"])
+
+    def test_workers_flag_is_daf_only(self, graph_files):
+        query, data = graph_files
+        with pytest.raises(SystemExit):
+            main(["match", query, data, "--algorithm", "vf2", "--workers", "2"])
+
+    def test_resilient_flag_logs_attempts(self, graph_files, capsys):
+        query, data = graph_files
+        assert main(["match", query, data, "--resilient"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert any("ok" in line for line in payload["degradations"])
+
+
 class TestInfoConvert:
     def test_info(self, graph_files, capsys):
         _, data = graph_files

@@ -1,6 +1,7 @@
 """Every matcher must honor the wall-clock limit (paper §7 protocol)."""
 
 import random
+import time
 
 import pytest
 
@@ -31,6 +32,23 @@ def test_baseline_respects_time_limit(name, instance):
     result = matcher.match(query, data, limit=10**9, time_limit=0.3)
     # Either it timed out, or it genuinely exhausted the space fast.
     assert result.timed_out or result.stats.elapsed_seconds < 2.0
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BASELINES))
+def test_baseline_timeout_semantics(name, instance):
+    """The full contract, uniformly: the flag is set, the partial
+    embeddings found so far are kept (count == list length), and control
+    returns within a small tolerance of the limit."""
+    query, data = instance
+    matcher = ALL_BASELINES[name]()
+    start = time.perf_counter()
+    result = matcher.match(query, data, limit=10**9, time_limit=0.3)
+    wall = time.perf_counter() - start
+    assert result.timed_out
+    assert not result.solved
+    assert result.count == len(result.embeddings) > 0
+    assert result.stats.recursive_calls > 0
+    assert wall < 0.3 + 1.5  # deadline poll interval + scheduling slack
 
 
 def test_daf_respects_time_limit(instance):
