@@ -63,6 +63,27 @@ def test_micro_search_failing_sets(benchmark, yeast_instance):
     assert result.count >= 0
 
 
+def test_micro_search_failing_sets_observed(benchmark, yeast_instance, observe):
+    """The failing-set search with a MetricsRegistry attached.
+
+    Comparing this median against ``test_micro_search_failing_sets``
+    measures the full-accounting overhead; the disabled path is checked
+    separately (observer ``None`` must be free — tests/test_obs.py).
+    Events land in benchmarks/results/metrics.jsonl via the session sink.
+    """
+    query, data = yeast_instance
+    matcher = DAFMatcher(MatchConfig(use_failing_sets=True, collect_embeddings=False))
+    registry = observe()
+    prepared = matcher.prepare(query, data, observer=registry)
+
+    def run():
+        return matcher.search(prepared, 200, observer=registry)
+
+    result = benchmark(run)
+    assert result.count >= 0
+    assert result.stats.metrics is not None
+
+
 def test_micro_leaf_counting_vs_enumeration(benchmark):
     """Counting mode's combinatorial leaf matcher vs full enumeration."""
     data = star_graph("H", ["L"] * 150)

@@ -9,12 +9,14 @@ used for EXPERIMENTS.md.  Results print with ``pytest benchmarks/
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.bench import DEFAULT, SMOKE, BenchProfile, render_table
+from repro.obs import JsonlSink, MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,13 +29,56 @@ def profile() -> BenchProfile:
 
 
 @pytest.fixture(scope="session")
-def record_rows():
-    """Print a result table and persist it under benchmarks/results/."""
+def metrics_sink():
+    """Session-wide JSONL sink: benchmarks/results/metrics.jsonl.
 
-    def _record(rows, title: str, filename: str) -> None:
+    Every observed benchmark run appends its events here; the file is
+    recreated per session and validated by
+    ``scripts/check_metrics_schema.py`` in CI.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "metrics.jsonl"
+    if path.exists():
+        path.unlink()
+    sink = JsonlSink(path)
+    yield sink
+    sink.close()
+
+
+@pytest.fixture()
+def observe(metrics_sink):
+    """Factory for fresh registries wired to the session metrics sink.
+
+    Usage in a benchmark target::
+
+        registry = observe()
+        matcher = DAFMatcher(config).with_observer(registry)
+        ...
+        record_rows(rows, title, "fig9.txt", metrics=registry.snapshot())
+    """
+
+    def _make() -> MetricsRegistry:
+        return MetricsRegistry(sink=metrics_sink)
+
+    return _make
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Print a result table and persist it under benchmarks/results/.
+
+    Pass ``metrics=<registry snapshot>`` to additionally write a
+    ``<name>.metrics.json`` sidecar (prune counters + spans) next to the
+    table, so a recorded figure carries its own cost accounting.
+    """
+
+    def _record(rows, title: str, filename: str, metrics=None) -> None:
         text = render_table(rows, title)
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / filename).write_text(text, encoding="utf-8")
+        if metrics is not None:
+            sidecar = RESULTS_DIR / (Path(filename).stem + ".metrics.json")
+            sidecar.write_text(json.dumps(metrics, indent=2), encoding="utf-8")
 
     return _record

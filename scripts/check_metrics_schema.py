@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validate metrics JSONL files against the repro.obs event schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_metrics_schema.py FILE [FILE ...]
+
+Each file must be a JSONL event stream as produced by
+``repro.obs.JsonlSink`` (the CLI's ``--metrics-out``, the benchmark
+harness's session sink, or any observer-equipped run).  The schema is
+the single source of truth in :data:`repro.obs.schema.EVENT_SCHEMAS`;
+see ``docs/observability.md`` for the derived field tables.
+
+Exit status: 0 if every file validates, 1 otherwise (all errors are
+printed, not just the first file's).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.obs.schema import validate_jsonl
+except ImportError:  # direct invocation without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs.schema import validate_jsonl
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            print(f"{name}: no such file", file=sys.stderr)
+            failed = True
+            continue
+        errors = validate_jsonl(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{name}: {error}", file=sys.stderr)
+        else:
+            print(f"{name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -4,7 +4,8 @@
 # leaked worker process fails the build instead of hanging it).
 #
 # Usage: scripts/ci.sh            (from the repository root)
-#   TIER1_TIMEOUT / FAULTS_TIMEOUT override the caps (seconds).
+#   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT override the caps
+#   (seconds).
 
 set -eu
 
@@ -13,6 +14,7 @@ export PYTHONPATH=src
 
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-900}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
+OBS_TIMEOUT="${OBS_TIMEOUT:-120}"
 
 echo "==> tier-1 suite (cap: ${TIER1_TIMEOUT}s)"
 timeout --kill-after=30 "$TIER1_TIMEOUT" \
@@ -21,5 +23,20 @@ timeout --kill-after=30 "$TIER1_TIMEOUT" \
 echo "==> fault-injection suite (cap: ${FAULTS_TIMEOUT}s)"
 timeout --kill-after=30 "$FAULTS_TIMEOUT" \
     python -m pytest -x -q -m faults
+
+echo "==> metrics schema round-trip (cap: ${OBS_TIMEOUT}s)"
+# Emit a real metrics stream through the CLI, then validate it against
+# the repro.obs event schema (docs/observability.md).
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
+    python -m repro generate dataset yeast '$OBS_TMP/yeast.graph' >/dev/null
+    python -m repro generate queries '$OBS_TMP/yeast.graph' '$OBS_TMP/q' \
+        --size 8 --count 1 --seed 7 >/dev/null
+    python -m repro match \"\$(ls '$OBS_TMP'/q/*.graph | head -1)\" \
+        '$OBS_TMP/yeast.graph' --limit 1000 --count-only \
+        --metrics-out '$OBS_TMP/metrics.jsonl' >/dev/null
+    python scripts/check_metrics_schema.py '$OBS_TMP/metrics.jsonl'
+"
 
 echo "==> CI green"

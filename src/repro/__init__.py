@@ -15,6 +15,10 @@ Public API highlights:
 - :mod:`repro.resilience` — execution budgets (:class:`repro.Budget`),
   the graceful-degradation wrapper (:class:`repro.ResilientMatcher`),
   and deterministic fault injection (see ``docs/robustness.md``).
+- :mod:`repro.obs` — metrics, phase spans, prune-reason accounting and
+  live progress (:class:`repro.MetricsRegistry`; attach via
+  ``matcher.with_observer(...)``, read ``result.stats.metrics`` — see
+  ``docs/observability.md``).
 """
 
 from .core.config import DA_CAND, DA_PATH, DAF_CAND, DAF_PATH, MatchConfig
@@ -35,6 +39,13 @@ from .interfaces import (
     WorkerOutcome,
     is_embedding,
 )
+from .obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    ProgressReporter,
+    SamplingTracer,
+)
 from .resilience import Budget, BudgetExceeded
 from .resilience.resilient import ResilientMatcher
 
@@ -52,11 +63,16 @@ __all__ = [
     "Embedding",
     "Graph",
     "GraphError",
+    "JsonlSink",
     "MatchConfig",
     "MatchResult",
     "Matcher",
+    "MemorySink",
+    "MetricsRegistry",
     "PreparedQuery",
+    "ProgressReporter",
     "ResilientMatcher",
+    "SamplingTracer",
     "SearchStats",
     "WorkerOutcome",
     "__version__",

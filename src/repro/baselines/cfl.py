@@ -47,6 +47,7 @@ from ..interfaces import (
     TimeoutSignal,
     validate_inputs,
 )
+from .generic import observe_baseline_run
 
 
 class _LimitReached(Exception):
@@ -264,11 +265,19 @@ class CFLMatcher(Matcher):
         stats.preprocess_seconds = time.perf_counter() - start
         stats.candidates_total = cpi.size
         if cpi.is_empty():
+            observe_baseline_run(self.observer, stats, cpi.candidates)
             return result
 
         order = cfl_matching_order(cpi)
         searcher = _CFLSearch(
-            cpi, order, limit, Deadline(time_limit), stats, on_embedding, collect_embeddings
+            cpi,
+            order,
+            limit,
+            Deadline(time_limit),
+            stats,
+            on_embedding,
+            collect_embeddings,
+            observer=self.observer,
         )
         search_start = time.perf_counter()
         try:
@@ -279,6 +288,7 @@ class CFLMatcher(Matcher):
             result.timed_out = True
         stats.search_seconds = time.perf_counter() - search_start
         result.embeddings = searcher.embeddings
+        observe_baseline_run(self.observer, stats, cpi.candidates)
         return result
 
     def cpi_size(self, query: Graph, data: Graph) -> int:
@@ -298,6 +308,7 @@ class _CFLSearch:
         stats: SearchStats,
         on_embedding: Optional[Callable[[Embedding], None]],
         collect_embeddings: bool,
+        observer=None,
     ) -> None:
         self.cpi = cpi
         self.limit = limit
@@ -305,6 +316,8 @@ class _CFLSearch:
         self.stats = stats
         self.on_embedding = on_embedding
         self.collect = collect_embeddings
+        self.obs = observer
+        self.progress = observer.progress if observer is not None else None
         self.embeddings: list[Embedding] = []
         query = cpi.query
         n = query.num_vertices
@@ -345,6 +358,8 @@ class _CFLSearch:
     def _extend(self, position: int) -> None:
         self.stats.recursive_calls += 1
         self.deadline.tick()
+        if self.progress is not None:
+            self.progress.tick(self.stats.recursive_calls, position)
         cpi = self.cpi
         data = cpi.data
         if position == len(self.core_forest_order):
@@ -359,11 +374,25 @@ class _CFLSearch:
         nontree = self.backward_nontree[position]
         mapping = self.mapping
         used = self.used
+        obs = self.obs
+        if obs is not None:
+            entered_before = obs.children_entered
         for v in pool:
             if v in used:
+                if obs is not None:
+                    obs.candidates_examined += 1
+                    obs.prune_conflict += 1
                 continue
             if any(not data.has_edge(v, mapping[w]) for w in nontree):
+                # Non-tree edges are not in the CPI, so this data-graph
+                # probe is CFL's analogue of a missing CS edge.
+                if obs is not None:
+                    obs.candidates_examined += 1
+                    obs.prune_cs_edge += 1
                 continue
+            if obs is not None:
+                obs.candidates_examined += 1
+                obs.children_entered += 1
             mapping[u] = v
             used.add(v)
             try:
@@ -371,6 +400,8 @@ class _CFLSearch:
             finally:
                 used.discard(v)
                 mapping[u] = -1
+        if obs is not None and obs.children_entered == entered_before:
+            obs.prune_empty += 1
 
     # -- leaf matching ------------------------------------------------
     def _leaf_pool(self, u: int) -> tuple[int, ...]:
@@ -392,9 +423,18 @@ class _CFLSearch:
             return
         self.deadline.tick()
         u = self.leaves[position]
+        obs = self.obs
+        if obs is not None:
+            entered_before = obs.children_entered
         for v in self._leaf_pool(u):
             if v in self.used:
+                if obs is not None:
+                    obs.candidates_examined += 1
+                    obs.prune_conflict += 1
                 continue
+            if obs is not None:
+                obs.candidates_examined += 1
+                obs.children_entered += 1
             self.mapping[u] = v
             self.used.add(v)
             try:
@@ -402,6 +442,8 @@ class _CFLSearch:
             finally:
                 self.used.discard(v)
                 self.mapping[u] = -1
+        if obs is not None and obs.children_entered == entered_before:
+            obs.prune_empty += 1
 
     def _count_leaves(self) -> None:
         """CFL's combinatorial leaf counting, grouped by label."""
@@ -409,14 +451,21 @@ class _CFLSearch:
 
         query = self.cpi.query
         remaining = self.limit - self.stats.embeddings_found
+        obs = self.obs
         groups: dict[object, list[list[int]]] = {}
         for u in self.leaves:
-            usable = [v for v in self._leaf_pool(u) if v not in self.used]
+            pool = self._leaf_pool(u)
+            usable = [v for v in pool if v not in self.used]
+            if obs is not None:
+                obs.candidates_examined += len(pool)
+                obs.prune_conflict += len(pool) - len(usable)
             groups.setdefault(query.label(u), []).append(usable)
         total = 1
         for candidate_lists in groups.values():
             group_count = _count_injective(candidate_lists, cap=remaining, injective=True)
             if group_count == 0:
+                if obs is not None:
+                    obs.prune_empty += 1
                 return
             total = min(total * group_count, remaining)
         self.stats.embeddings_found += min(total, remaining)

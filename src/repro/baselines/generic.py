@@ -62,6 +62,7 @@ def ordered_backtrack(
     deadline: Deadline,
     on_embedding: Optional[Callable[[Embedding], None]] = None,
     stats: Optional[SearchStats] = None,
+    observer=None,
 ) -> MatchResult:
     """Backtracking over a static order, probing the data graph for edges.
 
@@ -77,6 +78,15 @@ def ordered_backtrack(
     embedding, and a breach flags ``result.budget_breach`` instead of
     raising.  ``KeyboardInterrupt`` likewise returns the partial result
     with ``result.interrupted`` set.
+
+    ``observer`` (a :class:`repro.obs.MetricsRegistry` or ``None``)
+    attributes every rejected candidate to a prune reason, so all the
+    filter-order-backtrack baselines report accounting comparable to
+    DAF's: pool entries outside the candidate set count as
+    ``prune_label_degree``, injectivity hits as ``prune_conflict``,
+    failed backward-edge probes as ``prune_cs_edge`` (the data-graph
+    probes DAF's CS makes unnecessary), and nodes that extend no child
+    as ``prune_empty``.
     """
     if stats is None:
         stats = SearchStats()
@@ -92,10 +102,14 @@ def ordered_backtrack(
         backward.append(tuple(w for w in query.neighbors(u) if position_of[w] < i))
     mapping = [-1] * n
     used: set[int] = set()
+    obs = observer
+    progress = observer.progress if observer is not None else None
 
     def extend(position: int) -> None:
         stats.recursive_calls += 1
         deadline.tick()
+        if progress is not None:
+            progress.tick(stats.recursive_calls, position)
         if position == n:
             if charge_memory is not None:
                 charge_memory(embedding_cost)
@@ -116,16 +130,32 @@ def ordered_backtrack(
             pool = data.neighbors(mapping[anchor])
         else:
             pool = tuple(allowed)
+        if obs is not None:
+            entered_before = obs.children_entered
         for v in pool:
             if v in used or v not in allowed:
+                if obs is not None:
+                    obs.candidates_examined += 1
+                    if v in used:
+                        obs.prune_conflict += 1
+                    else:
+                        obs.prune_label_degree += 1
                 continue
             if any(not data.has_edge(v, mapping[w]) for w in anchors):
+                if obs is not None:
+                    obs.candidates_examined += 1
+                    obs.prune_cs_edge += 1
                 continue
+            if obs is not None:
+                obs.candidates_examined += 1
+                obs.children_entered += 1
             mapping[u] = v
             used.add(v)
             extend(position + 1)
             used.discard(v)
             mapping[u] = -1
+        if obs is not None and obs.children_entered == entered_before:
+            obs.prune_empty += 1
 
     start = time.perf_counter()
     try:
@@ -141,6 +171,27 @@ def ordered_backtrack(
         result.interrupted = True
     stats.search_seconds = time.perf_counter() - start
     return result
+
+
+def observe_baseline_run(observer, stats, candidate_sets=None) -> None:
+    """Finalize one observed baseline run.
+
+    Records the per-vertex candidate histogram (when the baseline has
+    candidate sets at all — VF2 does not), maps the baseline's two-stage
+    timing onto the shared phase vocabulary (``cs_construct`` = the whole
+    filter/order stage, ``search`` = backtracking), snapshots the registry
+    into ``stats.metrics`` and emits the counters event.  No-op when
+    ``observer`` is ``None`` — callers pass ``self.observer`` through
+    unconditionally.
+    """
+    if observer is None:
+        return
+    if candidate_sets is not None:
+        observer.observe_candidate_sizes(len(c) for c in candidate_sets)
+    observer.record_span("cs_construct", stats.preprocess_seconds)
+    observer.record_span("search", stats.search_seconds)
+    stats.metrics = observer.snapshot()
+    observer.emit_counters()
 
 
 def greedy_candidate_order(query: Graph, candidate_sets: Sequence[set[int]]) -> list[int]:

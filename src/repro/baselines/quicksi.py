@@ -26,7 +26,7 @@ from ..interfaces import (
     MatchResult,
     validate_inputs,
 )
-from .generic import ordered_backtrack
+from .generic import observe_baseline_run, ordered_backtrack
 
 
 def edge_label_frequencies(data: Graph) -> dict[tuple[object, object], int]:
@@ -95,8 +95,10 @@ class QuickSIMatcher(Matcher):
         preprocess = time.perf_counter() - start
         deadline = Deadline(time_limit)
         result = ordered_backtrack(
-            query, data, order, candidate_sets, limit, deadline, on_embedding
+            query, data, order, candidate_sets, limit, deadline, on_embedding,
+            observer=self.observer,
         )
         result.stats.preprocess_seconds = preprocess
         result.stats.candidates_total = sum(len(c) for c in candidate_sets)
+        observe_baseline_run(self.observer, result.stats, candidate_sets)
         return result

@@ -29,7 +29,7 @@ from ..interfaces import (
     MatchResult,
     validate_inputs,
 )
-from .generic import greedy_candidate_order, ordered_backtrack
+from .generic import greedy_candidate_order, observe_baseline_run, ordered_backtrack
 
 Signature = tuple[dict[object, int], ...]
 
@@ -110,8 +110,10 @@ class SPathMatcher(Matcher):
         preprocess = time.perf_counter() - start
         deadline = Deadline(time_limit)
         result = ordered_backtrack(
-            query, data, order, candidate_sets, limit, deadline, on_embedding
+            query, data, order, candidate_sets, limit, deadline, on_embedding,
+            observer=self.observer,
         )
         result.stats.preprocess_seconds = preprocess
         result.stats.candidates_total = sum(len(c) for c in candidate_sets)
+        observe_baseline_run(self.observer, result.stats, candidate_sets)
         return result

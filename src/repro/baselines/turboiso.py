@@ -41,7 +41,7 @@ from ..interfaces import (
     TimeoutSignal,
     validate_inputs,
 )
-from .generic import ordered_backtrack
+from .generic import observe_baseline_run, ordered_backtrack
 
 
 class _LimitReached(Exception):
@@ -183,6 +183,7 @@ class TurboIsoMatcher(Matcher):
         ]
         stats.preprocess_seconds = time.perf_counter() - start
         if any(not c for c in base_candidates):
+            observe_baseline_run(self.observer, stats, base_candidates)
             return result
 
         search_start = time.perf_counter()
@@ -210,6 +211,7 @@ class TurboIsoMatcher(Matcher):
                     deadline,
                     on_embedding,
                     stats=stats,
+                    observer=self.observer,
                 )
                 result.embeddings.extend(sub.embeddings)
                 if sub.timed_out:
@@ -221,4 +223,7 @@ class TurboIsoMatcher(Matcher):
         except TimeoutSignal:
             result.timed_out = True
         stats.search_seconds = time.perf_counter() - search_start
+        # Counters accumulate across all regions; the histogram records the
+        # pre-region candidate sets (the regions are transient refinements).
+        observe_baseline_run(self.observer, stats, base_candidates)
         return result

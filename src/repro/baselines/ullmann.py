@@ -25,7 +25,7 @@ from ..interfaces import (
     MatchResult,
     validate_inputs,
 )
-from .generic import connectivity_refine_order, ordered_backtrack
+from .generic import connectivity_refine_order, observe_baseline_run, ordered_backtrack
 
 
 def ullmann_refine(query: Graph, data: Graph, candidate_sets: list[set[int]]) -> None:
@@ -67,8 +67,10 @@ class UllmannMatcher(Matcher):
         preprocess = time.perf_counter() - start
         deadline = Deadline(time_limit)
         result = ordered_backtrack(
-            query, data, order, candidate_sets, limit, deadline, on_embedding
+            query, data, order, candidate_sets, limit, deadline, on_embedding,
+            observer=self.observer,
         )
         result.stats.preprocess_seconds = preprocess
         result.stats.candidates_total = sum(len(c) for c in candidate_sets)
+        observe_baseline_run(self.observer, result.stats, candidate_sets)
         return result

@@ -33,6 +33,7 @@ from ..interfaces import (
     TimeoutSignal,
     validate_inputs,
 )
+from .generic import observe_baseline_run
 
 
 class _LimitReached(Exception):
@@ -57,6 +58,8 @@ class VF2Matcher(Matcher):
         result = MatchResult(stats=stats)
         deadline = Deadline(time_limit)
         n_query = query.num_vertices
+        obs = self.observer
+        progress = obs.progress if obs is not None else None
 
         core_q: dict[int, int] = {}  # query vertex -> data vertex
         core_d: dict[int, int] = {}  # data vertex -> query vertex
@@ -130,6 +133,8 @@ class VF2Matcher(Matcher):
         def extend() -> None:
             stats.recursive_calls += 1
             deadline.tick()
+            if progress is not None:
+                progress.tick(stats.recursive_calls, len(core_q))
             if len(core_q) == n_query:
                 stats.embeddings_found += 1
                 embedding = tuple(core_q[u] for u in range(n_query))
@@ -140,13 +145,30 @@ class VF2Matcher(Matcher):
                     raise _LimitReached
                 return
             u = next_query_vertex()
+            if obs is not None:
+                entered_before = obs.children_entered
             for v in candidates_for(u):
                 if feasible(u, v):
+                    if obs is not None:
+                        obs.candidates_examined += 1
+                        obs.children_entered += 1
                     add_pair(u, v)
                     try:
                         extend()
                     finally:
                         remove_pair(u, v)
+                elif obs is not None:
+                    # VF2 has no candidate precomputation, so prune reasons
+                    # are re-derived from the failed pair: label/degree
+                    # mismatches map to the filter counter, everything else
+                    # (syntactic rule + lookahead) to the edge counter.
+                    obs.candidates_examined += 1
+                    if query.label(u) != data.label(v) or query.degree(u) > data.degree(v):
+                        obs.prune_label_degree += 1
+                    else:
+                        obs.prune_cs_edge += 1
+            if obs is not None and obs.children_entered == entered_before:
+                obs.prune_empty += 1
 
         start = time.perf_counter()
         try:
@@ -156,4 +178,5 @@ class VF2Matcher(Matcher):
         except TimeoutSignal:
             result.timed_out = True
         stats.search_seconds = time.perf_counter() - start
+        observe_baseline_run(obs, stats)
         return result

@@ -73,6 +73,18 @@ def _build_matcher(args: argparse.Namespace):
     return cls()
 
 
+def _build_observer(args: argparse.Namespace):
+    """Observer + sink for ``--metrics-out`` / ``--profile`` / ``--progress``
+    (``(None, None)`` when none of them is given — the zero-overhead path)."""
+    if not (args.metrics_out or args.profile or args.progress):
+        return None, None
+    from .obs import JsonlSink, MetricsRegistry, ProgressReporter
+
+    sink = JsonlSink(args.metrics_out) if args.metrics_out else None
+    progress = ProgressReporter(stream=sys.stderr) if args.progress else None
+    return MetricsRegistry(sink=sink, progress=progress), sink
+
+
 def cmd_match(args: argparse.Namespace) -> int:
     query = _read_graph(args.query, args.format)
     data = _read_graph(args.data, args.format)
@@ -103,6 +115,21 @@ def cmd_match(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
+    observer, sink = _build_observer(args)
+    if observer is not None:
+        matcher.with_observer(observer)
+        run_start = {
+            "event": "run_start",
+            "algorithm": getattr(matcher, "name", args.algorithm),
+            "query_vertices": query.num_vertices,
+            "data_vertices": data.num_vertices,
+            "limit": args.limit,
+        }
+        if args.time_limit is not None:
+            run_start["time_limit"] = args.time_limit
+        if getattr(args, "workers", 1) > 1:
+            run_start["workers"] = args.workers
+        observer.emit(run_start)
     try:
         result = matcher.match(
             query, data, limit=args.limit, time_limit=args.time_limit, **match_kwargs
@@ -110,6 +137,8 @@ def cmd_match(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         # The interrupt landed outside the cooperative search window
         # (e.g. during preprocessing): report it rather than traceback.
+        if sink is not None:
+            sink.close()
         payload = {
             "algorithm": getattr(matcher, "name", args.algorithm),
             "count": 0,
@@ -118,6 +147,26 @@ def cmd_match(args: argparse.Namespace) -> int:
         json.dump(payload, sys.stdout, indent=2)
         print()
         return 130
+    if observer is not None:
+        snapshot = result.stats.metrics or observer.snapshot()
+        observer.emit(
+            {
+                "event": "run_end",
+                "recursive_calls": result.stats.recursive_calls,
+                "embeddings": result.count,
+                "solved": result.solved,
+                "spans": snapshot["spans"],
+                "counters": snapshot["counters"],
+                "limit_reached": result.limit_reached,
+                "timed_out": result.timed_out,
+            }
+        )
+        if sink is not None:
+            sink.close()
+        if args.profile:
+            from .obs import render_snapshot
+
+            print(render_snapshot(snapshot), file=sys.stderr)
     payload = {
         "algorithm": getattr(matcher, "name", args.algorithm),
         "count": result.count,
@@ -257,6 +306,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient",
         action="store_true",
         help="wrap the matcher in the graceful-degradation chain (docs/robustness.md)",
+    )
+    match_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append observability events as JSONL (docs/observability.md)",
+    )
+    match_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print phase timings and prune accounting to stderr",
+    )
+    match_p.add_argument(
+        "--progress",
+        action="store_true",
+        help="live heartbeat lines on stderr for long searches",
     )
     match_p.set_defaults(func=cmd_match)
 

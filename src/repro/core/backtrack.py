@@ -60,6 +60,12 @@ class BacktrackEngine:
     An engine instance is single-use: construct, :meth:`run`, read results.
     ``root_candidate_indices`` restricts the root's candidates, which is
     how parallel DAF partitions the search across workers (Appendix A.4).
+
+    ``observer`` is an optional :class:`repro.obs.MetricsRegistry`.  The
+    zero-overhead contract: when it is ``None`` (the default) the hot
+    loop performs no observability work beyond ``is not None`` checks on
+    locals — there is no no-op registry object, and search results are
+    bit-identical with metrics on and off.
     """
 
     def __init__(
@@ -72,6 +78,7 @@ class BacktrackEngine:
         on_embedding: Optional[Callable[[Embedding], None]] = None,
         root_candidate_indices: Optional[list[int]] = None,
         tracer=None,
+        observer=None,
     ) -> None:
         self.cs = cs
         self.config = config
@@ -80,6 +87,8 @@ class BacktrackEngine:
         self.stats = stats
         self.on_embedding = on_embedding
         self.tracer = tracer
+        self.obs = observer
+        self.progress = observer.progress if observer is not None else None
         self.embeddings: list[Embedding] = []
         self.limit_reached = False
 
@@ -266,13 +275,19 @@ class BacktrackEngine:
         self.deadline.tick()
         if FAULTS.active:
             FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
+        progress = self.progress
+        if progress is not None:
+            progress.tick(self.stats.recursive_calls, self.mapped_core)
         if self.mapped_core == self.num_core:
             return self._match_leaves_fs()
         u = self._select()
         cmu = self.cmu[u]
         anc = self.anc
         tracer = self.tracer
+        obs = self.obs
         if not cmu:
+            if obs is not None:
+                obs.prune_empty += 1
             if tracer is not None:
                 tracer.emptyset(u)
             return anc[u]  # emptyset class
@@ -282,11 +297,15 @@ class BacktrackEngine:
         found_embedding = False
         for i in cmu:
             v = candidates_u[i]
+            if obs is not None:
+                obs.candidates_examined += 1
             if self.injective:
                 occupier = visited_by.get(v)
                 if occupier is not None:
                     contribution = anc[u] | anc[occupier]  # conflict class
                     fs_union |= contribution
+                    if obs is not None:
+                        obs.prune_conflict += 1
                     if tracer is not None:
                         tracer.conflict(u, v, contribution)
                     continue
@@ -295,9 +314,13 @@ class BacktrackEngine:
                 if offender >= 0:
                     contribution = anc[u] | anc[offender]
                     fs_union |= contribution
+                    if obs is not None:
+                        obs.prune_conflict += 1
                     if tracer is not None:
                         tracer.conflict(u, v, contribution)
                     continue
+            if obs is not None:
+                obs.children_entered += 1
             if tracer is not None:
                 tracer.enter(u, v)
             self._map(u, i, v)
@@ -311,6 +334,9 @@ class BacktrackEngine:
                 found_embedding = True
             elif not (child_fs >> u) & 1:
                 # Case 2.1 + Lemma 6.1: remaining siblings are redundant.
+                if obs is not None:
+                    obs.fs_cuts += 1
+                    obs.prune_failing_set += len(cmu) - cmu.index(i) - 1
                 if tracer is not None:
                     position = cmu.index(i)
                     for j in cmu[position + 1 :]:
@@ -328,22 +354,36 @@ class BacktrackEngine:
         self.deadline.tick()
         if FAULTS.active:
             FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
+        progress = self.progress
+        if progress is not None:
+            progress.tick(self.stats.recursive_calls, self.mapped_core)
         if self.mapped_core == self.num_core:
             self._match_leaves_plain()
             return
         u = self._select()
         cmu = self.cmu[u]
+        obs = self.obs
         if not cmu:
+            if obs is not None:
+                obs.prune_empty += 1
             return
         candidates_u = self.cs.candidates[u]
         visited_by = self.visited_by
         tracer = self.tracer
         for i in cmu:
             v = candidates_u[i]
+            if obs is not None:
+                obs.candidates_examined += 1
             if self.injective and v in visited_by:
+                if obs is not None:
+                    obs.prune_conflict += 1
                 continue
             if self.induced and self._induced_violation(u, v) >= 0:
+                if obs is not None:
+                    obs.prune_conflict += 1
                 continue
+            if obs is not None:
+                obs.children_entered += 1
             if tracer is not None:
                 tracer.enter(u, v)
             self._map(u, i, v)
@@ -382,7 +422,10 @@ class BacktrackEngine:
         self.deadline.tick()
         u, idxs = info[pos]
         anc = self.anc
+        obs = self.obs
         if not idxs:
+            if obs is not None:
+                obs.prune_empty += 1
             return anc[u]
         candidates_u = self.cs.candidates[u]
         visited_by = self.visited_by
@@ -390,12 +433,18 @@ class BacktrackEngine:
         found_embedding = False
         for i in idxs:
             v = candidates_u[i]
+            if obs is not None:
+                obs.candidates_examined += 1
             if self.injective:
                 occupier = visited_by.get(v)
                 if occupier is not None:
                     fs_union |= anc[u] | anc[occupier]
+                    if obs is not None:
+                        obs.prune_conflict += 1
                     continue
                 visited_by[v] = u
+            if obs is not None:
+                obs.children_entered += 1
             self.mapping[u] = v
             try:
                 child_fs = self._leaf_rec_fs(info, pos + 1)
@@ -406,6 +455,9 @@ class BacktrackEngine:
             if child_fs is None:
                 found_embedding = True
             elif not (child_fs >> u) & 1:
+                if obs is not None:
+                    obs.fs_cuts += 1
+                    obs.prune_failing_set += len(idxs) - idxs.index(i) - 1
                 return None if found_embedding else child_fs
             else:
                 fs_union |= child_fs
@@ -430,12 +482,21 @@ class BacktrackEngine:
         u, idxs = info[pos]
         candidates_u = self.cs.candidates[u]
         visited_by = self.visited_by
+        obs = self.obs
+        if not idxs and obs is not None:
+            obs.prune_empty += 1
         for i in idxs:
             v = candidates_u[i]
+            if obs is not None:
+                obs.candidates_examined += 1
             if self.injective:
                 if v in visited_by:
+                    if obs is not None:
+                        obs.prune_conflict += 1
                     continue
                 visited_by[v] = u
+            if obs is not None:
+                obs.children_entered += 1
             self.mapping[u] = v
             try:
                 self._leaf_rec_plain(info, pos + 1)
@@ -463,6 +524,7 @@ class BacktrackEngine:
         """
         query = self.cs.query
         remaining = self.limit - self.stats.embeddings_found
+        obs = self.obs
         groups: dict[object, list[int]] = {}
         for u in self.deferred_leaves:
             groups.setdefault(query.label(u), []).append(u)
@@ -476,10 +538,14 @@ class BacktrackEngine:
                 usable: list[int] = []
                 for i in self._leaf_candidate_indices(u):
                     v = candidates_u[i]
+                    if obs is not None:
+                        obs.candidates_examined += 1
                     if self.injective:
                         occupier = self.visited_by.get(v)
                         if occupier is not None:
                             conflict_mask |= self.anc[occupier]
+                            if obs is not None:
+                                obs.prune_conflict += 1
                             continue
                     usable.append(v)
                 available.append((u, usable))
@@ -487,6 +553,8 @@ class BacktrackEngine:
                 [usable for _, usable in available], cap=remaining, injective=self.injective
             )
             if group_count == 0:
+                if obs is not None:
+                    obs.prune_empty += 1
                 failing = conflict_mask
                 for u, _ in available:
                     failing |= self.anc[u]

@@ -25,6 +25,7 @@ Construction (``build_candidate_space``):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -93,8 +94,18 @@ class CandidateSpace:
         return tuple(self.candidates[u_c][j] for j in self.down[u][u_c][i])
 
 
-def _candidate_sets_initial(query: Graph, data: Graph) -> list[set[int]]:
-    return [set(initial_candidates(query, data, u)) for u in query.vertices()]
+def _candidate_sets_initial(
+    query: Graph, data: Graph, observer=None
+) -> list[set[int]]:
+    sets = [set(initial_candidates(query, data, u)) for u in query.vertices()]
+    if observer is not None:
+        # C_ini rejections: data vertices with the right label that the
+        # degree condition (or label itself, for unlabeled data) removed.
+        considered = sum(
+            len(data.vertices_with_label(query.label(u))) for u in query.vertices()
+        )
+        observer.prune_label_degree += considered - sum(len(s) for s in sets)
+    return sets
 
 
 def _refine_pass(
@@ -103,12 +114,18 @@ def _refine_pass(
     direction: AnyDAG,
     cand: list[set[int]],
     apply_local_filters: bool = False,
+    observer=None,
 ) -> bool:
     """One DAG-graph DP pass in place; returns True if anything changed.
 
     Processes query vertices in reverse topological order of ``direction``
     so every child's refined set C'(u_c) is final before u is visited
     (the bottom-up evaluation of Recurrence (1)).
+
+    With an ``observer``, rejections are attributed per reason: local
+    MND/NLF failures count as ``prune_label_degree``; DP failures (no
+    CS edge to some child's candidate set — Recurrence (1)) count as
+    ``prune_cs_edge``.
     """
     changed = False
     order = tuple(reversed(direction.topological_order()))
@@ -119,6 +136,8 @@ def _refine_pass(
         survivors: set[int] = set()
         for v in cand[u]:
             if apply_local_filters and not passes_local_filters(query, data, u, v):
+                if observer is not None:
+                    observer.prune_label_degree += 1
                 continue
             ok = True
             v_neighbors = data.neighbor_set(v)
@@ -135,6 +154,8 @@ def _refine_pass(
                         break
             if ok:
                 survivors.add(v)
+            elif observer is not None:
+                observer.prune_cs_edge += 1
         if len(survivors) != len(cand[u]):
             changed = True
             cand[u] = survivors
@@ -151,6 +172,7 @@ def build_candidate_space(
     max_fixpoint_steps: int = 64,
     initial_sets: Optional[list[set[int]]] = None,
     budget: Optional[Budget] = None,
+    observer=None,
 ) -> CandidateSpace:
     """BuildCS(q, q_D, G): construct the optimized CS (paper §4).
 
@@ -176,6 +198,12 @@ def build_candidate_space(
         footprint (candidate entries + materialized edges) against the
         memory dimension, raising :class:`BudgetExceeded` *before* an
         oversized structure is fully allocated.
+    observer:
+        Optional :class:`repro.obs.MetricsRegistry`.  Attributes every
+        candidate rejection to a prune reason (``prune_label_degree``
+        for C_ini/MND/NLF, ``prune_cs_edge`` for DP removals), times the
+        refinement loop as the ``cs_refine`` span, and records the final
+        per-vertex candidate histogram.
     """
     if dag.query is not query:
         raise ValueError("the DAG must orient exactly this query graph")
@@ -184,7 +212,7 @@ def build_candidate_space(
             raise ValueError("initial_sets needs one candidate set per query vertex")
         cand = [set(s) for s in initial_sets]
     else:
-        cand = _candidate_sets_initial(query, data)
+        cand = _candidate_sets_initial(query, data, observer=observer)
     def _checkpoint(step: int) -> None:
         """Per-pass governance: fault hook + budget time/memory check."""
         if FAULTS.active:
@@ -196,10 +224,16 @@ def build_candidate_space(
     directions: tuple[AnyDAG, AnyDAG] = (dag.reverse(), dag)
     steps_done = 0
     _checkpoint(0)
+    refine_start = time.perf_counter() if observer is not None else 0.0
     if refine_to_fixpoint:
         for step in range(max_fixpoint_steps):
             changed = _refine_pass(
-                query, data, directions[step % 2], cand, apply_local_filters=(step == 0)
+                query,
+                data,
+                directions[step % 2],
+                cand,
+                apply_local_filters=(step == 0),
+                observer=observer,
             )
             steps_done += 1
             _checkpoint(steps_done)
@@ -213,9 +247,12 @@ def build_candidate_space(
                 directions[step % 2],
                 cand,
                 apply_local_filters=(step == 0 and use_local_filters),
+                observer=observer,
             )
             steps_done += 1
             _checkpoint(steps_done)
+    if observer is not None:
+        observer.record_span("cs_refine", time.perf_counter() - refine_start)
 
     candidates = [sorted(c) for c in cand]
     candidate_index = [{v: i for i, v in enumerate(c)} for c in candidates]
@@ -246,6 +283,9 @@ def build_candidate_space(
                 candidate_footprint + edges_materialized * CS_EDGE_BYTES
             )
             budget.poll()
+
+    if observer is not None:
+        observer.observe_candidate_sizes(len(c) for c in candidates)
 
     return CandidateSpace(
         query=query,

@@ -67,21 +67,32 @@ class DAFMatcher(Matcher):
     [(0, 1), (0, 2)]
     """
 
-    def __init__(self, config: Optional[MatchConfig] = None) -> None:
+    def __init__(self, config: Optional[MatchConfig] = None, observer=None) -> None:
         self.config = config if config is not None else MatchConfig()
         self.name = self.config.variant_name
+        #: Optional :class:`repro.obs.MetricsRegistry`; ``None`` keeps the
+        #: engine entirely un-instrumented (the zero-overhead contract).
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def prepare(
-        self, query: Graph, data: Graph, budget: Optional[Budget] = None
+        self,
+        query: Graph,
+        data: Graph,
+        budget: Optional[Budget] = None,
+        observer=None,
     ) -> PreparedQuery:
         """Run BuildDAG + BuildCS (Algorithm 1 lines 1-2).
 
         With a ``budget``, CS construction is governed too: an oversized
         or overlong build raises
         :class:`~repro.resilience.BudgetExceeded` (``match`` converts it
-        into a flagged result).
+        into a flagged result).  ``observer`` overrides the matcher's
+        attached registry for this call; the build emits ``dag_build``,
+        ``cs_construct`` and ``cs_refine`` spans plus filter-stage prune
+        counters and the candidate histogram.
         """
+        obs = observer if observer is not None else self.observer
         validate_inputs(query, data)
         if query.num_vertices > 1 and not is_connected(query):
             raise ValueError(
@@ -89,6 +100,8 @@ class DAFMatcher(Matcher):
             )
         start = time.perf_counter()
         dag = build_dag(query, data)
+        if obs is not None:
+            obs.record_span("dag_build", time.perf_counter() - start)
         if self.config.injective:
             initial_sets = None
             use_local_filters = self.config.use_local_filters
@@ -102,6 +115,7 @@ class DAFMatcher(Matcher):
                 set(data.vertices_with_label(query.label(u))) for u in query.vertices()
             ]
             use_local_filters = False
+        cs_start = time.perf_counter()
         cs = build_candidate_space(
             query,
             data,
@@ -111,7 +125,10 @@ class DAFMatcher(Matcher):
             use_local_filters=use_local_filters,
             initial_sets=initial_sets,
             budget=budget,
+            observer=obs,
         )
+        if obs is not None:
+            obs.record_span("cs_construct", time.perf_counter() - cs_start)
         return PreparedQuery(
             query=query,
             data=data,
@@ -129,12 +146,15 @@ class DAFMatcher(Matcher):
         root_candidate_indices: Optional[list[int]] = None,
         tracer=None,
         budget: Optional[Budget] = None,
+        observer=None,
     ) -> MatchResult:
         """Run Backtrack (Algorithm 1 line 4) over a prepared query.
 
         Pass a :class:`repro.core.trace.SearchTracer` as ``tracer`` to
         record the full search tree (nodes, leaf classes, failing sets —
-        the paper's Figure 6/8 view).
+        the paper's Figure 6/8 view), or a
+        :class:`repro.obs.SamplingTracer` for the bounded version that
+        scales to real workloads.
 
         A ``budget`` replaces the plain wall-clock deadline with the
         multi-dimension governor (``time_limit`` additionally tightens
@@ -142,9 +162,14 @@ class DAFMatcher(Matcher):
         raises on expiry: timeouts, budget breaches and
         ``KeyboardInterrupt`` all return the partial result with the
         corresponding flag set.
+
+        ``observer`` (or the matcher-level ``self.observer``) records
+        prune-reason counters, the ``order``/``search`` spans, and leaves
+        its snapshot in ``result.stats.metrics``.
         """
         if limit < 1:
             raise ValueError("limit must be >= 1")
+        obs = observer if observer is not None else self.observer
         stats = SearchStats(
             candidates_total=prepared.cs.size,
             filter_iterations=prepared.cs.refinement_steps,
@@ -152,13 +177,19 @@ class DAFMatcher(Matcher):
         )
         result = MatchResult(stats=stats)
         if prepared.is_negative:
-            return result  # negativity proven by preprocessing alone (A.3)
+            # Negativity proven by preprocessing alone (A.3); the filter
+            # counters still explain *why* (some C(u) emptied).
+            if obs is not None:
+                stats.metrics = obs.snapshot()
+                obs.emit_counters()
+            return result
         if budget is not None:
             if time_limit is not None:
                 budget.cap_time(time_limit)
             deadline = budget
         else:
             deadline = Deadline(time_limit)
+        order_start = time.perf_counter()
         engine = BacktrackEngine(
             prepared.cs,
             self.config,
@@ -168,7 +199,12 @@ class DAFMatcher(Matcher):
             on_embedding=on_embedding,
             root_candidate_indices=root_candidate_indices,
             tracer=tracer,
+            observer=obs,
         )
+        if obs is not None:
+            # Engine setup is dominated by the matching-order machinery
+            # (weight arrays for path-size ordering).
+            obs.record_span("order", time.perf_counter() - order_start)
         # Queries can reach hundreds of vertices (Fig. 11 uses 400); give
         # the recursion comfortable headroom beyond the interpreter default.
         needed_depth = 1000 + 4 * prepared.query.num_vertices
@@ -193,6 +229,10 @@ class DAFMatcher(Matcher):
                 sys.setrecursionlimit(old_depth)
         result.embeddings = engine.embeddings
         result.limit_reached = engine.limit_reached
+        if obs is not None:
+            obs.record_span("search", stats.search_seconds)
+            stats.metrics = obs.snapshot()
+            obs.emit_counters()
         return result
 
     def match(
@@ -227,6 +267,8 @@ class DAFMatcher(Matcher):
                 )
             )
             result.timed_out = True
+            if self.observer is not None:
+                result.stats.metrics = self.observer.snapshot()
             return result
         remaining = None
         if time_limit is not None:

@@ -53,12 +53,35 @@ from ..interfaces import (
     MatchResult,
     SearchStats,
     WorkerOutcome,
+    _merge_metrics,
 )
+from ..obs import MetricsRegistry, ProgressReporter, slice_eta
+from ..obs.sinks import EventSink
 from ..resilience.faults import FAULTS
 
 # Fork-shared state for workers (set in the parent right before workers
 # are spawned; inherited copy-on-write by each forked worker).
 _shared: dict[str, object] = {}
+
+
+class _PipeSink(EventSink):
+    """Forwards a worker's observability events to the supervisor.
+
+    Workers cannot share the parent's file sink across a fork (interleaved
+    writes would tear lines), so live events travel the existing result
+    pipe as ``("event", slice_index, payload)`` envelopes and the
+    supervisor re-emits them through the parent registry.
+    """
+
+    def __init__(self, conn, slice_index: int) -> None:
+        self._conn = conn
+        self._slice_index = slice_index
+
+    def emit(self, event: dict) -> None:
+        try:
+            self._conn.send(("event", self._slice_index, event))
+        except Exception:
+            pass  # parent gone (cancelled/limit met); events are best-effort
 
 
 def _slice_worker(
@@ -75,23 +98,51 @@ def _slice_worker(
     faults) is converted into an ``("error", message)`` envelope;
     ``kind="exit"`` faults and real hard kills bypass this entirely,
     which the parent observes as pipe EOF.
+
+    Under observation each worker owns a private
+    :class:`~repro.obs.MetricsRegistry` (lock-free single-owner counters)
+    whose snapshot travels home inside the result envelope's
+    ``SearchStats`` — plus a pipe-backed progress reporter for live
+    per-slice heartbeats.
     """
     try:
         FAULTS.fire("worker.start", slice_index=slice_index, attempt=attempt)
         matcher: DAFMatcher = _shared["matcher"]  # type: ignore[assignment]
         prepared: PreparedQuery = _shared["prepared"]  # type: ignore[assignment]
+        observe = _shared.get("observe")
+        worker_obs = None
+        if observe is not None:
+            progress = None
+            every = observe.get("progress_every")  # type: ignore[union-attr]
+            if every:
+                progress = ProgressReporter(
+                    every_calls=every,
+                    min_interval_seconds=observe.get("progress_interval", 0.5),  # type: ignore[union-attr]
+                    scope=f"slice-{slice_index}",
+                )
+            worker_obs = MetricsRegistry(
+                sink=_PipeSink(conn, slice_index), progress=progress
+            )
         result = matcher.search(
             prepared,
             limit=limit,
             time_limit=time_limit,
             root_candidate_indices=indices,
+            observer=worker_obs,
         )
+        # The supervisor owns the wall clock and built the CS once, so a
+        # worker must not re-report those dimensions (SearchStats.merge
+        # would double-count them across slices).
+        wstats = result.stats
+        wstats.preprocess_seconds = 0.0
+        wstats.search_seconds = 0.0
+        wstats.candidates_total = 0
+        wstats.filter_iterations = 0
         conn.send(
             (
                 "ok",
                 result.embeddings,
-                result.stats.recursive_calls,
-                result.stats.embeddings_found,
+                wstats,
                 result.limit_reached,
                 result.timed_out,
             )
@@ -175,7 +226,13 @@ class ParallelDAFMatcher(Matcher):
         time_limit: Optional[float] = None,
         on_embedding: Optional[Callable[[Embedding], None]] = None,
     ) -> MatchResult:
-        prepared = self._matcher.prepare(query, data)
+        obs = self.observer
+        if obs is not None:
+            prepared = self._matcher.prepare(query, data, observer=obs)
+        else:
+            # Positional call keeps drop-in `prepare` replacements working
+            # (tests substitute plain (query, data) callables).
+            prepared = self._matcher.prepare(query, data)
         stats = SearchStats(
             candidates_total=prepared.cs.size,
             filter_iterations=prepared.cs.refinement_steps,
@@ -183,6 +240,9 @@ class ParallelDAFMatcher(Matcher):
         )
         merged = MatchResult(stats=stats)
         if prepared.is_negative:
+            if obs is not None:
+                stats.metrics = obs.snapshot()
+                obs.emit_counters()
             return merged
         remaining: Optional[float] = None
         if time_limit is not None:
@@ -191,12 +251,18 @@ class ParallelDAFMatcher(Matcher):
             remaining = time_limit - prepared.preprocess_seconds
             if remaining <= 0:
                 merged.timed_out = True
+                if obs is not None:
+                    stats.metrics = obs.snapshot()
                 return merged
         root_count = len(prepared.cs.candidates[prepared.dag.root])
         slices = split_round_robin(root_count, self.num_workers)
         if self.num_workers == 1 or len(slices) <= 1:
             result = self._matcher.search(
-                prepared, limit=limit, time_limit=remaining, on_embedding=on_embedding
+                prepared,
+                limit=limit,
+                time_limit=remaining,
+                on_embedding=on_embedding,
+                observer=obs,
             )
             result.stats.preprocess_seconds = prepared.preprocess_seconds
             return result
@@ -204,6 +270,14 @@ class ParallelDAFMatcher(Matcher):
         search_start = time.perf_counter()
         _shared["matcher"] = self._matcher
         _shared["prepared"] = prepared
+        if obs is not None:
+            reporter = obs.progress
+            _shared["observe"] = {
+                "progress_every": reporter.every_calls if reporter is not None else 0,
+                "progress_interval": (
+                    reporter.min_interval_seconds if reporter is not None else 0.5
+                ),
+            }
         try:
             embeddings, any_timeout = self._supervise(
                 slices, limit, remaining, stats, merged
@@ -220,6 +294,17 @@ class ParallelDAFMatcher(Matcher):
                 on_embedding(embedding)
         merged.limit_reached = stats.embeddings_found >= limit
         merged.timed_out = any_timeout and not merged.limit_reached
+        if obs is not None:
+            # The parent registry holds the filter-stage story; worker
+            # snapshots (already merged into stats.metrics slice by slice)
+            # hold the search story — their summed "search" span is total
+            # worker CPU, while stats.search_seconds stays wall clock.
+            worker_payload = stats.metrics
+            snap = obs.snapshot()
+            stats.metrics = (
+                _merge_metrics(snap, worker_payload) if worker_payload else snap
+            )
+            obs.emit_counters()
         return merged
 
     # ------------------------------------------------------------------
@@ -239,6 +324,8 @@ class ParallelDAFMatcher(Matcher):
         ``merged.partial_failure`` as side effects.
         """
         ctx = multiprocessing.get_context("fork")
+        obs = self.observer
+        supervise_start = time.perf_counter()
         deadline = None if remaining is None else time.perf_counter() + remaining
         # (slice_index, attempt, not_before) — retries wait out a backoff.
         pending: list[tuple[int, int, float]] = [(i, 0, 0.0) for i in range(len(slices))]
@@ -248,13 +335,56 @@ class ParallelDAFMatcher(Matcher):
         any_timeout = False
 
         def outcome(index: int, status: str, attempt: int, **kw) -> None:
-            outcomes[index] = WorkerOutcome(
+            record = WorkerOutcome(
                 slice_index=index,
                 size=len(slices[index]),
                 status=status,
                 attempts=attempt + 1,
                 **kw,
             )
+            outcomes[index] = record
+            if obs is not None:
+                obs.emit(
+                    {
+                        "event": "worker",
+                        "slice": index,
+                        "status": status,
+                        "attempts": record.attempts,
+                        "recursive_calls": record.recursive_calls,
+                        "embeddings_found": record.embeddings_found,
+                        "timed_out": record.timed_out,
+                        **({"error": record.error} if record.error else {}),
+                    }
+                )
+
+        def heartbeat() -> None:
+            """Supervisor-level progress: slice completion rate and ETA."""
+            if obs is None:
+                return
+            done = len(outcomes)
+            elapsed = time.perf_counter() - supervise_start
+            event = {
+                "event": "progress",
+                "scope": "parallel",
+                "slices_done": done,
+                "slices_total": len(slices),
+                "calls": stats.recursive_calls,
+                "embeddings": stats.embeddings_found,
+                "elapsed_seconds": round(elapsed, 3),
+            }
+            eta = slice_eta(done, len(slices), elapsed)
+            if eta is not None:
+                event["eta_seconds"] = round(eta, 3)
+            obs.emit(event)
+            reporter = obs.progress
+            if reporter is not None and reporter.stream is not None:
+                eta_text = "?" if eta is None else f"{eta:.1f}s"
+                reporter.stream.write(
+                    f"[parallel] {elapsed:8.1f}s  slices={done}/{len(slices)} "
+                    f"calls={stats.recursive_calls} "
+                    f"embeddings={stats.embeddings_found} eta={eta_text}\n"
+                )
+                reporter.stream.flush()
 
         def stop_all(status: str, timed_out: bool) -> None:
             for entry in pending:
@@ -321,6 +451,15 @@ class ParallelDAFMatcher(Matcher):
                         envelope = conn.recv()
                     except (EOFError, OSError):
                         envelope = None  # died without a word: hard crash
+                    if envelope is not None and envelope[0] == "event":
+                        # Live observability from a still-running worker
+                        # (heartbeats, spans): re-emit under the parent
+                        # registry and leave the worker alone.
+                        if obs is not None:
+                            _, slice_index, payload = envelope
+                            payload.setdefault("scope", f"slice-{slice_index}")
+                            obs.emit(payload)
+                        continue
                     del active[act.slice_index]
                     act.process.join(timeout=5.0)
                     if act.process.is_alive():
@@ -328,19 +467,22 @@ class ParallelDAFMatcher(Matcher):
                         act.process.join()
                     conn.close()
                     if envelope is not None and envelope[0] == "ok":
-                        _, embs, calls, found, _limit_hit, timed_out = envelope
+                        _, embs, worker_stats, _limit_hit, timed_out = envelope
                         embeddings.extend(embs)
-                        stats.recursive_calls += calls
-                        stats.embeddings_found += found
+                        # One merge rule for every numeric/list/metrics
+                        # field — the worker already zeroed the dimensions
+                        # the supervisor owns (clock, CS size).
+                        stats.merge(worker_stats)
                         any_timeout = any_timeout or timed_out
                         outcome(
                             act.slice_index,
                             "ok",
                             act.attempt,
-                            recursive_calls=calls,
-                            embeddings_found=found,
+                            recursive_calls=worker_stats.recursive_calls,
+                            embeddings_found=worker_stats.embeddings_found,
                             timed_out=timed_out,
                         )
+                        heartbeat()
                         if stats.embeddings_found >= limit:
                             # Global limit met: remaining slices are moot.
                             stop_all("cancelled", timed_out=False)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional
 
 from .graph.graph import Graph
@@ -54,6 +54,25 @@ class WorkerOutcome:
     timed_out: bool = False
 
 
+def _merge_metrics(base: dict, extra: dict) -> dict:
+    """Key-wise merge of two metrics payloads into a new dict: numeric
+    values sum, lists concatenate, nested dicts merge recursively."""
+    merged: dict = dict(base)
+    for key, value in extra.items():
+        mine = merged.get(key)
+        if isinstance(value, dict) and isinstance(mine, dict):
+            merged[key] = _merge_metrics(mine, value)
+        elif isinstance(value, dict):
+            merged[key] = dict(value)
+        elif isinstance(value, list):
+            merged[key] = list(mine) + list(value) if isinstance(mine, list) else list(value)
+        elif isinstance(mine, (int, float)) and isinstance(value, (int, float)):
+            merged[key] = mine + value
+        else:
+            merged[key] = value
+    return merged
+
+
 @dataclass
 class SearchStats:
     """Cost accounting for one ``match()`` invocation.
@@ -78,6 +97,11 @@ class SearchStats:
         the supervised parallel dispatcher (empty for sequential runs).
     worker_retries:
         Total slice re-dispatches the parallel supervisor performed.
+    metrics:
+        Optional :meth:`repro.obs.MetricsRegistry.snapshot` payload when
+        the run was observed (prune-reason counters, phase spans,
+        candidate histograms — see ``docs/observability.md``).  ``None``
+        for un-instrumented runs, so existing consumers are unaffected.
     """
 
     recursive_calls: int = 0
@@ -88,10 +112,50 @@ class SearchStats:
     search_seconds: float = 0.0
     worker_outcomes: list[WorkerOutcome] = field(default_factory=list)
     worker_retries: int = 0
+    metrics: Optional[dict] = None
 
     @property
     def elapsed_seconds(self) -> float:
         return self.preprocess_seconds + self.search_seconds
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Accumulate ``other`` into this record, in place, and return self.
+
+        The merge rule is derived from each field's runtime type rather
+        than a hand-maintained list, so a future numeric field cannot be
+        silently dropped (a field of an unhandled kind raises
+        ``TypeError`` — the parallel dispatcher's unit tests exercise
+        every field):
+
+        - numeric fields (int/float) sum;
+        - list fields concatenate (``worker_outcomes``);
+        - the ``metrics`` payload dict merges recursively, summing
+          numeric leaves and concatenating list leaves.
+
+        Callers that must not double-count a dimension (e.g. the parallel
+        supervisor owns the wall clock and the CS was built once) zero
+        those fields on ``other`` before merging.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if f.name == "metrics":
+                if theirs is not None:
+                    self.metrics = _merge_metrics(mine if mine else {}, theirs)
+            elif isinstance(mine, bool) or isinstance(theirs, bool):
+                raise TypeError(
+                    f"SearchStats.merge has no rule for boolean field {f.name!r}"
+                )
+            elif isinstance(mine, (int, float)):
+                setattr(self, f.name, mine + theirs)
+            elif isinstance(mine, list):
+                mine.extend(theirs)
+            else:
+                raise TypeError(
+                    f"SearchStats.merge has no rule for field {f.name!r} "
+                    f"of type {type(mine).__name__}"
+                )
+        return self
 
 
 @dataclass
@@ -146,7 +210,11 @@ class MatchResult:
             flags.append("limit")
         if self.timed_out:
             flags.append("timeout")
-        if self.budget_breach is not None and self.budget_breach != "time":
+        if self.budget_breach is not None and not (
+            self.budget_breach == "time" and self.timed_out
+        ):
+            # A time breach normally also sets timed_out (rendered above);
+            # when it does not, the breach must still be visible.
             flags.append(f"budget:{self.budget_breach}")
         if self.interrupted:
             flags.append("interrupted")
@@ -197,6 +265,18 @@ class Matcher(ABC):
 
     #: Human-readable algorithm name used in benchmark reports.
     name: str = "matcher"
+
+    #: Optional :class:`repro.obs.MetricsRegistry` observing this
+    #: matcher's runs.  ``None`` (the default) means *no* observability
+    #: work happens anywhere — engines check for ``None`` and skip, they
+    #: never call into a no-op object.  Assign an instance attribute (or
+    #: use :meth:`with_observer`) to turn metrics on.
+    observer = None
+
+    def with_observer(self, observer) -> "Matcher":
+        """Attach a metrics registry and return self (fluent style)."""
+        self.observer = observer
+        return self
 
     @abstractmethod
     def match(

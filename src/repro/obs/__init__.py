@@ -1,0 +1,47 @@
+"""repro.obs — engine-wide observability: metrics, spans, tracing, progress.
+
+The paper argues from internal counters (recursive calls, candidate-space
+sizes, pruned subtrees — Figs. 6–12); this package makes those counters a
+first-class, always-available layer across every matcher in the repo:
+
+- :class:`MetricsRegistry` — slot-based prune-reason counters, phase
+  spans (``dag_build`` / ``cs_construct`` / ``cs_refine`` / ``order`` /
+  ``search``) and per-query-vertex candidate histograms.  Attach to any
+  matcher via its ``observer`` attribute; read ``result.stats.metrics``.
+- :class:`EventSink` / :class:`JsonlSink` / :class:`MemorySink` /
+  :class:`TeeSink` — structured JSONL event output (schema in
+  :mod:`repro.obs.schema`, documented in ``docs/observability.md``).
+- :class:`SamplingTracer` — Figure-6-style search-tree inspection that
+  scales: every N-th node plus *all* failure leaves, bounded memory.
+- :class:`ProgressReporter` — throttled heartbeats (calls/sec, depth,
+  and for parallel search per-slice liveness + completion ETA).
+
+The zero-overhead contract: with no observer attached the engines hold
+``None`` and perform no observability work at all — results are
+bit-identical with metrics on and off.
+"""
+
+from .metrics import COUNTERS, PHASES, MetricsRegistry, render_snapshot
+from .progress import ProgressReporter, slice_eta
+from .sampling import SamplingTracer, TraceRecord
+from .schema import EVENT_SCHEMAS, validate_event, validate_jsonl, validate_lines
+from .sinks import EventSink, JsonlSink, MemorySink, TeeSink
+
+__all__ = [
+    "COUNTERS",
+    "EVENT_SCHEMAS",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "PHASES",
+    "ProgressReporter",
+    "SamplingTracer",
+    "TeeSink",
+    "TraceRecord",
+    "render_snapshot",
+    "slice_eta",
+    "validate_event",
+    "validate_jsonl",
+    "validate_lines",
+]

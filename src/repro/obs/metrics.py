@@ -1,0 +1,203 @@
+"""The metrics registry: cheap counters, phase spans, candidate histograms.
+
+Design rules, in order of importance:
+
+1. **Disabled means absent.**  Engines hold ``observer = None`` when
+   metrics are off and guard every touch with ``if obs is not None`` —
+   there is no no-op object, no dynamic dispatch, and therefore no
+   attribute lookups on the hot path of an un-instrumented search
+   (tested by ``tests/test_obs.py::TestZeroOverhead``).
+2. **Enabled means plain int adds.**  Counters are slot-backed ints on
+   the registry, incremented directly (``obs.prune_conflict += 1``).
+   No locks: a registry belongs to one search at a time; the parallel
+   dispatcher gives every worker its own registry and merges snapshots
+   through :meth:`repro.interfaces.SearchStats.merge`.
+3. **Events are rare.**  Only phase boundaries, heartbeats and sampled
+   trace nodes reach the sink; counters travel once, in the final
+   ``counters`` event / ``SearchStats.metrics`` snapshot.
+
+The counter catalogue (why did a candidate or subtree die?):
+
+=====================  ==========================================================
+counter                 meaning
+=====================  ==========================================================
+prune_label_degree      candidates rejected by label/degree filters — C_ini and
+                        the local MND/NLF filters (paper §4.1); for baselines,
+                        their own candidate-pool filters at search time
+prune_cs_edge           candidates rejected for lacking a required edge: DP
+                        refinement removals during CS construction (Recurrence
+                        (1)); for baselines, backward-edge probes of the data
+                        graph that failed (DAF never pays these at search time —
+                        Theorem 4.1)
+prune_conflict          conflict-class leaves: the candidate was already used by
+                        another query vertex (injectivity), incl. induced-mode
+                        non-edge violations
+prune_empty             emptyset-class leaves: an extendable vertex with no
+                        usable candidate
+prune_failing_set       sibling candidates skipped by failing-set pruning
+                        (Lemma 6.1) — subtrees never entered
+fs_cuts                 number of Lemma 6.1 cut events (each skips >= 0 siblings)
+candidates_examined     candidate slots the search loop actually inspected
+children_entered        recursive descents (candidates that survived all checks)
+=====================  ==========================================================
+
+Per-run consistency invariants (asserted in the test suite)::
+
+    candidates_examined == prune_conflict + children_entered      (FS engine)
+    recursive_calls     == children_entered + number of run() roots
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterable, Optional
+
+from .progress import ProgressReporter
+from .sinks import EventSink
+
+#: Counter slot names, in reporting order.  Adding a counter here is all
+#: that is needed for it to appear in snapshots, events and the docs'
+#: catalogue check.
+COUNTERS: tuple[str, ...] = (
+    "prune_label_degree",
+    "prune_cs_edge",
+    "prune_conflict",
+    "prune_empty",
+    "prune_failing_set",
+    "fs_cuts",
+    "candidates_examined",
+    "children_entered",
+)
+
+#: Phase-span names used by the DAF pipeline (baselines reuse the
+#: applicable subset).  ``cs_refine`` nests inside ``cs_construct``.
+PHASES: tuple[str, ...] = ("dag_build", "cs_construct", "cs_refine", "order", "search")
+
+
+class MetricsRegistry:
+    """Per-search observability state: counters, spans, histograms.
+
+    A registry is cheap to construct and single-owner by design.  Attach
+    one to any :class:`repro.interfaces.Matcher` via the ``observer``
+    attribute (or the ``observer=`` constructor/keyword arguments of the
+    DAF stack) and read :meth:`snapshot` — or the same payload from
+    ``result.stats.metrics`` — afterwards.
+
+    Parameters
+    ----------
+    sink:
+        Optional :class:`~repro.obs.EventSink` receiving span, counters,
+        histogram, progress and trace events as they happen.
+    progress:
+        Optional :class:`~repro.obs.ProgressReporter` the engines drive
+        from their hot loops (heartbeats).
+    """
+
+    __slots__ = COUNTERS + ("spans", "candidate_sizes", "sink", "progress")
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        progress: Optional[ProgressReporter] = None,
+    ) -> None:
+        for name in COUNTERS:
+            setattr(self, name, 0)
+        self.spans: dict[str, float] = {}
+        self.candidate_sizes: list[int] = []
+        self.sink = sink
+        self.progress = progress
+        if progress is not None and progress.sink is None:
+            progress.sink = sink
+
+    # -- counters -------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in COUNTERS}
+
+    def reset(self) -> None:
+        """Zero all counters, spans and histograms (sink stays attached)."""
+        for name in COUNTERS:
+            setattr(self, name, 0)
+        self.spans = {}
+        self.candidate_sizes = []
+        if self.progress is not None:
+            self.progress.reset()
+
+    # -- spans ----------------------------------------------------------
+    def record_span(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name`` and emit the event."""
+        self.spans[name] = self.spans.get(name, 0.0) + seconds
+        if self.sink is not None:
+            self.sink.emit(
+                {"event": "span", "name": name, "seconds": round(seconds, 6)}
+            )
+
+    @contextmanager
+    def span(self, name: str):
+        """``with registry.span("cs_construct"): ...`` — timed phase."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record_span(name, time.perf_counter() - start)
+
+    # -- histograms -----------------------------------------------------
+    def observe_candidate_sizes(self, sizes: Iterable[int]) -> None:
+        """Record the per-query-vertex candidate-set sizes |C(u)|."""
+        self.candidate_sizes = list(sizes)
+        if self.sink is not None:
+            self.sink.emit(
+                {
+                    "event": "histogram",
+                    "name": "candidates_per_vertex",
+                    "values": self.candidate_sizes,
+                }
+            )
+
+    # -- events / snapshots ---------------------------------------------
+    def emit(self, event: dict) -> None:
+        """Forward an arbitrary event to the sink (no-op without one)."""
+        if self.sink is not None:
+            self.sink.emit(event)
+
+    def snapshot(self) -> dict:
+        """The JSON-serializable payload stored in ``SearchStats.metrics``."""
+        return {
+            "counters": self.counters(),
+            "spans": {k: round(v, 6) for k, v in self.spans.items()},
+            "candidate_sizes": list(self.candidate_sizes),
+        }
+
+    def emit_counters(self) -> None:
+        """Emit the final ``counters`` event (end of a search)."""
+        if self.sink is not None:
+            self.sink.emit({"event": "counters", "counters": self.counters()})
+
+    def render_summary(self) -> str:
+        """Human-readable profile block (the CLI's ``--profile`` output)."""
+        return render_snapshot(self.snapshot())
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Render any :meth:`MetricsRegistry.snapshot` payload (including one
+    merged across parallel workers) as the ``--profile`` text block."""
+    spans = snapshot.get("spans", {})
+    counters = snapshot.get("counters", {})
+    sizes = snapshot.get("candidate_sizes", [])
+    lines = ["phase timings:"]
+    for name in PHASES:
+        if name in spans:
+            lines.append(f"  {name:<12s} {spans[name] * 1000.0:10.2f} ms")
+    for name, seconds in spans.items():
+        if name not in PHASES:
+            lines.append(f"  {name:<12s} {seconds * 1000.0:10.2f} ms")
+    lines.append("prune accounting:")
+    for name in COUNTERS:
+        lines.append(f"  {name:<20s} {counters.get(name, 0):>12d}")
+    if sizes:
+        lines.append(
+            "candidates/vertex:    "
+            f"min={min(sizes)} max={max(sizes)} "
+            f"total={sum(sizes)} n={len(sizes)}"
+        )
+    return "\n".join(lines)

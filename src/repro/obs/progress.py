@@ -1,0 +1,136 @@
+"""Live progress for long searches (heartbeats, rates, ETA).
+
+The paper's protocol happily lets a query run for ten minutes; a service
+operator (and anyone reproducing Fig. 10 on the Twitter graph) needs to
+see *where* a search is without attaching a debugger.  The reporter is
+driven from the engine's hot loop but keeps the common case to a single
+integer decrement: every ``every_calls`` recursive calls it looks at the
+clock, and only when ``min_interval_seconds`` have also passed does it
+emit a ``progress`` event (and optionally a human-readable line).
+
+The parallel dispatcher reuses the same reporter inside each worker with
+a pipe-backed sink, so the supervisor can surface per-slice live depth
+and calls/sec, plus its own slice-completion ETA — see
+``repro.extensions.parallel``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO, Optional
+
+from .sinks import EventSink
+
+
+class ProgressReporter:
+    """Emits throttled heartbeat events from a search hot loop.
+
+    Parameters
+    ----------
+    every_calls:
+        Recursive calls between clock checks (the only per-call cost is
+        one decrement + compare).
+    min_interval_seconds:
+        Heartbeats are additionally rate-limited to one per this many
+        seconds, so a fast search does not flood the sink.
+    sink:
+        Receives ``{"event": "progress", "scope": "search", ...}`` dicts.
+    stream:
+        Optional text stream for human-readable one-line updates
+        (the CLI passes ``sys.stderr`` under ``--progress``).
+    scope:
+        Tag for the emitted events (``"search"`` for sequential engines;
+        workers tag their slice).
+    """
+
+    __slots__ = (
+        "every_calls",
+        "min_interval_seconds",
+        "sink",
+        "stream",
+        "scope",
+        "_countdown",
+        "_start",
+        "_last_time",
+        "_last_calls",
+        "beats",
+    )
+
+    def __init__(
+        self,
+        every_calls: int = 4096,
+        min_interval_seconds: float = 0.5,
+        sink: Optional[EventSink] = None,
+        stream: Optional[IO[str]] = None,
+        scope: str = "search",
+    ) -> None:
+        if every_calls < 1:
+            raise ValueError("every_calls must be >= 1")
+        self.every_calls = every_calls
+        self.min_interval_seconds = min_interval_seconds
+        self.sink = sink
+        self.stream = stream
+        self.scope = scope
+        self._countdown = every_calls
+        now = time.perf_counter()
+        self._start = now
+        self._last_time = now
+        self._last_calls = 0
+        self.beats = 0
+
+    def reset(self) -> None:
+        """Re-arm for a new search (rates restart from zero)."""
+        self._countdown = self.every_calls
+        now = time.perf_counter()
+        self._start = now
+        self._last_time = now
+        self._last_calls = 0
+
+    def tick(self, calls: int, depth: int) -> None:
+        """Hot-loop entry point: cheap until the countdown hits zero."""
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self.every_calls
+        now = time.perf_counter()
+        window = now - self._last_time
+        if window < self.min_interval_seconds:
+            return
+        rate = (calls - self._last_calls) / window if window > 0 else 0.0
+        self._last_time = now
+        self._last_calls = calls
+        self.beats += 1
+        self._emit(
+            {
+                "event": "progress",
+                "scope": self.scope,
+                "calls": calls,
+                "depth": depth,
+                "calls_per_sec": round(rate, 1),
+                "elapsed_seconds": round(now - self._start, 3),
+            }
+        )
+
+    def _emit(self, payload: dict) -> None:
+        if self.sink is not None:
+            self.sink.emit(payload)
+        if self.stream is not None:
+            line = (
+                f"[{self.scope}] {payload['elapsed_seconds']:8.1f}s  "
+                f"calls={payload['calls']:<12d} depth={payload['depth']:<4d} "
+                f"{payload['calls_per_sec']:,.0f} calls/s"
+            )
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+
+def slice_eta(done: int, total: int, elapsed_seconds: float) -> Optional[float]:
+    """ETA for the parallel supervisor from its slice completion rate.
+
+    Returns ``None`` until at least one slice has finished (no rate to
+    extrapolate from).
+    """
+    if done <= 0 or total <= 0 or elapsed_seconds <= 0:
+        return None
+    remaining = max(0, total - done)
+    return remaining * (elapsed_seconds / done)

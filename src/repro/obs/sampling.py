@@ -1,0 +1,142 @@
+"""Sampling search-tree tracer: Figure-6 inspection at real scale.
+
+:class:`repro.core.trace.SearchTracer` records *every* node, which is
+perfect for worked examples and hopeless beyond toy queries (the Twitter
+runs take 10^7+ recursive calls).  :class:`SamplingTracer` plugs into the
+same engine hook interface (``enter``/``leave``/``conflict``/
+``emptyset``/``pruned``) but keeps a bounded, flat record:
+
+- every ``sample_every``-th entered node (systematic sampling, so deep
+  and shallow regions are represented proportionally to time spent);
+- **all** failure leaves (conflict and emptyset) — these are what the
+  failing-set analysis of §6 and Arai et al.'s search-failure mining
+  consume, and they are much rarer than internal nodes;
+- Lemma 6.1-pruned siblings, *counted* but not materialized (a single
+  prune event can cover thousands of siblings).
+
+Records are flat ``TraceRecord`` rows with depth (not a linked tree), so
+memory is O(recorded), and an optional sink receives each record as a
+``trace`` event.  ``max_records`` caps materialization; past it records
+are dropped and counted in ``dropped``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .sinks import EventSink
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One sampled search-tree observation.
+
+    ``kind`` is ``"node"`` (sampled internal entry), ``"conflict"``,
+    ``"emptyset"`` or ``"pruned"``.  ``data_vertex`` is -1 for emptyset
+    leaves (no candidate was available to name).
+    """
+
+    kind: str
+    query_vertex: int
+    data_vertex: int
+    depth: int
+    failing_set: Optional[int] = None
+
+
+class SamplingTracer:
+    """Bounded tracer safe to leave on for production-sized searches.
+
+    Parameters
+    ----------
+    sample_every:
+        Record one of every N entered nodes (N=1 records all entries,
+        degenerating to a flat version of ``SearchTracer``).
+    sink:
+        Optional event sink; each record also emits a ``trace`` event.
+    max_records:
+        Hard cap on materialized records; ``dropped`` counts the rest.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1024,
+        sink: Optional[EventSink] = None,
+        max_records: int = 100_000,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.sink = sink
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+        self.nodes_seen = 0
+        self.pruned_seen = 0
+        self._countdown = sample_every
+        self._depth = 0
+
+    # -- engine hooks (same protocol as core.trace.SearchTracer) --------
+    def enter(self, query_vertex: int, data_vertex: int) -> None:
+        self._depth += 1
+        self.nodes_seen += 1
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.sample_every
+            self._record(TraceRecord("node", query_vertex, data_vertex, self._depth))
+
+    def leave(self, failing_set_mask: Optional[int], found_embedding: bool) -> None:
+        self._depth -= 1
+
+    def conflict(self, query_vertex: int, data_vertex: int, contribution_mask: int) -> None:
+        self._record(
+            TraceRecord(
+                "conflict",
+                query_vertex,
+                data_vertex,
+                self._depth + 1,
+                failing_set=contribution_mask,
+            )
+        )
+
+    def emptyset(self, query_vertex: int) -> None:
+        self._record(TraceRecord("emptyset", query_vertex, -1, self._depth))
+
+    def pruned(self, query_vertex: int, data_vertex: int) -> None:
+        # Counted, not materialized: one Lemma 6.1 cut can prune an
+        # arbitrarily long sibling tail.
+        self.pruned_seen += 1
+
+    # -- internals ------------------------------------------------------
+    def _record(self, record: TraceRecord) -> None:
+        if len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(record)
+        if self.sink is not None:
+            event = {
+                "event": "trace",
+                "kind": record.kind,
+                "query_vertex": record.query_vertex,
+                "data_vertex": record.data_vertex,
+                "depth": record.depth,
+            }
+            if record.failing_set is not None:
+                event["failing_set"] = record.failing_set
+            self.sink.emit(event)
+
+    # -- reporting ------------------------------------------------------
+    def failure_leaves(self) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind in ("conflict", "emptyset")]
+
+    def summary(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for record in self.records:
+            by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+        return {
+            "nodes_seen": self.nodes_seen,
+            "recorded": len(self.records),
+            "dropped": self.dropped,
+            "pruned_seen": self.pruned_seen,
+            "by_kind": by_kind,
+        }

@@ -1,0 +1,176 @@
+"""The JSONL event schema, as data, plus the validator CI runs.
+
+One place defines what a metrics stream may contain; everything else
+(docs/observability.md, ``scripts/check_metrics_schema.py``, the tests)
+derives from it.  The schema language is deliberately tiny — per event
+type, required and optional fields each mapped to an allowed type tuple —
+because the events themselves are flat by design.
+
+``int`` fields accept Python ints (bools are rejected), ``float`` fields
+accept ints too (JSON does not distinguish), and nested objects/arrays
+use callables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Union
+
+FieldSpec = Union[type, tuple, Callable[[object], bool]]
+
+
+def _number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _str(value: object) -> bool:
+    return isinstance(value, str)
+
+
+def _bool(value: object) -> bool:
+    return isinstance(value, bool)
+
+
+def _int_array(value: object) -> bool:
+    return isinstance(value, list) and all(_int(v) for v in value)
+
+
+def _counter_map(value: object) -> bool:
+    return isinstance(value, dict) and all(
+        _str(k) and _int(v) for k, v in value.items()
+    )
+
+
+def _span_map(value: object) -> bool:
+    return isinstance(value, dict) and all(
+        _str(k) and _number(v) for k, v in value.items()
+    )
+
+
+#: event type -> (required fields, optional fields).  Every event also
+#: carries ``ts`` (epoch seconds, added by the sink), listed once here.
+EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
+    "run_start": (
+        {"algorithm": _str, "query_vertices": _int, "data_vertices": _int},
+        {"limit": _int, "time_limit": _number, "workers": _int},
+    ),
+    "span": (
+        {"name": _str, "seconds": _number},
+        {"scope": _str},
+    ),
+    "counters": (
+        {"counters": _counter_map},
+        {"scope": _str},
+    ),
+    "histogram": (
+        {"name": _str, "values": _int_array},
+        {"scope": _str},
+    ),
+    "progress": (
+        {"scope": _str},
+        {
+            "calls": _int,
+            "depth": _int,
+            "calls_per_sec": _number,
+            "elapsed_seconds": _number,
+            "slice": _int,
+            "slices_done": _int,
+            "slices_total": _int,
+            "eta_seconds": _number,
+            "embeddings": _int,
+        },
+    ),
+    "trace": (
+        {"kind": _str, "query_vertex": _int, "data_vertex": _int, "depth": _int},
+        {"failing_set": _int},
+    ),
+    "worker": (
+        {"slice": _int, "status": _str, "attempts": _int},
+        {
+            "recursive_calls": _int,
+            "embeddings_found": _int,
+            "timed_out": _bool,
+            "error": _str,
+        },
+    ),
+    "degrade": (
+        {"attempt": _int, "stage": _str, "message": _str},
+        {},
+    ),
+    "run_end": (
+        {"recursive_calls": _int, "embeddings": _int, "solved": _bool},
+        {
+            "spans": _span_map,
+            "counters": _counter_map,
+            "limit_reached": _bool,
+            "timed_out": _bool,
+        },
+    ),
+}
+
+
+def validate_event(event: object) -> list[str]:
+    """Validate one parsed event object; returns human-readable errors."""
+    errors: list[str] = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    event_type = event.get("event")
+    if not isinstance(event_type, str):
+        return [f"missing/non-string 'event' tag: {event!r}"]
+    if event_type not in EVENT_SCHEMAS:
+        return [f"unknown event type {event_type!r}"]
+    required, optional = EVENT_SCHEMAS[event_type]
+    for name, check in required.items():
+        if name not in event:
+            errors.append(f"{event_type}: missing required field {name!r}")
+        elif not check(event[name]):
+            errors.append(
+                f"{event_type}: field {name!r} has invalid value {event[name]!r}"
+            )
+    for name, value in event.items():
+        if name in ("event", "ts"):
+            continue
+        if name in required:
+            continue
+        if name not in optional:
+            errors.append(f"{event_type}: unexpected field {name!r}")
+        elif not optional[name](value):
+            errors.append(f"{event_type}: field {name!r} has invalid value {value!r}")
+    if "ts" in event and not _number(event["ts"]):
+        errors.append(f"{event_type}: 'ts' must be numeric, got {event['ts']!r}")
+    return errors
+
+
+def validate_lines(lines) -> list[str]:
+    """Validate an iterable of JSONL lines; blank lines are skipped.
+
+    A non-JSON *final* line is tolerated (a killed writer may leave a
+    torn tail); non-JSON interior lines are errors.
+    """
+    errors: list[str] = []
+    pending_parse_error: str = ""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if pending_parse_error:
+            errors.append(pending_parse_error)
+            pending_parse_error = ""
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            pending_parse_error = f"line {lineno}: not valid JSON ({exc.msg})"
+            continue
+        for error in validate_event(event):
+            errors.append(f"line {lineno}: {error}")
+    return errors
+
+
+def validate_jsonl(path) -> list[str]:
+    """Validate a metrics JSONL file; returns a list of errors (empty = ok)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return validate_lines(stream)

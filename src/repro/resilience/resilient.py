@@ -128,6 +128,7 @@ class ResilientMatcher(Matcher):
         on_embedding: Optional[Callable[[Embedding], None]] = None,
     ) -> MatchResult:
         start = time.perf_counter()
+        obs = self.observer
         log: list[str] = []
         calls_spent = 0
         last_result: Optional[MatchResult] = None
@@ -137,19 +138,38 @@ class ResilientMatcher(Matcher):
                 return None
             return max(0.0, time_limit - (time.perf_counter() - start))
 
+        def note(position: int, stage_name: str, message: str) -> None:
+            """Log one chain step and mirror it as a ``degrade`` event."""
+            log.append(message)
+            if obs is not None:
+                obs.emit(
+                    {
+                        "event": "degrade",
+                        "attempt": position,
+                        "stage": stage_name,
+                        "message": message,
+                    }
+                )
+
         stages = self._chain()
         for position, (stage_name, matcher) in enumerate(stages, start=1):
             prefix = f"attempt {position}/{len(stages)} ({stage_name})"
             span = remaining_time()
             if span is not None and span <= 0.0:
-                log.append(f"{prefix}: skipped, wall-clock budget exhausted")
+                note(position, stage_name, f"{prefix}: skipped, wall-clock budget exhausted")
                 break
             remaining_calls = None
             if self.max_calls is not None:
                 remaining_calls = self.max_calls - calls_spent
                 if remaining_calls <= 0:
-                    log.append(f"{prefix}: skipped, call budget exhausted")
+                    note(position, stage_name, f"{prefix}: skipped, call budget exhausted")
                     break
+            # Stage matchers share the wrapper's registry, so counters
+            # accumulate across attempts: the snapshot reports what the
+            # whole chain spent, not just the stage that finally answered.
+            previous_observer = matcher.observer
+            if obs is not None:
+                matcher.observer = obs
             try:
                 if isinstance(matcher, DAFMatcher):
                     budget = Budget(
@@ -161,30 +181,43 @@ class ResilientMatcher(Matcher):
                 else:
                     result = matcher.match(query, data, limit=limit, time_limit=span)
             except MemoryError:
-                log.append(f"{prefix}: MemoryError; degrading")
+                note(position, stage_name, f"{prefix}: MemoryError; degrading")
                 continue
             except Exception as exc:  # crash isolation — keep KeyboardInterrupt fatal
-                log.append(f"{prefix}: crashed ({type(exc).__name__}: {exc}); degrading")
+                note(
+                    position,
+                    stage_name,
+                    f"{prefix}: crashed ({type(exc).__name__}: {exc}); degrading",
+                )
                 continue
+            finally:
+                if obs is not None:
+                    matcher.observer = previous_observer
 
             calls_spent += result.stats.recursive_calls
             last_result = result
             if result.interrupted:
-                log.append(f"{prefix}: interrupted; returning partial result")
+                note(position, stage_name, f"{prefix}: interrupted; returning partial result")
                 break
             if result.timed_out or result.budget_breach == "time":
-                log.append(f"{prefix}: timed out; returning partial result")
+                note(position, stage_name, f"{prefix}: timed out; returning partial result")
                 break
             if result.budget_breach == "calls":
-                log.append(f"{prefix}: call budget exceeded; returning partial result")
+                note(
+                    position,
+                    stage_name,
+                    f"{prefix}: call budget exceeded; returning partial result",
+                )
                 break
             if result.budget_breach == "memory":
-                log.append(
+                note(
+                    position,
+                    stage_name,
                     f"{prefix}: memory budget exceeded after "
-                    f"{result.stats.recursive_calls} calls; degrading"
+                    f"{result.stats.recursive_calls} calls; degrading",
                 )
                 continue
-            log.append(f"{prefix}: ok ({result.count} embeddings)")
+            note(position, stage_name, f"{prefix}: ok ({result.count} embeddings)")
             break
 
         if last_result is None:
@@ -196,6 +229,10 @@ class ResilientMatcher(Matcher):
             else:
                 last_result.partial_failure = True
         last_result.degradations = log
+        if obs is not None and last_result.stats.metrics is None:
+            # Every stage died before snapshotting: still surface what the
+            # chain spent.
+            last_result.stats.metrics = obs.snapshot()
         if on_embedding is not None:
             for embedding in last_result.embeddings:
                 on_embedding(embedding)

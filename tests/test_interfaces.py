@@ -4,8 +4,10 @@ import time
 
 import pytest
 
+from dataclasses import fields
+
 from repro import DAFMatcher, Graph, MatchResult, SearchStats, is_embedding
-from repro.interfaces import Deadline, TimeoutSignal, validate_inputs
+from repro.interfaces import Deadline, TimeoutSignal, WorkerOutcome, validate_inputs
 
 
 class TestIsEmbedding:
@@ -71,6 +73,69 @@ class TestResultObjects:
         assert result.solved
         result.timed_out = True
         assert not result.solved
+
+    def test_time_breach_without_timeout_flag_still_rendered(self):
+        # Regression: a budget_breach == "time" result whose timed_out flag
+        # is False (e.g. the budget fired between deadline polls) used to
+        # render with no flag at all, hiding the breach.
+        result = MatchResult(budget_breach="time")
+        assert "budget:time" in repr(result)
+
+    def test_time_breach_with_timeout_flag_renders_once(self):
+        result = MatchResult(budget_breach="time", timed_out=True)
+        text = repr(result)
+        assert "timeout" in text
+        assert "budget:time" not in text
+
+    def test_non_time_breach_renders_alongside_timeout(self):
+        result = MatchResult(budget_breach="memory", timed_out=True)
+        text = repr(result)
+        assert "timeout" in text
+        assert "budget:memory" in text
+
+
+class TestSearchStatsMerge:
+    def test_merge_covers_every_numeric_field(self):
+        # Build two stats records where every numeric field has a distinct
+        # nonzero value, merge, and check each field summed.  Iterating the
+        # dataclass fields (rather than naming them) makes this test fail
+        # loudly if a new numeric field is added without a merge rule.
+        numeric = [
+            f.name
+            for f in fields(SearchStats)
+            if f.name not in ("worker_outcomes", "metrics")
+        ]
+        assert numeric  # sanity: the dataclass has numeric fields
+        a = SearchStats(**{name: i + 1 for i, name in enumerate(numeric)})
+        b = SearchStats(**{name: 10 * (i + 1) for i, name in enumerate(numeric)})
+        merged = a.merge(b)
+        assert merged is a  # in-place, returns self
+        for i, name in enumerate(numeric):
+            assert getattr(a, name) == (i + 1) + 10 * (i + 1), name
+
+    def test_merge_concatenates_worker_outcomes(self):
+        a = SearchStats(worker_outcomes=[WorkerOutcome(0, 5, "ok")])
+        b = SearchStats(worker_outcomes=[WorkerOutcome(1, 5, "crashed")])
+        a.merge(b)
+        assert [o.slice_index for o in a.worker_outcomes] == [0, 1]
+
+    def test_merge_metrics_sums_counters_and_concats_lists(self):
+        a = SearchStats(
+            metrics={"counters": {"prune_conflict": 2}, "candidate_sizes": [1, 2]}
+        )
+        b = SearchStats(
+            metrics={"counters": {"prune_conflict": 3}, "candidate_sizes": [9]}
+        )
+        a.merge(b)
+        assert a.metrics["counters"]["prune_conflict"] == 5
+        assert a.metrics["candidate_sizes"] == [1, 2, 9]
+
+    def test_merge_metrics_none_on_either_side(self):
+        a = SearchStats()
+        a.merge(SearchStats(metrics={"counters": {"fs_cuts": 1}}))
+        assert a.metrics == {"counters": {"fs_cuts": 1}}
+        a.merge(SearchStats())  # other side None leaves payload alone
+        assert a.metrics == {"counters": {"fs_cuts": 1}}
 
 
 class TestMatcherConvenience:
