@@ -5,20 +5,26 @@ profile (CI sanity), anything else (or unset) runs the default profile
 used for EXPERIMENTS.md.  Results print with ``pytest benchmarks/
 --benchmark-only -s`` and are also appended to
 ``benchmarks/results/<figure>.txt`` for the record.
+
+Every recorded figure is additionally funneled through a session-wide
+:class:`repro.bench.ManifestWriter`; at session end the accumulated rows
+persist as a ``BENCH_<n>.json`` run manifest at the repository root
+(disable with ``REPRO_BENCH_MANIFEST=0``), ready for ``repro bench
+compare`` / ``history``.  See docs/benchmarks.md.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.bench import DEFAULT, SMOKE, BenchProfile, render_table
+from repro.bench import DEFAULT, SMOKE, BenchProfile, ManifestWriter, render_table
 from repro.obs import JsonlSink, MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +51,23 @@ def metrics_sink():
     sink.close()
 
 
+@pytest.fixture(scope="session")
+def manifest_writer(profile, metrics_sink):
+    """Session-wide manifest accumulator; writes BENCH_<n>.json on exit.
+
+    ``record_rows`` routes every figure through here, so the manifest,
+    the ``bench.summary`` events in metrics.jsonl and the
+    ``<figure>.metrics.json`` sidecars all come from one payload.
+    """
+    writer = ManifestWriter(
+        root=REPO_ROOT, profile=profile, sink=metrics_sink, results_dir=RESULTS_DIR
+    )
+    yield writer
+    if writer.figures and os.environ.get("REPRO_BENCH_MANIFEST", "1") != "0":
+        path = writer.write()
+        print(f"\nbench manifest: {path}")
+
+
 @pytest.fixture()
 def observe(metrics_sink):
     """Factory for fresh registries wired to the session metrics sink.
@@ -64,12 +87,13 @@ def observe(metrics_sink):
 
 
 @pytest.fixture(scope="session")
-def record_rows():
+def record_rows(manifest_writer):
     """Print a result table and persist it under benchmarks/results/.
 
     Pass ``metrics=<registry snapshot>`` to additionally write a
     ``<name>.metrics.json`` sidecar (prune counters + spans) next to the
-    table, so a recorded figure carries its own cost accounting.
+    table.  Either way the figure's rows join the session manifest via
+    the shared :class:`~repro.bench.ManifestWriter`.
     """
 
     def _record(rows, title: str, filename: str, metrics=None) -> None:
@@ -77,8 +101,6 @@ def record_rows():
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / filename).write_text(text, encoding="utf-8")
-        if metrics is not None:
-            sidecar = RESULTS_DIR / (Path(filename).stem + ".metrics.json")
-            sidecar.write_text(json.dumps(metrics, indent=2), encoding="utf-8")
+        manifest_writer.add_figure(Path(filename).stem, rows, metrics=metrics, title=title)
 
     return _record

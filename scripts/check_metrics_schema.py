@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Validate metrics JSONL files against the repro.obs event schema.
+"""Validate metrics JSONL files and bench manifests against their schemas.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_metrics_schema.py FILE [FILE ...]
 
-Each file must be a JSONL event stream as produced by
-``repro.obs.JsonlSink`` (the CLI's ``--metrics-out``, the benchmark
-harness's session sink, or any observer-equipped run).  The schema is
-the single source of truth in :data:`repro.obs.schema.EVENT_SCHEMAS`;
-see ``docs/observability.md`` for the derived field tables.
+Two file kinds are recognized:
+
+- **JSONL event streams** as produced by ``repro.obs.JsonlSink`` (the
+  CLI's ``--metrics-out``, the benchmark harness's session sink, or any
+  observer-equipped run) — validated line by line against
+  :data:`repro.obs.schema.EVENT_SCHEMAS` (including the ``bench.run`` /
+  ``bench.summary`` mirror events);
+- **run manifests** (``BENCH_<n>.json`` or any JSON object tagged
+  ``"schema": "repro.bench.manifest"``) — validated by
+  :func:`repro.bench.validate_manifest_file`.
+
+See ``docs/observability.md`` for the event field tables and
+``docs/benchmarks.md`` for the manifest format.
 
 Exit status: 0 if every file validates, 1 otherwise (all errors are
 printed, not just the first file's).
@@ -26,6 +34,21 @@ except ImportError:  # direct invocation without PYTHONPATH
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     from repro.obs.schema import validate_jsonl
 
+from repro.bench.manifest import MANIFEST_SCHEMA, manifest_index, validate_manifest_file
+
+
+def is_manifest(path: Path) -> bool:
+    """Manifest detection: the BENCH_<n>.json name, or the schema tag on
+    a file that parses as one JSON object (JSONL streams never do)."""
+    if manifest_index(path) is not None:
+        return True
+    try:
+        head = path.read_text(encoding="utf-8")
+    except OSError:
+        return False
+    head = head.lstrip()
+    return head.startswith("{") and f'"{MANIFEST_SCHEMA}"' in head and "\n{" not in head.rstrip()
+
 
 def main(argv: list[str]) -> int:
     if not argv:
@@ -38,13 +61,18 @@ def main(argv: list[str]) -> int:
             print(f"{name}: no such file", file=sys.stderr)
             failed = True
             continue
-        errors = validate_jsonl(path)
+        if is_manifest(path):
+            errors = validate_manifest_file(path)
+            kind = "manifest"
+        else:
+            errors = validate_jsonl(path)
+            kind = "events"
         if errors:
             failed = True
             for error in errors:
                 print(f"{name}: {error}", file=sys.stderr)
         else:
-            print(f"{name}: ok")
+            print(f"{name}: ok ({kind})")
     return 1 if failed else 0
 
 

@@ -4,8 +4,8 @@
 # leaked worker process fails the build instead of hanging it).
 #
 # Usage: scripts/ci.sh            (from the repository root)
-#   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT override the caps
-#   (seconds).
+#   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT / BENCH_TIMEOUT
+#   override the caps (seconds).
 
 set -eu
 
@@ -15,6 +15,7 @@ export PYTHONPATH=src
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-900}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 OBS_TIMEOUT="${OBS_TIMEOUT:-120}"
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
 
 echo "==> tier-1 suite (cap: ${TIER1_TIMEOUT}s)"
 timeout --kill-after=30 "$TIER1_TIMEOUT" \
@@ -37,6 +38,20 @@ timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
         '$OBS_TMP/yeast.graph' --limit 1000 --count-only \
         --metrics-out '$OBS_TMP/metrics.jsonl' >/dev/null
     python scripts/check_metrics_schema.py '$OBS_TMP/metrics.jsonl'
+"
+
+echo "==> perf gate: smoke bench vs BENCH_0.json (cap: ${BENCH_TIMEOUT}s)"
+# Re-run the smoke-profile benchmark, write a fresh manifest, validate
+# both against the manifest schema, then diff: deterministic counters
+# (recursive calls, candidate sizes, solved counts) must not regress
+# beyond threshold vs the committed baseline; wall clock never gates
+# (docs/benchmarks.md).
+timeout --kill-after=30 "$BENCH_TIMEOUT" sh -ec "
+    python -m repro bench run --profile smoke --figures fig10 \
+        --out '$OBS_TMP' --metrics-out '$OBS_TMP/bench_events.jsonl' --quiet
+    python scripts/check_metrics_schema.py BENCH_0.json \
+        '$OBS_TMP/BENCH_0.json' '$OBS_TMP/bench_events.jsonl'
+    python -m repro bench compare BENCH_0.json '$OBS_TMP/BENCH_0.json' --gate
 "
 
 echo "==> CI green"

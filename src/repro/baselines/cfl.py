@@ -318,6 +318,8 @@ class _CFLSearch:
         self.collect = collect_embeddings
         self.obs = observer
         self.progress = observer.progress if observer is not None else None
+        if observer is not None:
+            observer.ensure_vertices(cpi.query.num_vertices)
         self.embeddings: list[Embedding] = []
         query = cpi.query
         n = query.num_vertices
@@ -382,6 +384,7 @@ class _CFLSearch:
                 if obs is not None:
                     obs.candidates_examined += 1
                     obs.prune_conflict += 1
+                    obs.vertex_conflict[u] += 1
                 continue
             if any(not data.has_edge(v, mapping[w]) for w in nontree):
                 # Non-tree edges are not in the CPI, so this data-graph
@@ -393,6 +396,7 @@ class _CFLSearch:
             if obs is not None:
                 obs.candidates_examined += 1
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             mapping[u] = v
             used.add(v)
             try:
@@ -402,6 +406,7 @@ class _CFLSearch:
                 mapping[u] = -1
         if obs is not None and obs.children_entered == entered_before:
             obs.prune_empty += 1
+            obs.vertex_empty[u] += 1
 
     # -- leaf matching ------------------------------------------------
     def _leaf_pool(self, u: int) -> tuple[int, ...]:
@@ -431,10 +436,12 @@ class _CFLSearch:
                 if obs is not None:
                     obs.candidates_examined += 1
                     obs.prune_conflict += 1
+                    obs.vertex_conflict[u] += 1
                 continue
             if obs is not None:
                 obs.candidates_examined += 1
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             self.mapping[u] = v
             self.used.add(v)
             try:
@@ -444,6 +451,7 @@ class _CFLSearch:
                 self.mapping[u] = -1
         if obs is not None and obs.children_entered == entered_before:
             obs.prune_empty += 1
+            obs.vertex_empty[u] += 1
 
     def _count_leaves(self) -> None:
         """CFL's combinatorial leaf counting, grouped by label."""
@@ -453,19 +461,25 @@ class _CFLSearch:
         remaining = self.limit - self.stats.embeddings_found
         obs = self.obs
         groups: dict[object, list[list[int]]] = {}
+        group_first_leaf: dict[object, int] = {}
         for u in self.leaves:
             pool = self._leaf_pool(u)
             usable = [v for v in pool if v not in self.used]
             if obs is not None:
                 obs.candidates_examined += len(pool)
                 obs.prune_conflict += len(pool) - len(usable)
+                obs.vertex_conflict[u] += len(pool) - len(usable)
             groups.setdefault(query.label(u), []).append(usable)
+            group_first_leaf.setdefault(query.label(u), u)
         total = 1
-        for candidate_lists in groups.values():
+        for label, candidate_lists in groups.items():
             group_count = _count_injective(candidate_lists, cap=remaining, injective=True)
             if group_count == 0:
                 if obs is not None:
                     obs.prune_empty += 1
+                    # The group failed as a unit; attribute the emptyset
+                    # to its first leaf so per-vertex sums stay exact.
+                    obs.vertex_empty[group_first_leaf[label]] += 1
                 return
             total = min(total * group_count, remaining)
         self.stats.embeddings_found += min(total, remaining)

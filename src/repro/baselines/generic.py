@@ -104,6 +104,8 @@ def ordered_backtrack(
     used: set[int] = set()
     obs = observer
     progress = observer.progress if observer is not None else None
+    if obs is not None:
+        obs.ensure_vertices(n)
 
     def extend(position: int) -> None:
         stats.recursive_calls += 1
@@ -138,6 +140,7 @@ def ordered_backtrack(
                     obs.candidates_examined += 1
                     if v in used:
                         obs.prune_conflict += 1
+                        obs.vertex_conflict[u] += 1
                     else:
                         obs.prune_label_degree += 1
                 continue
@@ -149,6 +152,7 @@ def ordered_backtrack(
             if obs is not None:
                 obs.candidates_examined += 1
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             mapping[u] = v
             used.add(v)
             extend(position + 1)
@@ -156,6 +160,7 @@ def ordered_backtrack(
             mapping[u] = -1
         if obs is not None and obs.children_entered == entered_before:
             obs.prune_empty += 1
+            obs.vertex_empty[u] += 1
 
     start = time.perf_counter()
     try:

@@ -60,6 +60,8 @@ class VF2Matcher(Matcher):
         n_query = query.num_vertices
         obs = self.observer
         progress = obs.progress if obs is not None else None
+        if obs is not None:
+            obs.ensure_vertices(n_query)
 
         core_q: dict[int, int] = {}  # query vertex -> data vertex
         core_d: dict[int, int] = {}  # data vertex -> query vertex
@@ -152,6 +154,7 @@ class VF2Matcher(Matcher):
                     if obs is not None:
                         obs.candidates_examined += 1
                         obs.children_entered += 1
+                        obs.vertex_entered[u] += 1
                     add_pair(u, v)
                     try:
                         extend()
@@ -169,6 +172,7 @@ class VF2Matcher(Matcher):
                         obs.prune_cs_edge += 1
             if obs is not None and obs.children_entered == entered_before:
                 obs.prune_empty += 1
+                obs.vertex_empty[u] += 1
 
         start = time.perf_counter()
         try:

@@ -1,0 +1,257 @@
+"""Manifest diffing: the deterministic-counter regression gate.
+
+Two manifests are compared cell by cell, where a *cell* is one
+(figure, identity) pair — identity being the row's key columns (dataset,
+query set, algorithm, axis/value, workers...).  Each numeric column in a
+cell yields a :class:`CellDelta` classified as improved / regressed /
+neutral:
+
+- **deterministic counters** (recursive calls, candidate sizes, solved
+  counts — everything that does not measure the clock) are compared with
+  a tight threshold, because given a fixed seed and profile they are
+  bit-reproducible and any drift is a real behavior change;
+- **wall-clock columns** (``*_ms`` / ``*_seconds``) get a wide noise
+  threshold and never trip the gate — timer noise across machines is
+  exactly what the empirical-study literature warns comparisons about.
+
+The CI gate (``repro bench compare --gate``, wired into scripts/ci.sh)
+fails only on deterministic-counter regressions beyond threshold, so a
+loaded CI box cannot fail the build, but a search that suddenly burns 10%
+more recursive calls will.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .report import format_number, render_sparkline, render_table
+
+#: Columns that identify a cell rather than measure it (strings always
+#: identify; these names identify even when numeric, e.g. ``workers``).
+KEY_COLUMNS = (
+    "dataset",
+    "query_set",
+    "algorithm",
+    "axis",
+    "value",
+    "perturbation",
+    "workers",
+    "query_size",
+)
+
+#: Metrics where larger is better; everything else regresses upward.
+HIGHER_IS_BETTER = ("solved", "speedup", "positive", "compression")
+
+#: Default relative thresholds per metric kind.
+COUNTER_THRESHOLD = 0.02
+TIME_THRESHOLD = 0.25
+
+
+def is_time_metric(name: str) -> bool:
+    return name.endswith("_ms") or name.endswith("_seconds") or name.endswith("_s")
+
+
+def is_higher_better(name: str) -> bool:
+    return any(name.startswith(prefix) for prefix in HIGHER_IS_BETTER)
+
+
+def cell_key(row: dict) -> str:
+    """The identity of a row within its figure: its key-column values."""
+    parts = []
+    for column in KEY_COLUMNS:
+        if column in row:
+            parts.append(f"{column}={row[column]}")
+    for column, value in row.items():
+        if column not in KEY_COLUMNS and isinstance(value, str):
+            parts.append(f"{column}={value}")
+    return " ".join(parts) if parts else "(single row)"
+
+
+@dataclass
+class CellDelta:
+    """One metric of one cell, baseline vs current."""
+
+    figure: str
+    cell: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    kind: str  # "counter" | "time"
+    classification: str  # improved | regressed | neutral | added | removed
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def delta_percent(self) -> Optional[float]:
+        if self.baseline is None or self.current is None:
+            return None
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return 100.0 * (self.current - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class Comparison:
+    """All cell deltas of one manifest pair, plus gate helpers."""
+
+    baseline_name: str
+    current_name: str
+    cells: list[CellDelta] = field(default_factory=list)
+
+    def of_class(self, classification: str) -> list[CellDelta]:
+        return [c for c in self.cells if c.classification == classification]
+
+    @property
+    def counter_regressions(self) -> list[CellDelta]:
+        """The deltas the CI gate fails on: deterministic counters only."""
+        return [c for c in self.cells if c.classification == "regressed" and c.kind == "counter"]
+
+    def summary_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.classification] = counts.get(cell.classification, 0) + 1
+        return counts
+
+    def render(self, only_changed: bool = False) -> str:
+        """The delta table (precision-preserving number mode) + verdict."""
+        rows = []
+        for c in self.cells:
+            if only_changed and c.classification == "neutral":
+                continue
+            rows.append(
+                {
+                    "figure": c.figure,
+                    "cell": c.cell,
+                    "metric": c.metric,
+                    "baseline": "-" if c.baseline is None else format_number(c.baseline, precise=True),
+                    "current": "-" if c.current is None else format_number(c.current, precise=True),
+                    "delta_%": "-" if c.delta_percent is None else f"{c.delta_percent:+.2f}",
+                    "kind": c.kind,
+                    "class": c.classification,
+                }
+            )
+        title = f"{self.baseline_name} -> {self.current_name}"
+        table = render_table(rows, title, precise=True)
+        counts = self.summary_counts()
+        verdict = ", ".join(f"{counts[k]} {k}" for k in sorted(counts)) or "no comparable cells"
+        gate = (
+            f"GATE FAIL: {len(self.counter_regressions)} deterministic-counter regression(s)"
+            if self.counter_regressions
+            else "gate ok: no deterministic-counter regressions"
+        )
+        return f"{table}\n{verdict}\n{gate}\n"
+
+
+def classify(
+    metric: str,
+    baseline: Optional[float],
+    current: Optional[float],
+    counter_threshold: float = COUNTER_THRESHOLD,
+    time_threshold: float = TIME_THRESHOLD,
+) -> CellDelta:
+    """Classify one (figure-less) metric pair; figure/cell filled by caller."""
+    kind = "time" if is_time_metric(metric) else "counter"
+    if baseline is None or current is None:
+        classification = "added" if baseline is None else "removed"
+        return CellDelta("", "", metric, baseline, current, kind, classification)
+    threshold = time_threshold if kind == "time" else counter_threshold
+    if baseline == 0:
+        relative = 0.0 if current == 0 else float("inf")
+    else:
+        relative = (current - baseline) / abs(baseline)
+    if abs(relative) <= threshold:
+        classification = "neutral"
+    else:
+        worse = relative < 0 if is_higher_better(metric) else relative > 0
+        classification = "regressed" if worse else "improved"
+    return CellDelta("", "", metric, baseline, current, kind, classification)
+
+
+def _numeric_metrics(row: dict) -> dict[str, float]:
+    out = {}
+    for column, value in row.items():
+        if column in KEY_COLUMNS or isinstance(value, (str, bool)):
+            continue
+        if isinstance(value, (int, float)):
+            out[column] = float(value)
+    return out
+
+
+def _cells_of(manifest: dict) -> dict[tuple[str, str], dict[str, float]]:
+    cells: dict[tuple[str, str], dict[str, float]] = {}
+    for figure, entry in manifest.get("figures", {}).items():
+        for row in entry.get("rows", []):
+            key = (figure, cell_key(row))
+            # Duplicate identities within a figure (shouldn't happen) keep
+            # the last row, matching how a reader would scan the table.
+            cells[key] = _numeric_metrics(row)
+    return cells
+
+
+def compare_manifests(
+    baseline: dict,
+    current: dict,
+    counter_threshold: float = COUNTER_THRESHOLD,
+    time_threshold: float = TIME_THRESHOLD,
+    baseline_name: str = "baseline",
+    current_name: str = "current",
+) -> Comparison:
+    """Diff two manifest documents cell by cell (see module docstring)."""
+    comparison = Comparison(baseline_name=baseline_name, current_name=current_name)
+    base_cells = _cells_of(baseline)
+    new_cells = _cells_of(current)
+    for key in sorted(set(base_cells) | set(new_cells)):
+        figure, cell = key
+        base_metrics = base_cells.get(key)
+        new_metrics = new_cells.get(key)
+        metrics = sorted(set(base_metrics or {}) | set(new_metrics or {}))
+        for metric in metrics:
+            delta = classify(
+                metric,
+                None if base_metrics is None else base_metrics.get(metric),
+                None if new_metrics is None else new_metrics.get(metric),
+                counter_threshold=counter_threshold,
+                time_threshold=time_threshold,
+            )
+            delta.figure = figure
+            delta.cell = cell
+            comparison.cells.append(delta)
+    return comparison
+
+
+def history_rows(
+    manifests: Sequence[dict],
+    metric: str = "avg_calls",
+    figure: Optional[str] = None,
+) -> list[dict[str, object]]:
+    """Trend rows over a manifest sequence: one row per cell that ever
+    reported ``metric``, with an ASCII sparkline across the history and
+    the first/last values (precision preserved by the caller's table)."""
+    series: dict[tuple[str, str], list[Optional[float]]] = {}
+    for position, manifest in enumerate(manifests):
+        for key, metrics in _cells_of(manifest).items():
+            if figure is not None and key[0] != figure:
+                continue
+            if metric not in metrics:
+                continue
+            slot = series.setdefault(key, [None] * len(manifests))
+            slot[position] = metrics[metric]
+    rows = []
+    for (fig, cell), values in sorted(series.items()):
+        present = [v for v in values if v is not None]
+        rows.append(
+            {
+                "figure": fig,
+                "cell": cell,
+                "trend": render_sparkline(values),
+                "first": present[0],
+                "last": present[-1],
+                "runs": len(present),
+            }
+        )
+    return rows

@@ -1,0 +1,249 @@
+"""Run manifests: the machine-readable benchmark trajectory.
+
+A *manifest* wraps one benchmark session into a single schema-validated
+JSON document — environment fingerprint, git SHA, the
+:class:`~repro.bench.experiments.BenchProfile` that scaled the workload,
+and per-figure result rows plus optional
+:meth:`~repro.obs.MetricsRegistry.snapshot` payloads.  Manifests persist
+as ``BENCH_<n>.json`` at the repository root (next index auto-assigned)
+and are committed, so ``repro bench compare`` / ``history`` can judge any
+later run against the recorded trajectory.  The empirical-study
+literature's lesson (Deep Analysis on Subgraph Isomorphism, PAPERS.md):
+cross-run comparisons are only trustworthy when the protocol and the
+environment travel with the numbers — hence the fingerprint, and hence
+the emphasis on *deterministic* counters (recursive calls, candidate
+sizes) over wall clock in :mod:`repro.bench.compare`.
+
+Writing a manifest also mirrors it into the JSONL event stream: one
+``bench.run`` event (identity + environment) and one ``bench.summary``
+per figure, both part of :data:`repro.obs.schema.EVENT_SCHEMAS` and
+validated by ``scripts/check_metrics_schema.py`` — which also validates
+manifest files themselves via :func:`validate_manifest`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional
+
+MANIFEST_SCHEMA = "repro.bench.manifest"
+MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def environment_fingerprint() -> dict:
+    """The environment facts a fair cross-run comparison must check."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_sha(root: Optional[Path] = None) -> str:
+    """HEAD commit of ``root`` (or cwd), ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def manifest_index(path) -> Optional[int]:
+    """The ``<n>`` of a ``BENCH_<n>.json`` filename, else ``None``."""
+    match = MANIFEST_PATTERN.match(Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+def list_manifests(root) -> list[Path]:
+    """All ``BENCH_<n>.json`` files under ``root``, ordered by index."""
+    found = [p for p in Path(root).glob("BENCH_*.json") if manifest_index(p) is not None]
+    return sorted(found, key=manifest_index)
+
+
+def next_manifest_index(root) -> int:
+    existing = list_manifests(root)
+    return manifest_index(existing[-1]) + 1 if existing else 0
+
+
+def load_manifest(path) -> dict:
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def _profile_payload(profile) -> dict:
+    """A BenchProfile (or already-dict) as a JSON-safe mapping."""
+    if profile is None:
+        return {"name": "unknown"}
+    if isinstance(profile, dict):
+        return dict(profile)
+    import dataclasses
+
+    payload = dataclasses.asdict(profile)
+    for key, value in payload.items():
+        if isinstance(value, tuple):
+            payload[key] = list(value)
+    return payload
+
+
+class ManifestWriter:
+    """Accumulates one benchmark session and writes its manifest.
+
+    The benchmark conftest (and ``repro bench run``) funnel every
+    recorded figure through :meth:`add_figure`; the same payload feeds
+    the per-figure ``<figure>.metrics.json`` sidecar (when a
+    ``results_dir`` is given) and the manifest, so the two cannot drift
+    apart.  ``sink`` (a :class:`repro.obs.EventSink`) receives the
+    mirrored ``bench.run`` / ``bench.summary`` events.
+    """
+
+    def __init__(
+        self,
+        root=None,
+        profile=None,
+        sink=None,
+        results_dir=None,
+    ) -> None:
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.profile = profile
+        self.sink = sink
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        self.figures: dict[str, dict] = {}
+
+    def add_figure(self, name: str, rows, metrics: Optional[dict] = None, title: str = "") -> None:
+        """Record one figure's result rows (and optional metrics snapshot).
+
+        Re-recording a figure overwrites it — reruns within a session
+        supersede, they do not duplicate.  When ``results_dir`` is set, a
+        ``<name>.metrics.json`` sidecar is written from the very payload
+        stored in the manifest.
+        """
+        entry: dict = {"title": title or name, "rows": [dict(r) for r in rows]}
+        if metrics is not None:
+            entry["metrics"] = metrics
+        self.figures[name] = entry
+        if self.sink is not None:
+            self.sink.emit(
+                {
+                    "event": "bench.summary",
+                    "figure": name,
+                    "rows": len(entry["rows"]),
+                    "title": entry["title"],
+                    "has_metrics": metrics is not None,
+                }
+            )
+        if self.results_dir is not None and metrics is not None:
+            self.results_dir.mkdir(exist_ok=True)
+            sidecar = self.results_dir / f"{name}.metrics.json"
+            sidecar.write_text(json.dumps(metrics, indent=2), encoding="utf-8")
+
+    def build(self) -> dict:
+        """The manifest document (validates clean by construction)."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "created": round(time.time(), 3),
+            "git_sha": git_sha(self.root),
+            "environment": environment_fingerprint(),
+            "profile": _profile_payload(self.profile),
+            "figures": self.figures,
+        }
+
+    def write(self, path=None) -> Path:
+        """Write the manifest; default path auto-assigns ``BENCH_<n>.json``."""
+        manifest = self.build()
+        errors = validate_manifest(manifest)
+        if errors:  # defensive: build() should never produce these
+            raise ValueError("manifest failed self-validation: " + "; ".join(errors))
+        if path is None:
+            index = next_manifest_index(self.root)
+            path = self.root / f"BENCH_{index}.json"
+        else:
+            path = Path(path)
+            index = manifest_index(path)
+        path.write_text(json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        if self.sink is not None:
+            event = {
+                "event": "bench.run",
+                "manifest": path.name,
+                "profile": manifest["profile"].get("name", "unknown"),
+                "git_sha": manifest["git_sha"],
+                "figures": len(self.figures),
+                "python": manifest["environment"]["python"],
+                "platform": manifest["environment"]["platform"],
+                "cpu_count": manifest["environment"]["cpu_count"],
+            }
+            if index is not None:
+                event["index"] = index
+            self.sink.emit(event)
+        return path
+
+
+def validate_manifest(obj: object) -> list[str]:
+    """Validate a parsed manifest document; returns human-readable errors
+    (empty list = valid), mirroring :func:`repro.obs.schema.validate_event`."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"manifest is not an object: {type(obj).__name__}"]
+    if obj.get("schema") != MANIFEST_SCHEMA:
+        errors.append(f"schema tag must be {MANIFEST_SCHEMA!r}, got {obj.get('schema')!r}")
+    version = obj.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        errors.append("schema_version must be an int")
+    elif version > MANIFEST_SCHEMA_VERSION:
+        errors.append(f"schema_version {version} is newer than supported {MANIFEST_SCHEMA_VERSION}")
+    created = obj.get("created")
+    if not isinstance(created, (int, float)) or isinstance(created, bool):
+        errors.append("created must be a timestamp")
+    if not isinstance(obj.get("git_sha"), str):
+        errors.append("git_sha must be a string")
+    env = obj.get("environment")
+    if not isinstance(env, dict):
+        errors.append("environment must be an object")
+    else:
+        for field in ("python", "platform", "machine"):
+            if not isinstance(env.get(field), str):
+                errors.append(f"environment.{field} must be a string")
+        if not isinstance(env.get("cpu_count"), int) or isinstance(env.get("cpu_count"), bool):
+            errors.append("environment.cpu_count must be an int")
+    prof = obj.get("profile")
+    if not isinstance(prof, dict) or not isinstance(prof.get("name"), str):
+        errors.append("profile must be an object with a string 'name'")
+    figures = obj.get("figures")
+    if not isinstance(figures, dict):
+        errors.append("figures must be an object")
+        return errors
+    for name, entry in figures.items():
+        if not isinstance(entry, dict):
+            errors.append(f"figures.{name} must be an object")
+            continue
+        rows = entry.get("rows")
+        if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+            errors.append(f"figures.{name}.rows must be a list of row objects")
+        if "metrics" in entry and not isinstance(entry["metrics"], dict):
+            errors.append(f"figures.{name}.metrics must be an object when present")
+    return errors
+
+
+def validate_manifest_file(path) -> list[str]:
+    """Load + validate one manifest file (unreadable JSON is an error)."""
+    try:
+        manifest = load_manifest(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"not a readable JSON document ({exc})"]
+    return validate_manifest(manifest)

@@ -10,7 +10,14 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 
-def format_number(value: object) -> str:
+def format_number(value: object, precise: bool = False) -> str:
+    """Compact number rendering for result tables.
+
+    The default mode drops decimals from floats >= 1000 — fine for
+    figure tables, but it would erase small deltas (1200.4 vs 1203.9
+    both render "1,200"), so regression reports use ``precise=True``,
+    which always keeps at least one decimal on floats.
+    """
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, int):
@@ -19,15 +26,21 @@ def format_number(value: object) -> str:
         if value == 0:
             return "0"
         if abs(value) >= 1000:
-            return f"{value:,.0f}"
+            return f"{value:,.1f}" if precise else f"{value:,.0f}"
         if abs(value) >= 1:
             return f"{value:.2f}"
         return f"{value:.4f}"
     return str(value)
 
 
-def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
-    """Render dict rows as an aligned monospaced table."""
+def render_table(
+    rows: Sequence[Mapping[str, object]], title: str = "", precise: bool = False
+) -> str:
+    """Render dict rows as an aligned monospaced table.
+
+    ``precise`` selects :func:`format_number`'s precision-preserving
+    mode (used by the regression delta tables).
+    """
     if not rows:
         return f"== {title} ==\n(no rows)\n" if title else "(no rows)\n"
     columns = list(rows[0].keys())
@@ -35,7 +48,10 @@ def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
         for key in row:
             if key not in columns:
                 columns.append(key)
-    rendered = [[format_number(row.get(col, "")) for col in columns] for row in rows]
+    rendered = [
+        [format_number(row.get(col, ""), precise=precise) for col in columns]
+        for row in rows
+    ]
     widths = [
         max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
     ]
@@ -110,6 +126,33 @@ def render_bar_chart(
     scale_note = "log scale" if log_scale else "linear scale"
     lines.append(f"({value_key}, {scale_note})")
     return "\n".join(lines) + "\n"
+
+
+#: ASCII intensity ramp for sparklines, lowest to highest.
+SPARK_RAMP = "_.:-=+*#%@"
+
+
+def render_sparkline(values: Sequence[float], ramp: str = SPARK_RAMP) -> str:
+    """One-line ASCII trend over ``values`` (the BENCH_* history view).
+
+    Values map linearly onto the ramp between the series min and max; a
+    constant series renders as the middle glyph, missing values
+    (``None``) as spaces.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(" ")
+        elif span == 0:
+            chars.append(ramp[len(ramp) // 2])
+        else:
+            chars.append(ramp[min(len(ramp) - 1, int((v - low) / span * (len(ramp) - 1) + 0.5))])
+    return "".join(chars)
 
 
 def summaries_to_rows(summaries: Iterable) -> list[dict[str, object]]:

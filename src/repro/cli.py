@@ -6,7 +6,8 @@ Commands
 ``info``      print statistics of a graph file
 ``convert``   convert between the ``t/v/e`` and edge-list formats
 ``generate``  materialize a registry dataset or a query workload
-``bench``     run one of the paper's experiment drivers
+``bench``     run experiment drivers; manage run manifests
+              (``run`` / ``compare`` / ``history`` / ``hotspots``)
 
 Graph files use the community ``t/v/e`` format by default (see
 :mod:`repro.graph.io`); pass ``--format edgelist`` for the plain format.
@@ -250,19 +251,119 @@ def cmd_generate_queries(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import DEFAULT, SMOKE, print_table
+def _bench_drivers() -> dict:
     from .bench import experiments as exp
 
-    drivers = {
+    return {
         "table2": exp.table2,
         **{f"fig{n}": getattr(exp, f"figure{n}") for n in range(9, 19)},
     }
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import DEFAULT, SMOKE, print_table
+
+    drivers = _bench_drivers()
     if args.experiment not in drivers:
         raise SystemExit(f"unknown experiment {args.experiment!r}; choices: {sorted(drivers)}")
     profile = SMOKE if args.profile == "smoke" else DEFAULT
     rows = drivers[args.experiment](profile)
     print_table(rows, f"{args.experiment} ({profile.name} profile)")
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """``repro bench run``: run drivers, write a BENCH_<n>.json manifest."""
+    from .bench import DEFAULT, SMOKE, ManifestWriter, print_table
+
+    drivers = _bench_drivers()
+    names = [name.strip() for name in args.figures.split(",") if name.strip()]
+    unknown = [name for name in names if name not in drivers]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; choices: {sorted(drivers)}")
+    if not names:
+        raise SystemExit("--figures must name at least one driver")
+    profile = SMOKE if args.profile == "smoke" else DEFAULT
+    sink = None
+    if args.metrics_out:
+        from .obs import JsonlSink
+
+        sink = JsonlSink(args.metrics_out)
+    writer = ManifestWriter(root=args.out, profile=profile, sink=sink)
+    for name in names:
+        rows = drivers[name](profile)
+        writer.add_figure(name, rows, title=f"{name} ({profile.name} profile)")
+        if not args.quiet:
+            print_table(rows, f"{name} ({profile.name} profile)")
+    path = writer.write()
+    if sink is not None:
+        sink.close()
+    print(f"manifest: {path}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """``repro bench compare``: diff two manifests, optionally as a gate."""
+    from .bench import compare_manifests, load_manifest, validate_manifest
+
+    documents = []
+    for name in (args.baseline, args.current):
+        try:
+            document = load_manifest(name)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"{name}: not a readable manifest ({exc})")
+        errors = validate_manifest(document)
+        if errors:
+            raise SystemExit(f"{name}: invalid manifest: " + "; ".join(errors))
+        documents.append(document)
+    comparison = compare_manifests(
+        documents[0],
+        documents[1],
+        counter_threshold=args.counter_threshold,
+        time_threshold=args.time_threshold,
+        baseline_name=Path(args.baseline).name,
+        current_name=Path(args.current).name,
+    )
+    print(comparison.render(only_changed=args.only_changed))
+    if args.gate and comparison.counter_regressions:
+        return 1
+    return 0
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """``repro bench history``: sparkline trends over BENCH_*.json."""
+    from .bench import history_rows, list_manifests, load_manifest
+    from .bench.report import render_table
+
+    paths = list_manifests(args.root)
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json manifests under {args.root}")
+    manifests = [load_manifest(p) for p in paths]
+    print("history: " + " -> ".join(p.name for p in paths))
+    rows = history_rows(manifests, metric=args.metric, figure=args.figure)
+    if not rows:
+        raise SystemExit(f"no cells report metric {args.metric!r}")
+    print(render_table(rows, f"trend of {args.metric}", precise=True))
+    return 0
+
+
+def cmd_bench_hotspots(args: argparse.Namespace) -> int:
+    """``repro bench hotspots``: per-vertex search-effort attribution."""
+    from .bench import render_hotspot_report, run_hotspots
+
+    if bool(args.query) != bool(args.data):
+        raise SystemExit("--query and --data must be given together")
+    collect_folded = args.folded is not None
+    if args.query:
+        query = _read_graph(args.query, args.format)
+        data = _read_graph(args.data, args.format)
+        payload = run_hotspots(query, data, limit=args.limit, collect_folded=collect_folded)
+    else:
+        payload = run_hotspots(limit=args.limit, collect_folded=collect_folded)
+    print(render_hotspot_report(payload, top=args.top))
+    if collect_folded and payload["tracer"] is not None:
+        payload["tracer"].write_folded(args.folded)
+        print(f"folded stacks -> {args.folded}")
     return 0
 
 
@@ -356,10 +457,85 @@ def build_parser() -> argparse.ArgumentParser:
     queries_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
     queries_p.set_defaults(func=cmd_generate_queries)
 
-    bench_p = sub.add_parser("bench", help="run a paper experiment driver")
-    bench_p.add_argument("experiment", help="table2 or fig9..fig18")
-    bench_p.add_argument("--profile", default="default", choices=("default", "smoke"))
-    bench_p.set_defaults(func=cmd_bench)
+    bench_p = sub.add_parser(
+        "bench", help="run experiment drivers, manage run manifests (docs/benchmarks.md)"
+    )
+    bench_sub = bench_p.add_subparsers(dest="experiment", required=True)
+
+    # Driver names stay first-class subcommands: `repro bench table2 --profile smoke`.
+    for driver in ["table2", *(f"fig{n}" for n in range(9, 19))]:
+        driver_p = bench_sub.add_parser(driver, help=f"run the {driver} driver")
+        driver_p.add_argument("--profile", default="default", choices=("default", "smoke"))
+        driver_p.set_defaults(func=cmd_bench, experiment=driver)
+
+    run_p = bench_sub.add_parser("run", help="run drivers and write a BENCH_<n>.json manifest")
+    run_p.add_argument("--profile", default="default", choices=("default", "smoke"))
+    run_p.add_argument(
+        "--figures",
+        default="fig10",
+        help="comma-separated driver names (table2, fig9..fig18); default fig10",
+    )
+    run_p.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for the BENCH_<n>.json manifest (index auto-assigned)",
+    )
+    run_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also mirror bench.run/bench.summary events as JSONL",
+    )
+    run_p.add_argument("--quiet", action="store_true", help="suppress per-figure tables")
+    run_p.set_defaults(func=cmd_bench_run)
+
+    compare_p = bench_sub.add_parser("compare", help="diff two manifests (regression gate)")
+    compare_p.add_argument("baseline", help="baseline manifest (e.g. BENCH_0.json)")
+    compare_p.add_argument("current", help="current manifest")
+    compare_p.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=0.02,
+        help="relative tolerance for deterministic counters (default 0.02)",
+    )
+    compare_p.add_argument(
+        "--time-threshold",
+        type=float,
+        default=0.25,
+        help="relative tolerance for wall-clock columns (default 0.25)",
+    )
+    compare_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 on deterministic-counter regressions (never on wall clock)",
+    )
+    compare_p.add_argument(
+        "--only-changed", action="store_true", help="hide neutral cells from the table"
+    )
+    compare_p.set_defaults(func=cmd_bench_compare)
+
+    history_p = bench_sub.add_parser("history", help="trend sparklines over BENCH_*.json")
+    history_p.add_argument("--root", default=".", help="directory holding BENCH_*.json")
+    history_p.add_argument("--metric", default="avg_calls", help="metric column to trend")
+    history_p.add_argument("--figure", default=None, help="restrict to one figure")
+    history_p.set_defaults(func=cmd_bench_history)
+
+    hotspots_p = bench_sub.add_parser(
+        "hotspots", help="per-vertex search-effort attribution (paper worked example)"
+    )
+    hotspots_p.add_argument("--query", default=None, help="query graph file (else worked example)")
+    hotspots_p.add_argument("--data", default=None, help="data graph file (else worked example)")
+    hotspots_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    hotspots_p.add_argument("--top", type=int, default=5, help="hottest vertices to show")
+    hotspots_p.add_argument("--limit", type=int, default=100_000, help="embedding cap")
+    hotspots_p.add_argument(
+        "--folded",
+        default=None,
+        metavar="PATH",
+        help="write flamegraph.pl folded stacks here",
+    )
+    hotspots_p.set_defaults(func=cmd_bench_hotspots)
 
     return parser
 

@@ -89,6 +89,8 @@ class BacktrackEngine:
         self.tracer = tracer
         self.obs = observer
         self.progress = observer.progress if observer is not None else None
+        if observer is not None:
+            observer.ensure_vertices(cs.dag.num_vertices)
         self.embeddings: list[Embedding] = []
         self.limit_reached = False
 
@@ -288,6 +290,7 @@ class BacktrackEngine:
         if not cmu:
             if obs is not None:
                 obs.prune_empty += 1
+                obs.vertex_empty[u] += 1
             if tracer is not None:
                 tracer.emptyset(u)
             return anc[u]  # emptyset class
@@ -306,6 +309,7 @@ class BacktrackEngine:
                     fs_union |= contribution
                     if obs is not None:
                         obs.prune_conflict += 1
+                        obs.vertex_conflict[u] += 1
                     if tracer is not None:
                         tracer.conflict(u, v, contribution)
                     continue
@@ -316,11 +320,13 @@ class BacktrackEngine:
                     fs_union |= contribution
                     if obs is not None:
                         obs.prune_conflict += 1
+                        obs.vertex_conflict[u] += 1
                     if tracer is not None:
                         tracer.conflict(u, v, contribution)
                     continue
             if obs is not None:
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             if tracer is not None:
                 tracer.enter(u, v)
             self._map(u, i, v)
@@ -336,7 +342,9 @@ class BacktrackEngine:
                 # Case 2.1 + Lemma 6.1: remaining siblings are redundant.
                 if obs is not None:
                     obs.fs_cuts += 1
-                    obs.prune_failing_set += len(cmu) - cmu.index(i) - 1
+                    skipped = len(cmu) - cmu.index(i) - 1
+                    obs.prune_failing_set += skipped
+                    obs.vertex_fs_pruned[u] += skipped
                 if tracer is not None:
                     position = cmu.index(i)
                     for j in cmu[position + 1 :]:
@@ -366,6 +374,7 @@ class BacktrackEngine:
         if not cmu:
             if obs is not None:
                 obs.prune_empty += 1
+                obs.vertex_empty[u] += 1
             return
         candidates_u = self.cs.candidates[u]
         visited_by = self.visited_by
@@ -377,13 +386,16 @@ class BacktrackEngine:
             if self.injective and v in visited_by:
                 if obs is not None:
                     obs.prune_conflict += 1
+                    obs.vertex_conflict[u] += 1
                 continue
             if self.induced and self._induced_violation(u, v) >= 0:
                 if obs is not None:
                     obs.prune_conflict += 1
+                    obs.vertex_conflict[u] += 1
                 continue
             if obs is not None:
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             if tracer is not None:
                 tracer.enter(u, v)
             self._map(u, i, v)
@@ -426,6 +438,7 @@ class BacktrackEngine:
         if not idxs:
             if obs is not None:
                 obs.prune_empty += 1
+                obs.vertex_empty[u] += 1
             return anc[u]
         candidates_u = self.cs.candidates[u]
         visited_by = self.visited_by
@@ -441,10 +454,12 @@ class BacktrackEngine:
                     fs_union |= anc[u] | anc[occupier]
                     if obs is not None:
                         obs.prune_conflict += 1
+                        obs.vertex_conflict[u] += 1
                     continue
                 visited_by[v] = u
             if obs is not None:
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             self.mapping[u] = v
             try:
                 child_fs = self._leaf_rec_fs(info, pos + 1)
@@ -457,7 +472,9 @@ class BacktrackEngine:
             elif not (child_fs >> u) & 1:
                 if obs is not None:
                     obs.fs_cuts += 1
-                    obs.prune_failing_set += len(idxs) - idxs.index(i) - 1
+                    skipped = len(idxs) - idxs.index(i) - 1
+                    obs.prune_failing_set += skipped
+                    obs.vertex_fs_pruned[u] += skipped
                 return None if found_embedding else child_fs
             else:
                 fs_union |= child_fs
@@ -485,6 +502,7 @@ class BacktrackEngine:
         obs = self.obs
         if not idxs and obs is not None:
             obs.prune_empty += 1
+            obs.vertex_empty[u] += 1
         for i in idxs:
             v = candidates_u[i]
             if obs is not None:
@@ -493,10 +511,12 @@ class BacktrackEngine:
                 if v in visited_by:
                     if obs is not None:
                         obs.prune_conflict += 1
+                        obs.vertex_conflict[u] += 1
                     continue
                 visited_by[v] = u
             if obs is not None:
                 obs.children_entered += 1
+                obs.vertex_entered[u] += 1
             self.mapping[u] = v
             try:
                 self._leaf_rec_plain(info, pos + 1)
@@ -546,6 +566,7 @@ class BacktrackEngine:
                             conflict_mask |= self.anc[occupier]
                             if obs is not None:
                                 obs.prune_conflict += 1
+                                obs.vertex_conflict[u] += 1
                             continue
                     usable.append(v)
                 available.append((u, usable))
@@ -555,6 +576,9 @@ class BacktrackEngine:
             if group_count == 0:
                 if obs is not None:
                     obs.prune_empty += 1
+                    # The group failed as a unit; attribute the emptyset
+                    # to its first leaf so per-vertex sums stay exact.
+                    obs.vertex_empty[label_leaves[0]] += 1
                 failing = conflict_mask
                 for u, _ in available:
                     failing |= self.anc[u]

@@ -21,7 +21,15 @@ The zero-overhead contract: with no observer attached the engines hold
 bit-identical with metrics on and off.
 """
 
-from .metrics import COUNTERS, PHASES, MetricsRegistry, render_snapshot
+from .metrics import (
+    COUNTERS,
+    PHASES,
+    VERTEX_COUNTERS,
+    MetricsRegistry,
+    hotspot_rows,
+    render_hotspots,
+    render_snapshot,
+)
 from .progress import ProgressReporter, slice_eta
 from .sampling import SamplingTracer, TraceRecord
 from .schema import EVENT_SCHEMAS, validate_event, validate_jsonl, validate_lines
@@ -39,6 +47,9 @@ __all__ = [
     "SamplingTracer",
     "TeeSink",
     "TraceRecord",
+    "VERTEX_COUNTERS",
+    "hotspot_rows",
+    "render_hotspots",
     "render_snapshot",
     "slice_eta",
     "validate_event",

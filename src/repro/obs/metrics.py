@@ -45,6 +45,26 @@ Per-run consistency invariants (asserted in the test suite)::
 
     candidates_examined == prune_conflict + children_entered      (FS engine)
     recursive_calls     == children_entered + number of run() roots
+
+**Per-vertex attribution** (PR 3): four of the counters are additionally
+attributed to the query vertex that burned them — ``entered`` (recursive
+descents made while expanding ``u``), ``conflict``, ``empty`` and
+``fs_pruned``.  Engines size the arrays via :meth:`ensure_vertices` and
+increment ``obs.vertex_entered[u]`` etc. inside the same
+``if obs is not None`` guards, so the zero-overhead-when-off contract is
+untouched and the per-vertex sums always equal the corresponding global
+counters::
+
+    sum(vertex_entered)   == children_entered
+    sum(vertex_conflict)  == prune_conflict
+    sum(vertex_empty)     == prune_empty
+    sum(vertex_fs_pruned) == prune_failing_set
+
+(The leaf-combinatorics path attributes a failing label group's
+``empty`` to the group's first leaf.)  Snapshots carry the attribution
+as sparse ``{"vertex": count}`` maps so parallel-worker snapshots merge
+by summation; :func:`hotspot_rows` / :func:`render_hotspots` turn a
+snapshot into the "which vertex burns the search" report.
 """
 
 from __future__ import annotations
@@ -74,6 +94,11 @@ COUNTERS: tuple[str, ...] = (
 #: applicable subset).  ``cs_refine`` nests inside ``cs_construct``.
 PHASES: tuple[str, ...] = ("dag_build", "cs_construct", "cs_refine", "order", "search")
 
+#: Per-query-vertex attribution dimensions; ``vertex_<name>`` is the
+#: registry's int array for each, and snapshots carry them as sparse
+#: ``{"vertex": count}`` maps under ``"vertex_counters"``.
+VERTEX_COUNTERS: tuple[str, ...] = ("entered", "conflict", "empty", "fs_pruned")
+
 
 class MetricsRegistry:
     """Per-search observability state: counters, spans, histograms.
@@ -94,7 +119,11 @@ class MetricsRegistry:
         from their hot loops (heartbeats).
     """
 
-    __slots__ = COUNTERS + ("spans", "candidate_sizes", "sink", "progress")
+    __slots__ = (
+        COUNTERS
+        + tuple(f"vertex_{name}" for name in VERTEX_COUNTERS)
+        + ("spans", "candidate_sizes", "sink", "progress")
+    )
 
     def __init__(
         self,
@@ -103,6 +132,8 @@ class MetricsRegistry:
     ) -> None:
         for name in COUNTERS:
             setattr(self, name, 0)
+        for name in VERTEX_COUNTERS:
+            setattr(self, f"vertex_{name}", [])
         self.spans: dict[str, float] = {}
         self.candidate_sizes: list[int] = []
         self.sink = sink
@@ -114,10 +145,37 @@ class MetricsRegistry:
     def counters(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in COUNTERS}
 
+    def ensure_vertices(self, n: int) -> None:
+        """Grow the per-vertex attribution arrays to cover ``n`` query
+        vertices.  Engines call this once at setup (inside their
+        ``observer is not None`` branch) so the hot loop can use plain
+        ``obs.vertex_entered[u] += 1`` list indexing."""
+        for name in VERTEX_COUNTERS:
+            array = getattr(self, f"vertex_{name}")
+            if len(array) < n:
+                array.extend([0] * (n - len(array)))
+
+    def vertex_counters(self) -> dict[str, dict[str, int]]:
+        """Sparse per-vertex attribution: ``{dim: {str(vertex): count}}``.
+
+        String keys + numeric leaves are what
+        :func:`repro.interfaces._merge_metrics` sums element-wise when
+        parallel-worker snapshots merge (lists would concatenate).
+        """
+        out: dict[str, dict[str, int]] = {}
+        for name in VERTEX_COUNTERS:
+            array = getattr(self, f"vertex_{name}")
+            sparse = {str(u): c for u, c in enumerate(array) if c}
+            if sparse:
+                out[name] = sparse
+        return out
+
     def reset(self) -> None:
         """Zero all counters, spans and histograms (sink stays attached)."""
         for name in COUNTERS:
             setattr(self, name, 0)
+        for name in VERTEX_COUNTERS:
+            setattr(self, f"vertex_{name}", [])
         self.spans = {}
         self.candidate_sizes = []
         if self.progress is not None:
@@ -162,11 +220,20 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """The JSON-serializable payload stored in ``SearchStats.metrics``."""
-        return {
+        payload = {
             "counters": self.counters(),
             "spans": {k: round(v, 6) for k, v in self.spans.items()},
             "candidate_sizes": list(self.candidate_sizes),
         }
+        vertex = self.vertex_counters()
+        if vertex:
+            payload["vertex_counters"] = vertex
+        return payload
+
+    def hotspots(self, top: Optional[int] = None) -> list[dict]:
+        """Per-vertex attribution rows, hottest first (see
+        :func:`hotspot_rows`)."""
+        return hotspot_rows(self.snapshot(), top=top)
 
     def emit_counters(self) -> None:
         """Emit the final ``counters`` event (end of a search)."""
@@ -200,4 +267,56 @@ def render_snapshot(snapshot: dict) -> str:
             f"min={min(sizes)} max={max(sizes)} "
             f"total={sum(sizes)} n={len(sizes)}"
         )
+    if snapshot.get("vertex_counters"):
+        lines.append("search-effort hotspots:")
+        for line in render_hotspots(snapshot, top=3).splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines)
+
+
+def hotspot_rows(snapshot: dict, top: Optional[int] = None) -> list[dict]:
+    """Per-query-vertex search-effort attribution from any snapshot.
+
+    One row per vertex that burned anything, sorted by descending
+    recursive-descent count (``entered``), each with the vertex's share
+    of every attribution dimension — the Arai-et-al-style "where does
+    the search effort concentrate" view.  Works on merged parallel
+    snapshots too (the sparse maps sum across workers).
+    """
+    vertex = snapshot.get("vertex_counters", {})
+    if not vertex:
+        return []
+    vertices: set[int] = set()
+    for sparse in vertex.values():
+        vertices.update(int(u) for u in sparse)
+    totals = {name: sum(vertex.get(name, {}).values()) for name in VERTEX_COUNTERS}
+    rows = []
+    for u in sorted(vertices):
+        row: dict = {"vertex": u}
+        for name in VERTEX_COUNTERS:
+            count = vertex.get(name, {}).get(str(u), 0)
+            row[name] = count
+            row[f"{name}_%"] = round(100.0 * count / totals[name], 1) if totals[name] else 0.0
+        rows.append(row)
+    rows.sort(key=lambda r: (-r["entered"], r["vertex"]))
+    return rows[:top] if top is not None else rows
+
+
+def render_hotspots(snapshot: dict, top: int = 5) -> str:
+    """Human-readable hotspot lines ("u3 accounts for 78% of emptyset
+    failures") for the CLI and the ``--profile`` block."""
+    rows = hotspot_rows(snapshot, top=top)
+    if not rows:
+        return "(no per-vertex attribution recorded)"
+    lines = []
+    for row in rows:
+        parts = [f"{row['entered_%']:.1f}% of recursive descents ({row['entered']})"]
+        for name, label in (
+            ("empty", "emptyset failures"),
+            ("conflict", "conflicts"),
+            ("fs_pruned", "failing-set prunes"),
+        ):
+            if row[name]:
+                parts.append(f"{row[f'{name}_%']:.1f}% of {label} ({row[name]})")
+        lines.append(f"u{row['vertex']}: " + ", ".join(parts))
     return "\n".join(lines)

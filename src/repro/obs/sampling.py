@@ -18,6 +18,13 @@ Records are flat ``TraceRecord`` rows with depth (not a linked tree), so
 memory is O(recorded), and an optional sink receives each record as a
 ``trace`` event.  ``max_records`` caps materialization; past it records
 are dropped and counted in ``dropped``.
+
+The tracer additionally folds every entered node into a *query-vertex
+stack* histogram — ``"u0;u2;u3" -> count`` — which :meth:`folded_lines`
+exports in the ``flamegraph.pl`` collapsed-stack format, so standard
+flame-graph tooling can render where the search tree spends its nodes
+(distinct stacks are bounded by query-vertex orderings, not by data
+vertices, and additionally capped by ``max_folded_stacks``).
 """
 
 from __future__ import annotations
@@ -63,23 +70,37 @@ class SamplingTracer:
         sample_every: int = 1024,
         sink: Optional[EventSink] = None,
         max_records: int = 100_000,
+        max_folded_stacks: int = 10_000,
     ) -> None:
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.sample_every = sample_every
         self.sink = sink
         self.max_records = max_records
+        self.max_folded_stacks = max_folded_stacks
         self.records: list[TraceRecord] = []
         self.dropped = 0
         self.nodes_seen = 0
         self.pruned_seen = 0
+        self.folded: dict[tuple[int, ...], int] = {}
+        self.folded_dropped = 0
         self._countdown = sample_every
         self._depth = 0
+        self._stack: list[int] = []
 
     # -- engine hooks (same protocol as core.trace.SearchTracer) --------
     def enter(self, query_vertex: int, data_vertex: int) -> None:
         self._depth += 1
         self.nodes_seen += 1
+        self._stack.append(query_vertex)
+        key = tuple(self._stack)
+        count = self.folded.get(key)
+        if count is not None:
+            self.folded[key] = count + 1
+        elif len(self.folded) < self.max_folded_stacks:
+            self.folded[key] = 1
+        else:
+            self.folded_dropped += 1
         self._countdown -= 1
         if self._countdown <= 0:
             self._countdown = self.sample_every
@@ -87,6 +108,8 @@ class SamplingTracer:
 
     def leave(self, failing_set_mask: Optional[int], found_embedding: bool) -> None:
         self._depth -= 1
+        if self._stack:
+            self._stack.pop()
 
     def conflict(self, query_vertex: int, data_vertex: int, contribution_mask: int) -> None:
         self._record(
@@ -126,6 +149,23 @@ class SamplingTracer:
             self.sink.emit(event)
 
     # -- reporting ------------------------------------------------------
+    def folded_stacks(self) -> dict[str, int]:
+        """Query-vertex stack histogram: ``"u0;u2;u3" -> entered count``."""
+        return {
+            ";".join(f"u{q}" for q in key): count for key, count in self.folded.items()
+        }
+
+    def folded_lines(self) -> list[str]:
+        """``flamegraph.pl``-compatible collapsed-stack lines, sorted so
+        the export is deterministic: ``u0;u2;u3 128``."""
+        return [f"{stack} {count}" for stack, count in sorted(self.folded_stacks().items())]
+
+    def write_folded(self, path) -> None:
+        """Write :meth:`folded_lines` to ``path`` (feed to flamegraph.pl)."""
+        with open(path, "w", encoding="utf-8") as stream:
+            for line in self.folded_lines():
+                stream.write(line + "\n")
+
     def failure_leaves(self) -> list[TraceRecord]:
         return [r for r in self.records if r.kind in ("conflict", "emptyset")]
 
@@ -139,4 +179,6 @@ class SamplingTracer:
             "dropped": self.dropped,
             "pruned_seen": self.pruned_seen,
             "by_kind": by_kind,
+            "folded_stacks": len(self.folded),
+            "folded_dropped": self.folded_dropped,
         }

@@ -110,6 +110,16 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "timed_out": _bool,
         },
     ),
+    # Benchmark-session events (repro.bench.manifest): one bench.run per
+    # written manifest, one bench.summary per recorded figure.
+    "bench.run": (
+        {"manifest": _str, "profile": _str, "git_sha": _str, "figures": _int},
+        {"index": _int, "python": _str, "platform": _str, "cpu_count": _int},
+    ),
+    "bench.summary": (
+        {"figure": _str, "rows": _int},
+        {"title": _str, "has_metrics": _bool},
+    ),
 }
 
 
