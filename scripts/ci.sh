@@ -4,8 +4,8 @@
 # leaked worker process fails the build instead of hanging it).
 #
 # Usage: scripts/ci.sh            (from the repository root)
-#   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT / BENCH_TIMEOUT
-#   override the caps (seconds).
+#   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT / BENCH_TIMEOUT /
+#   LINT_TIMEOUT override the caps (seconds).
 
 set -eu
 
@@ -16,6 +16,13 @@ TIER1_TIMEOUT="${TIER1_TIMEOUT:-900}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 OBS_TIMEOUT="${OBS_TIMEOUT:-120}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
+LINT_TIMEOUT="${LINT_TIMEOUT:-120}"
+
+echo "==> static analysis (cap: ${LINT_TIMEOUT}s)"
+# AST invariant checkers (docs/static-analysis.md): schema drift,
+# unseeded randomness, budget polls, Matcher protocol, CLI docs.
+timeout --kill-after=30 "$LINT_TIMEOUT" \
+    python -m repro lint --format text
 
 echo "==> tier-1 suite (cap: ${TIER1_TIMEOUT}s)"
 timeout --kill-after=30 "$TIER1_TIMEOUT" \

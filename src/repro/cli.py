@@ -8,6 +8,8 @@ Commands
 ``generate``  materialize a registry dataset or a query workload
 ``bench``     run experiment drivers; manage run manifests
               (``run`` / ``compare`` / ``history`` / ``hotspots``)
+``lint``      statically check the codebase's invariants
+              (docs/static-analysis.md)
 
 Graph files use the community ``t/v/e`` format by default (see
 :mod:`repro.graph.io`); pass ``--format edgelist`` for the plain format.
@@ -367,6 +369,29 @@ def cmd_bench_hotspots(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the static invariant checkers, exit 1 on findings."""
+    from .lint import UnknownCheckError, catalog, render_json, render_text, run_lint
+
+    if args.list:
+        for check_id, description in catalog():
+            print(f"{check_id}  {description}")
+        return 0
+    split = lambda v: [s for s in v.split(",") if s.strip()] if v else None  # noqa: E731
+    try:
+        findings = run_lint(
+            root=args.root, select=split(args.select), ignore=split(args.ignore)
+        )
+    except (FileNotFoundError, UnknownCheckError) as exc:
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -536,6 +561,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flamegraph.pl folded stacks here",
     )
     hotspots_p.set_defaults(func=cmd_bench_hotspots)
+
+    lint_p = sub.add_parser(
+        "lint", help="statically check codebase invariants (docs/static-analysis.md)"
+    )
+    lint_p.add_argument(
+        "--root", default=None, help="repository root (default: auto-detect)"
+    )
+    lint_p.add_argument("--format", default="text", choices=("text", "json"))
+    lint_p.add_argument(
+        "--select", default=None, metavar="IDS", help="comma-separated check ids to run"
+    )
+    lint_p.add_argument(
+        "--ignore", default=None, metavar="IDS", help="comma-separated check ids to skip"
+    )
+    lint_p.add_argument(
+        "--list", action="store_true", help="print the check catalog and exit"
+    )
+    lint_p.set_defaults(func=cmd_lint)
 
     return parser
 

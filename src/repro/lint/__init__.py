@@ -1,0 +1,40 @@
+"""``repro.lint`` — AST-based static enforcement of codebase invariants.
+
+The reproduction's comparability claims rest on contracts no runtime
+test can cover exhaustively: every matcher emits schema'd events, every
+backtracker polls its budget, no unseeded randomness touches results,
+the CLI and the docs agree.  This package enforces those contracts at
+the source level with a pure-stdlib (:mod:`ast`) analysis framework:
+
+- :class:`Finding` — structured violation records (path, line, id,
+  severity, message);
+- :class:`Checker` / :func:`register` — the pluggable checker base;
+- :func:`run_lint` — run (a selection of) checkers over a repository
+  root and get sorted findings back;
+- ``python -m repro lint`` — the CLI front end, wired as a gating step
+  in ``scripts/ci.sh``.
+
+See docs/static-analysis.md for the check catalogue (SCH001, DET001,
+BUD001, IFC001, CLI001), the suppression syntax, and a guide to adding
+a checker.
+"""
+
+from .base import ALL_CHECKERS, Checker, register
+from .context import LintContext, ParsedModule, find_repo_root
+from .engine import UnknownCheckError, catalog, run_lint
+from .findings import Finding, render_json, render_text
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "LintContext",
+    "ParsedModule",
+    "UnknownCheckError",
+    "catalog",
+    "find_repo_root",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,52 @@
+"""The pluggable ``Checker`` base and its registry.
+
+A checker is one invariant with a stable id.  Adding a new one is three
+steps (docs/static-analysis.md walks through an example):
+
+1. subclass :class:`Checker` with a unique ``id`` and a ``describe()``;
+2. implement ``check(ctx)`` yielding :class:`~repro.lint.Finding`
+   records (the engine sorts, deduplicates and applies suppressions);
+3. decorate the class with :func:`register` and import the module from
+   ``repro.lint.checkers`` so the registry sees it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Type
+
+from .context import LintContext
+from .findings import Finding
+
+#: Registry of all known checkers, keyed by check id, in registration
+#: order (the catalogue order used by ``repro lint --list`` and docs).
+ALL_CHECKERS: dict[str, Type["Checker"]] = {}
+
+
+class Checker(ABC):
+    """One statically-enforced codebase invariant."""
+
+    #: Stable identifier (``SCH001``): three-letter family + number.
+    id: str = ""
+    #: One-line summary shown by ``repro lint --list`` and in docs.
+    description: str = ""
+
+    @abstractmethod
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Yield findings for every violation under ``ctx.root``."""
+
+    # Convenience for uniform finding construction.
+    def finding(self, path: str, line: int, message: str, severity: str = "error") -> Finding:
+        return Finding(
+            path=path, line=line, check_id=self.id, severity=severity, message=message
+        )
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to :data:`ALL_CHECKERS`."""
+    if not cls.id:
+        raise ValueError(f"{cls.__name__} has no check id")
+    if cls.id in ALL_CHECKERS:
+        raise ValueError(f"duplicate check id {cls.id!r}")
+    ALL_CHECKERS[cls.id] = cls
+    return cls

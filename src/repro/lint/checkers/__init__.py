@@ -1,0 +1,12 @@
+"""Project-specific checkers.
+
+Importing this package populates :data:`repro.lint.base.ALL_CHECKERS`
+via each module's ``@register`` decorations; the import order below is
+the catalogue order shown by ``repro lint --list``.
+"""
+
+from . import schema  # noqa: F401  (SCH001)
+from . import determinism  # noqa: F401  (DET001)
+from . import budget  # noqa: F401  (BUD001)
+from . import interface  # noqa: F401  (IFC001)
+from . import cli_docs  # noqa: F401  (CLI001)

@@ -1,0 +1,154 @@
+"""BUD001 — every backtracking recursion must poll its budget.
+
+The resilience layer (docs/robustness.md) only bounds a search if every
+recursive step ticks the ``Deadline``/``Budget`` governor.  A backtracker
+that forgets ``deadline.tick()`` runs unbounded — exactly the class of
+bug that only shows up under production load, never in unit tests with
+friendly inputs.
+
+What counts as a backtracking function, statically: a function that
+participates in a recursion cycle (self-recursion included; cycles are
+resolved by name within one module, which is how every engine in this
+codebase is written) where some cycle member advances the paper's cost
+accounting — ``<obj>.recursive_calls += 1`` or
+``<obj>.embeddings_found += 1`` with a literal 1.  The constant matters:
+aggregation code (``stats.recursive_calls += sub.recursive_calls``) sums
+variables and is deliberately not matched.  Every function in such a
+cycle must directly contain a zero-argument ``.tick()`` call (the
+budget/deadline surface; ``progress.tick(calls, depth)`` takes arguments
+and does not satisfy the check), so every recursive entry passes a
+budget poll.  Independently, any function that increments
+``recursive_calls`` by 1 must tick — counting a search step and not
+metering it is the same bug in iterative form.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, register
+from ..context import LintContext
+from ..findings import Finding
+from ..context import call_name, iter_functions, own_body_walk
+
+#: Repository-relative path prefixes/files holding search engines.
+_SCOPE = (
+    "src/repro/core/backtrack.py",
+    "src/repro/baselines/",
+    "src/repro/extensions/boost.py",
+    "src/repro/directed/matcher.py",
+    "src/repro/general/",
+)
+
+
+def _increments_cost_counter(func: ast.FunctionDef) -> bool:
+    for node in own_body_walk(func):
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Attribute)
+            and node.target.attr in ("recursive_calls", "embeddings_found")
+            and isinstance(node.value, ast.Constant)
+            and node.value.value == 1
+        ):
+            return True
+    return False
+
+
+def _has_budget_tick(func: ast.FunctionDef) -> bool:
+    for node in own_body_walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "tick"
+            and not node.args
+            and not node.keywords
+        ):
+            return True
+    return False
+
+
+@register
+class BudgetCoverageChecker(Checker):
+    id = "BUD001"
+    description = (
+        "every backtracking recursion cycle that counts search steps must "
+        "poll the Deadline/Budget via a zero-argument .tick() in each member"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for module in ctx.modules():
+            if not module.relpath.startswith(_SCOPE):
+                continue
+            functions = dict(iter_functions(module.tree))
+            if not functions:
+                continue
+            # Name-based call graph restricted to names defined here.
+            short_names = {qual.rsplit(".", 1)[-1]: qual for qual in functions}
+            edges: dict[str, set[str]] = {qual: set() for qual in functions}
+            for qual, func in functions.items():
+                for node in own_body_walk(func):
+                    if isinstance(node, ast.Call):
+                        name = call_name(node)
+                        if name in short_names:
+                            edges[qual].add(short_names[name])
+
+            reachable = {qual: self._reachable(qual, edges) for qual in functions}
+            in_cycle = {qual for qual in functions if qual in reachable[qual]}
+
+            flagged: set[str] = set()
+            for qual in sorted(in_cycle):
+                cycle = {
+                    other
+                    for other in in_cycle
+                    if other in reachable[qual] and qual in reachable[other]
+                }
+                if not any(_increments_cost_counter(functions[o]) for o in cycle):
+                    continue  # helper recursion (tree walks, renderers)
+                for member in sorted(cycle):
+                    if member in flagged or _has_budget_tick(functions[member]):
+                        continue
+                    flagged.add(member)
+                    yield self.finding(
+                        module.relpath,
+                        functions[member].lineno,
+                        f"recursive backtracking function {member!r} never polls "
+                        "its budget: add a deadline.tick() on the recursion path",
+                    )
+            # Iterative form: counting a search step without metering it.
+            for qual, func in sorted(functions.items()):
+                if qual in flagged or qual in in_cycle:
+                    continue
+                if _increments_cost_counter(func) and not _has_budget_tick(func):
+                    if self._counts_recursive_calls(func):
+                        yield self.finding(
+                            module.relpath,
+                            func.lineno,
+                            f"function {qual!r} increments recursive_calls but "
+                            "never polls a budget: add a deadline.tick()",
+                        )
+
+    @staticmethod
+    def _counts_recursive_calls(func: ast.FunctionDef) -> bool:
+        for node in own_body_walk(func):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and node.target.attr == "recursive_calls"
+                and isinstance(node.value, ast.Constant)
+                and node.value.value == 1
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _reachable(start: str, edges: dict[str, set[str]]) -> set[str]:
+        seen: set[str] = set()
+        stack = list(edges[start])
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            stack.extend(edges[qual])
+        return seen

@@ -1,0 +1,65 @@
+"""CLI001 — every CLI flag must appear in the documentation.
+
+``repro``'s flags are the public contract of the reproduction: EXPERIMENTS.md
+tells a reader which invocations regenerate which figure, and an
+undocumented flag is a feature nobody can discover without reading
+argparse setup code.  This checker extracts every ``add_argument`` option
+string from ``src/repro/cli.py`` and requires each long flag to occur —
+as a word-bounded literal, so ``--metric`` is not satisfied by
+``--metrics-out`` — somewhere in README.md, EXPERIMENTS.md, DESIGN.md or
+``docs/**/*.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..base import Checker, register
+from ..context import LintContext
+from ..findings import Finding
+
+
+@register
+class CliDocsDriftChecker(Checker):
+    id = "CLI001"
+    description = (
+        "every add_argument flag in src/repro/cli.py must be documented in "
+        "README.md / EXPERIMENTS.md / docs/*.md"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        module = ctx.module("src/repro/cli.py")
+        if module is None:
+            yield self.finding(
+                "src/repro/cli.py", 0, "anchor missing: no CLI module to check"
+            )
+            return
+        flags: dict[str, int] = {}
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.setdefault(arg.value, arg.lineno)
+        if not flags:
+            return
+        corpus = "\n".join(text for _path, text in ctx.doc_corpus())
+        for flag, lineno in sorted(flags.items()):
+            pattern = re.compile(rf"(?<![\w-]){re.escape(flag)}(?![\w-])")
+            if not pattern.search(corpus):
+                yield self.finding(
+                    module.relpath,
+                    lineno,
+                    f"CLI flag {flag} is not documented anywhere in README.md, "
+                    "EXPERIMENTS.md, DESIGN.md or docs/ — add it to the docs",
+                )

@@ -1,0 +1,153 @@
+"""DET001 — no nondeterminism may leak into comparable results.
+
+The paper's machine-independent comparisons (and the BENCH_* regression
+gate) assume recursive-call counts and candidate sizes are reproducible
+bit-for-bit.  Three statically-visible leak classes are banned:
+
+- calls on the process-global ``random`` RNG (``random.shuffle(...)``,
+  ``from random import randint``) — all randomness must flow through an
+  explicitly seeded ``random.Random`` instance that the caller threads in;
+- wall-clock reads (``time.time()``/``perf_counter()``/...) feeding a
+  value stored in a deterministic ``SearchStats`` counter field (the
+  ``*_seconds`` fields are wall-clock by definition and stay exempt);
+- iteration over syntactically-evident ``set`` values (set literals, set
+  comprehensions, ``set(...)``/``frozenset(...)`` calls) in the
+  result-producing packages ``repro.core`` and ``repro.baselines`` —
+  set order is hash-dependent, so enumeration order (and therefore
+  limit-truncated results and per-vertex attribution) would be too;
+  iterate ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, register
+from ..context import LintContext
+from ..findings import Finding
+
+#: SearchStats fields that must stay deterministic counters.
+_COUNTER_FIELDS = frozenset(
+    {"recursive_calls", "embeddings_found", "candidates_total", "filter_iterations"}
+)
+
+#: Clock functions whose values must never reach a counter field.
+_CLOCK_NAMES = frozenset({"time", "perf_counter", "monotonic", "process_time", "time_ns"})
+
+#: Packages whose enumeration order is part of the observable result.
+_ORDER_SENSITIVE_PREFIXES = ("src/repro/core/", "src/repro/baselines/")
+
+
+def _is_clock_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _CLOCK_NAMES
+        )
+    if isinstance(func, ast.Name):
+        return func.id in _CLOCK_NAMES - {"time"}  # bare time() is too ambiguous
+    return False
+
+
+def _is_bare_set_expr(node: ast.AST) -> bool:
+    """A value that is certainly a set at this syntactic position."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    id = "DET001"
+    description = (
+        "no global-RNG calls, no clock reads stored into SearchStats "
+        "counters, no bare-set iteration in result-producing packages"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for module in ctx.modules():
+            order_sensitive = module.relpath.startswith(_ORDER_SENSITIVE_PREFIXES)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    yield from self._check_global_rng(module, node)
+                elif isinstance(node, ast.ImportFrom):
+                    yield from self._check_rng_import(module, node)
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    yield from self._check_clock_into_counter(module, node)
+                elif order_sensitive and isinstance(node, (ast.For, ast.comprehension)):
+                    yield from self._check_set_iteration(module, node)
+
+    # -- global RNG -----------------------------------------------------
+    def _check_global_rng(self, module, node: ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in ("Random", "SystemRandom")
+        ):
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"call to the global RNG random.{func.attr}(): route randomness "
+                "through an explicitly seeded random.Random instance",
+            )
+
+    def _check_rng_import(self, module, node: ast.ImportFrom):
+        if node.module != "random":
+            return
+        for alias in node.names:
+            if alias.name not in ("Random", "SystemRandom"):
+                yield self.finding(
+                    module.relpath,
+                    node.lineno,
+                    f"'from random import {alias.name}' binds a global-RNG "
+                    "function: import random.Random and seed it explicitly",
+                )
+
+    # -- clock -> counter -----------------------------------------------
+    def _check_clock_into_counter(self, module, node):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        counter_targets = [
+            t
+            for t in targets
+            if isinstance(t, ast.Attribute) and t.attr in _COUNTER_FIELDS
+        ]
+        if not counter_targets:
+            return
+        if any(_is_clock_call(sub) for sub in ast.walk(node.value)):
+            names = ", ".join(t.attr for t in counter_targets)
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"wall-clock value stored into deterministic counter field(s) "
+                f"{names}: clocks belong in the *_seconds fields only",
+            )
+
+    # -- set iteration --------------------------------------------------
+    def _check_set_iteration(self, module, node):
+        iterable = node.iter
+        lineno = node.lineno if isinstance(node, ast.For) else iterable.lineno
+        # Unwrap tuple()/list() conversions: materializing a set preserves
+        # its (hash-dependent) order.
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in ("tuple", "list")
+            and iterable.args
+        ):
+            iterable = iterable.args[0]
+        if _is_bare_set_expr(iterable):
+            yield self.finding(
+                module.relpath,
+                lineno,
+                "iteration over a bare set in a result-producing package: "
+                "wrap it in sorted(...) so enumeration order is deterministic",
+            )

@@ -1,0 +1,203 @@
+"""SCH001 — the event schema and the code that emits events must agree.
+
+The observability layer's comparability story (docs/observability.md)
+rests on every event reaching a sink being valid against
+``repro.obs.schema.EVENT_SCHEMAS`` and every counter being one of the
+slots in ``repro.obs.metrics.COUNTERS``.  Runtime validation only covers
+the events a given test run happens to emit; this checker closes the gap
+at the source level, in both directions:
+
+- every ``{"event": "<name>", ...}`` literal in the package names a
+  schema'd event, and its constant keys are fields that event allows;
+- every schema entry has at least one emission site (dead schema);
+- every ``prune_*``-family counter increment targets a declared slot,
+  and every declared slot (global and per-vertex) is incremented
+  somewhere outside ``repro.obs`` (dead counter);
+- every constant phase name passed to ``record_span``/``span`` is in
+  ``PHASES``, and every declared phase is recorded somewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, register
+from ..context import LintContext
+from ..findings import Finding
+
+#: Counter attribute names that must be declared in ``COUNTERS`` even
+#: when they do not carry the ``prune_`` prefix.
+_BARE_COUNTER_NAMES = frozenset({"fs_cuts", "candidates_examined", "children_entered"})
+
+#: Fields every event implicitly carries (the sink adds ``ts``).
+_IMPLICIT_FIELDS = frozenset({"event", "ts"})
+
+
+@register
+class SchemaEmissionChecker(Checker):
+    id = "SCH001"
+    description = (
+        "event literals, counter increments and phase names must match the "
+        "repro.obs schema/catalogues, with no dead schema entries"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        schemas = ctx.event_schemas()
+        counters = ctx.counters()
+        vertex_counters = ctx.vertex_counters()
+        phases = ctx.phases()
+        if schemas is None or counters is None or phases is None:
+            yield self.finding(
+                "src/repro/obs/schema.py",
+                0,
+                "anchor definitions missing: could not extract EVENT_SCHEMAS "
+                "from repro.obs.schema or COUNTERS/PHASES from repro.obs.metrics",
+            )
+            return
+        vertex_counters = vertex_counters or {}
+
+        seen_events: set[str] = set()
+        seen_counters: set[str] = set()
+        seen_vertex: set[str] = set()
+        seen_phases: set[str] = set()
+
+        for module in ctx.modules():
+            in_obs = module.relpath.startswith("src/repro/obs/")
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Dict):
+                    yield from self._check_event_literal(module, node, schemas, seen_events)
+                elif isinstance(node, ast.AugAssign):
+                    yield from self._check_counter_increment(
+                        module,
+                        node,
+                        counters,
+                        vertex_counters,
+                        seen_counters if not in_obs else set(),
+                        seen_vertex if not in_obs else set(),
+                    )
+                elif isinstance(node, ast.Call):
+                    yield from self._check_phase_name(module, node, phases, seen_phases)
+
+        # Dead-definition sweep: every declared event/counter/phase needs
+        # at least one source-level use site.
+        for event, (lineno, _required, _optional) in sorted(schemas.items()):
+            if event not in seen_events:
+                yield self.finding(
+                    "src/repro/obs/schema.py",
+                    lineno,
+                    f"dead schema entry: event {event!r} has no emission site "
+                    "in src/repro (delete it or emit it)",
+                )
+        for counter, lineno in sorted(counters.items()):
+            if counter not in seen_counters:
+                yield self.finding(
+                    "src/repro/obs/metrics.py",
+                    lineno,
+                    f"dead counter slot: {counter!r} is declared in COUNTERS but "
+                    "never incremented outside repro.obs",
+                )
+        for dimension, lineno in sorted(vertex_counters.items()):
+            if dimension not in seen_vertex:
+                yield self.finding(
+                    "src/repro/obs/metrics.py",
+                    lineno,
+                    f"dead per-vertex dimension: vertex_{dimension!r} is declared "
+                    "in VERTEX_COUNTERS but never incremented outside repro.obs",
+                )
+        for phase, lineno in sorted(phases.items()):
+            if phase not in seen_phases:
+                yield self.finding(
+                    "src/repro/obs/metrics.py",
+                    lineno,
+                    f"dead phase: {phase!r} is declared in PHASES but never "
+                    "recorded by any span site",
+                )
+
+    # -- event literals -------------------------------------------------
+    def _check_event_literal(self, module, node: ast.Dict, schemas, seen_events):
+        event_name = None
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "event"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                event_name = value.value
+                break
+        if event_name is None:
+            return
+        if event_name not in schemas:
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"emission of unknown event {event_name!r}: not in "
+                "repro.obs.schema.EVENT_SCHEMAS",
+            )
+            return
+        seen_events.add(event_name)
+        _lineno, required, optional = schemas[event_name]
+        allowed = required | optional | _IMPLICIT_FIELDS
+        for key in node.keys:
+            # Non-constant keys (e.g. a ``**{...}`` expansion, encoded as a
+            # None key) cannot be checked statically; skip them.
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                if key.value not in allowed:
+                    yield self.finding(
+                        module.relpath,
+                        key.lineno,
+                        f"event {event_name!r} has no field {key.value!r} in its "
+                        "schema (add it to EVENT_SCHEMAS or drop it)",
+                    )
+
+    # -- counter increments ---------------------------------------------
+    def _check_counter_increment(
+        self, module, node: ast.AugAssign, counters, vertex_counters, seen_counters, seen_vertex
+    ):
+        target = node.target
+        if isinstance(target, ast.Attribute):
+            name = target.attr
+            if name in counters:
+                seen_counters.add(name)
+            elif name.startswith("prune_") or name in _BARE_COUNTER_NAMES:
+                yield self.finding(
+                    module.relpath,
+                    node.lineno,
+                    f"increment of undeclared counter {name!r}: not a slot in "
+                    "repro.obs.metrics.COUNTERS",
+                )
+        elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Attribute):
+            name = target.value.attr
+            if not name.startswith("vertex_"):
+                return
+            dimension = name[len("vertex_") :]
+            if dimension in vertex_counters:
+                seen_vertex.add(dimension)
+            else:
+                yield self.finding(
+                    module.relpath,
+                    node.lineno,
+                    f"increment of undeclared per-vertex dimension {name!r}: "
+                    f"{dimension!r} is not in repro.obs.metrics.VERTEX_COUNTERS",
+                )
+
+    # -- phase names ----------------------------------------------------
+    def _check_phase_name(self, module, node: ast.Call, phases, seen_phases):
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in ("record_span", "span")):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return  # dynamic phase names are forwarded values, not sites
+        if first.value in phases:
+            seen_phases.add(first.value)
+        else:
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"span records unknown phase {first.value!r}: not in "
+                "repro.obs.metrics.PHASES",
+            )

@@ -1,0 +1,72 @@
+"""The lint engine: select checkers, run them, filter suppressions.
+
+:func:`run_lint` is the single entry point both the CLI subcommand and
+the test suite use.  It is deliberately free of I/O besides reading the
+tree under ``root``: rendering and exit codes belong to the caller.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .base import ALL_CHECKERS, Checker
+from .context import LintContext
+from .findings import Finding
+
+from . import checkers as _checkers  # noqa: F401  — populate the registry
+
+
+class UnknownCheckError(ValueError):
+    """A ``--select``/``--ignore`` id that no registered checker claims."""
+
+
+def _resolve_ids(ids: Optional[Iterable[str]]) -> Optional[set[str]]:
+    if ids is None:
+        return None
+    resolved = {i.strip() for i in ids if i.strip()}
+    unknown = resolved - set(ALL_CHECKERS)
+    if unknown:
+        raise UnknownCheckError(
+            f"unknown check id(s) {sorted(unknown)}; known: {sorted(ALL_CHECKERS)}"
+        )
+    return resolved
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Run the (selected) checkers over the repository at ``root``.
+
+    Returns the sorted, deduplicated, suppression-filtered findings.
+    ``select`` limits the run to those ids; ``ignore`` drops ids from
+    whatever ``select`` produced.  Unknown ids raise
+    :class:`UnknownCheckError` — a typo in CI must not silently pass.
+    """
+    selected = _resolve_ids(select)
+    ignored = _resolve_ids(ignore) or set()
+    ctx = LintContext(root)
+    findings: set[Finding] = set()
+    for check_id, checker_cls in ALL_CHECKERS.items():
+        if selected is not None and check_id not in selected:
+            continue
+        if check_id in ignored:
+            continue
+        checker: Checker = checker_cls()
+        for finding in checker.check(ctx):
+            module = ctx.module(finding.path)
+            if module is not None and ctx.is_suppressed(
+                module, finding.line, finding.check_id
+            ):
+                continue
+            findings.add(finding)
+    return sorted(findings)
+
+
+def catalog() -> list[tuple[str, str]]:
+    """``(id, description)`` for every registered checker, in catalogue
+    order — the source of truth behind ``repro lint --list`` and the
+    table in docs/static-analysis.md."""
+    return [(check_id, cls.description) for check_id, cls in ALL_CHECKERS.items()]

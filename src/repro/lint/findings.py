@@ -1,0 +1,62 @@
+"""Structured lint findings and their text/JSON renderings.
+
+A :class:`Finding` is one violation of a codebase invariant, anchored to
+a repository-relative path and line so editors and CI logs can jump to
+it.  Findings order by location (then check id) so output is stable
+across runs and dict-iteration orders — the linter holds itself to the
+determinism bar it enforces (DET001).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation.
+
+    Attributes
+    ----------
+    path:
+        Repository-relative file path (``src/repro/...``, ``docs/...``).
+    line:
+        1-based line number the finding anchors to (0 for whole-file
+        findings such as a missing anchor module).
+    check_id:
+        The checker's stable identifier (``SCH001``, ``DET001``, ...).
+    severity:
+        ``"error"`` or ``"warning"``; both fail the build — the split
+        exists so downstream tooling can triage.
+    message:
+        Human-readable description of the violation and the fix.
+    """
+
+    path: str
+    line: int
+    check_id: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.check_id} [{self.severity}] {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """The ``--format text`` report: one line per finding plus a tally."""
+    if not findings:
+        return "repro lint: no findings"
+    lines = [finding.render() for finding in findings]
+    by_check: dict[str, int] = {}
+    for finding in findings:
+        by_check[finding.check_id] = by_check.get(finding.check_id, 0) + 1
+    tally = ", ".join(f"{check}={count}" for check, count in sorted(by_check.items()))
+    lines.append(f"repro lint: {len(findings)} finding(s) ({tally})")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """The ``--format json`` report: a stable, machine-readable array."""
+    return json.dumps([asdict(finding) for finding in findings], indent=2)

@@ -1,0 +1,31 @@
+"""A baseline whose backtracking recursion never polls its budget."""
+
+import time
+
+
+class Matcher:  # stand-in base so the fixture tree is import-free
+    pass
+
+
+class DemoMatcher(Matcher):
+    name = "Demo"
+
+    def match(self, query, data, limit=100, time_limit=None, on_embedding=None):
+        stats = Stats()
+
+        def extend(depth):
+            stats.recursive_calls += 1
+            if depth < limit:
+                stats.embeddings_found += 1
+                extend(depth + 1)
+
+        def drain(queue):
+            while queue:
+                stats.recursive_calls += 1
+                queue.pop()
+
+        start = time.perf_counter()
+        extend(0)
+        drain([1, 2, 3])
+        stats.search_seconds = time.perf_counter() - start
+        return stats

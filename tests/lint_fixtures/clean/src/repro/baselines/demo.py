@@ -1,0 +1,27 @@
+"""A baseline that honors every Matcher-contract invariant."""
+
+import time
+
+
+class Matcher:  # stand-in base so the fixture tree is import-free
+    pass
+
+
+class DemoMatcher(Matcher):
+    name = "Demo"
+
+    def match(self, query, data, limit=100, time_limit=None, on_embedding=None):
+        stats = Stats()
+        deadline = Deadline(time_limit)
+
+        def extend(depth):
+            stats.recursive_calls += 1
+            deadline.tick()
+            if depth < limit:
+                stats.embeddings_found += 1
+                extend(depth + 1)
+
+        start = time.perf_counter()
+        extend(0)
+        stats.search_seconds = time.perf_counter() - start
+        return stats

@@ -1,0 +1,5 @@
+import argparse
+
+parser = argparse.ArgumentParser()
+parser.add_argument("--seed", type=int, default=0)
+parser.add_argument("--mystery-flag", action="store_true")

@@ -1,0 +1,16 @@
+"""Nondeterminism leaks: global RNG, clock-into-counter, set iteration."""
+
+import random
+import time
+
+
+def run(obs, sink, stats, xs):
+    sink.emit({"event": "ping", "x": 1, "y": 2})
+    obs.prune_demo += 1
+    obs.vertex_entered[0] += 1
+    obs.record_span("search", 0.0)
+    random.shuffle(xs)
+    stats.recursive_calls = time.perf_counter()
+    for v in set(xs):
+        print(v)
+    return [v for v in {1, 2, 3}]

@@ -1,0 +1,8 @@
+"""A registered baseline violating every Matcher-contract clause."""
+
+
+class DemoMatcher:
+    name = "SomethingElse"
+
+    def match(self, query, data, limit=100):
+        return None

@@ -1,0 +1,13 @@
+"""A well-behaved emission site: every schema entry is exercised."""
+
+import random
+
+
+def run(obs, sink, xs):
+    sink.emit({"event": "ping", "x": 1, "y": 2})
+    obs.prune_demo += 1
+    obs.vertex_entered[0] += 1
+    obs.record_span("search", 0.0)
+    rng = random.Random(7)
+    for v in sorted(xs):
+        rng.random()

@@ -1,0 +1,5 @@
+"""Catalogue anchor with a dead counter slot."""
+
+COUNTERS = ("prune_demo", "prune_never_incremented")
+VERTEX_COUNTERS = ("entered",)
+PHASES = ("search",)

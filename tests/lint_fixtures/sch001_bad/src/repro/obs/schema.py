@@ -1,0 +1,6 @@
+"""Schema anchor with a dead entry (no emission site anywhere)."""
+
+EVENT_SCHEMAS = {
+    "ping": ({"x": int}, {"y": int}),
+    "dead_event": ({"z": int}, {}),
+}
