@@ -1,0 +1,95 @@
+"""Batch serving: amortized preprocessing under the prepared-query cache.
+
+The serving layer's headline claim (docs/serving.md): a warm-cache
+:class:`repro.BatchEngine` answering many requests drawn from a few
+query shapes spends at least **5x less preprocessing time** (the
+``dag_build`` + ``cs_construct`` phase spans) than the same requests as
+cold ``match()`` calls — while returning identical embedding sets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DAFMatcher, DataGraphSession, BatchEngine
+from repro.datasets import load
+from repro.graph import canonical_hash, extract_query
+from repro.interfaces import MatchOptions, MatchRequest
+from repro.obs import MetricsRegistry
+
+
+def _build_seconds(registry: MetricsRegistry) -> float:
+    return registry.spans.get("dag_build", 0.0) + registry.spans.get("cs_construct", 0.0)
+
+
+def run_batch_serving(profile, num_shapes: int = 10, num_requests: int = 50):
+    """Cold-vs-warm comparison rows for one dataset of ``profile``."""
+    if profile.name == "smoke":
+        num_shapes, num_requests = 4, 12
+    data = load(profile.datasets[0])
+    rng = random.Random(profile.seed)
+    shapes, digests = [], set()
+    while len(shapes) < num_shapes:
+        query, _ = extract_query(data, rng.randint(3, 6), rng)
+        digest = canonical_hash(query)
+        if digest not in digests:
+            digests.add(digest)
+            shapes.append(query)
+    options = MatchOptions(limit=profile.limit, time_limit=profile.time_limit)
+    requests = [
+        MatchRequest(shapes[i % num_shapes], options=options, tag=i)
+        for i in range(num_requests)
+    ]
+
+    cold_registry = MetricsRegistry()
+    cold_matcher = DAFMatcher().with_observer(cold_registry)
+    cold_results = [
+        cold_matcher.run_request(MatchRequest(r.query, data, options=options))
+        for r in requests
+    ]
+    cold_build = _build_seconds(cold_registry)
+
+    warm_registry = MetricsRegistry()
+    session = DataGraphSession(data, observer=warm_registry)
+    session.warm(shapes)
+    warm_up_build = _build_seconds(warm_registry)
+    batch = BatchEngine(session).run(requests)
+    warm_build = _build_seconds(warm_registry) - warm_up_build
+
+    for item, cold in zip(batch.by_index(), cold_results):
+        if sorted(item.result.embeddings) != sorted(cold.embeddings):
+            raise AssertionError(f"warm request {item.tag} diverged from cold run")
+
+    speedup = cold_build / warm_build if warm_build > 0 else float("inf")
+    stats = session.cache.stats()
+    return [
+        {
+            "scenario": "cold match() x" + str(num_requests),
+            "shapes": num_shapes,
+            "build_seconds": round(cold_build, 6),
+            "cache_hits": 0,
+            "cache_misses": num_requests,
+            "build_speedup": 1.0,
+        },
+        {
+            "scenario": "warm BatchEngine",
+            "shapes": num_shapes,
+            "build_seconds": round(warm_build, 6),
+            "cache_hits": stats["hits"],
+            "cache_misses": stats["misses"],
+            "build_speedup": round(min(speedup, 9999.0), 2),
+        },
+    ]
+
+
+def test_batch_serving_amortization(benchmark, profile, record_rows):
+    rows = benchmark.pedantic(run_batch_serving, args=(profile,), rounds=1, iterations=1)
+    record_rows(
+        rows,
+        "Batch serving — preprocessing amortization (cold vs warm cache)",
+        "batch_serving.txt",
+    )
+    cold, warm = rows
+    assert warm["cache_hits"] > 0
+    # The acceptance bar: >= 5x less dag_build + cs_construct time.
+    assert warm["build_speedup"] >= 5.0

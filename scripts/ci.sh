@@ -47,6 +47,24 @@ timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
     python scripts/check_metrics_schema.py '$OBS_TMP/metrics.jsonl'
 "
 
+echo "==> batch serving smoke (cap: ${OBS_TIMEOUT}s)"
+# Round-trip the serving layer (docs/serving.md): two rounds of the same
+# tiny batch through `repro serve-batch` must produce warm-cache hits
+# (hit-rate > 0), no failures, and a schema-valid metrics sidecar.
+timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
+    python -m repro serve-batch '$OBS_TMP/yeast.graph' '$OBS_TMP/q' \
+        --limit 1000 --count-only --rounds 2 \
+        --metrics-out '$OBS_TMP/serve_metrics.jsonl' > '$OBS_TMP/serve.json'
+    python scripts/check_metrics_schema.py '$OBS_TMP/serve_metrics.jsonl'
+    python - '$OBS_TMP/serve.json' <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload[\"failed\"] == 0, payload
+assert payload[\"cache\"][\"hit_rate\"] > 0, payload[\"cache\"]
+assert payload[\"per_round\"][-1][\"cache_misses\"] == 0, payload[\"per_round\"]
+EOF
+"
+
 echo "==> perf gate: smoke bench vs BENCH_0.json (cap: ${BENCH_TIMEOUT}s)"
 # Re-run the smoke-profile benchmark, write a fresh manifest, validate
 # both against the manifest schema, then diff: deterministic counters

@@ -19,6 +19,16 @@ Public API highlights:
   live progress (:class:`repro.MetricsRegistry`; attach via
   ``matcher.with_observer(...)``, read ``result.stats.metrics`` — see
   ``docs/observability.md``).
+- :mod:`repro.service` — the serving layer: persistent
+  :class:`repro.DataGraphSession` data-graph sessions with prepared-query
+  caching (:class:`repro.PreparedQueryCache`, retaining
+  :class:`repro.PreparedQuery` artifacts) and the deduplicating
+  :class:`repro.BatchEngine` (see ``docs/serving.md``).
+
+Requests travel as :class:`repro.MatchRequest` +
+:class:`repro.MatchOptions` — ``matcher.match(request)`` is the preferred
+call surface; the positional ``matcher.match(query, data, ...)`` form is
+deprecated.
 """
 
 from .core.config import DA_CAND, DA_PATH, DAF_CAND, DAF_PATH, MatchConfig
@@ -34,8 +44,11 @@ from .interfaces import (
     DEFAULT_LIMIT,
     Embedding,
     Matcher,
+    MatchOptions,
+    MatchRequest,
     MatchResult,
     SearchStats,
+    UnsupportedOptionError,
     WorkerOutcome,
     is_embedding,
 )
@@ -48,10 +61,14 @@ from .obs import (
 )
 from .resilience import Budget, BudgetExceeded
 from .resilience.resilient import ResilientMatcher
+from .service import BatchEngine, BatchItem, BatchResult, DataGraphSession, PreparedQueryCache
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchResult",
     "Budget",
     "BudgetExceeded",
     "DAFMatcher",
@@ -60,20 +77,25 @@ __all__ = [
     "DAF_CAND",
     "DAF_PATH",
     "DEFAULT_LIMIT",
+    "DataGraphSession",
     "Embedding",
     "Graph",
     "GraphError",
     "JsonlSink",
     "MatchConfig",
+    "MatchOptions",
+    "MatchRequest",
     "MatchResult",
     "Matcher",
     "MemorySink",
     "MetricsRegistry",
     "PreparedQuery",
+    "PreparedQueryCache",
     "ProgressReporter",
     "ResilientMatcher",
     "SamplingTracer",
     "SearchStats",
+    "UnsupportedOptionError",
     "WorkerOutcome",
     "__version__",
     "count_embeddings",

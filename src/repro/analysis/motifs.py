@@ -25,7 +25,7 @@ from typing import Optional
 from ..core.config import MatchConfig
 from ..core.matcher import DAFMatcher
 from ..graph.graph import Graph
-from ..interfaces import DEFAULT_LIMIT, Embedding
+from ..interfaces import DEFAULT_LIMIT, Embedding, MatchOptions, MatchRequest
 
 
 def automorphisms(query: Graph) -> list[Embedding]:
@@ -37,7 +37,8 @@ def automorphisms(query: Graph) -> list[Embedding]:
     cheap.
     """
     matcher = DAFMatcher(MatchConfig(induced=True))
-    return matcher.match(query, query, limit=10**9).embeddings
+    request = MatchRequest(query, query, options=MatchOptions(limit=10**9))
+    return matcher.run_request(request).embeddings
 
 
 def automorphism_count(query: Graph) -> int:
@@ -58,7 +59,9 @@ def occurrence_vertex_sets(
     (the paper's k-limit protocol applies here too).
     """
     matcher = DAFMatcher(MatchConfig(induced=induced))
-    result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+    result = matcher.run_request(
+        MatchRequest(query, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+    )
     return {frozenset(embedding) for embedding in result.embeddings}
 
 
@@ -120,7 +123,9 @@ class MotifCensus:
         reports = []
         matcher = DAFMatcher(MatchConfig(induced=self.induced))
         for name, motif in self.motifs.items():
-            result = matcher.match(motif, data, limit=limit, time_limit=time_limit)
+            result = matcher.run_request(
+                MatchRequest(motif, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+            )
             images = {frozenset(e) for e in result.embeddings}
             reports.append(
                 MotifReport(

@@ -33,7 +33,7 @@ class BruteForceMatcher(Matcher):
 
     name = "brute-force"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -248,14 +248,18 @@ class CFLMatcher(Matcher):
 
     name = "CFL-Match"
 
-    def match(
+    #: Leaf counting makes the enumerate-only fast path natural here, so
+    #: CFL honors the shared ``count_only`` option.
+    supported_options = Matcher.supported_options | {"count_only"}
+
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,
         limit: int = DEFAULT_LIMIT,
         time_limit: Optional[float] = None,
         on_embedding: Optional[Callable[[Embedding], None]] = None,
-        collect_embeddings: bool = True,
+        count_only: bool = False,
     ) -> MatchResult:
         validate_inputs(query, data)
         stats = SearchStats()
@@ -276,7 +280,7 @@ class CFLMatcher(Matcher):
             Deadline(time_limit),
             stats,
             on_embedding,
-            collect_embeddings,
+            not count_only,
             observer=self.observer,
         )
         search_start = time.perf_counter()

@@ -81,7 +81,7 @@ class GADDIMatcher(Matcher):
 
     name = "GADDI"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -110,7 +110,7 @@ class GraphQLMatcher(Matcher):
     def __init__(self, refinement_rounds: int = 2) -> None:
         self.refinement_rounds = refinement_rounds
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

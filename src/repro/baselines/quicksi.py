@@ -80,7 +80,7 @@ class QuickSIMatcher(Matcher):
 
     name = "QuickSI"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

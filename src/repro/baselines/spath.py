@@ -85,7 +85,7 @@ class SPathMatcher(Matcher):
             raise ValueError("signature radius must be >= 1")
         self.radius = radius
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -158,7 +158,7 @@ class TurboIsoMatcher(Matcher):
 
     name = "TurboISO"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -51,7 +51,7 @@ class UllmannMatcher(Matcher):
 
     name = "Ullmann"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -45,7 +45,7 @@ class VF2Matcher(Matcher):
 
     name = "VF2"
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 from ..core.config import MatchConfig
 from ..core.matcher import DAFMatcher
 from ..graph.graph import Graph
-from ..interfaces import Matcher
+from ..interfaces import Matcher, MatchOptions, MatchRequest
 
 
 @dataclass
@@ -90,7 +90,9 @@ def run_query(
     time_limit: Optional[float],
 ) -> QueryOutcome:
     """Run one query under the paper's protocol."""
-    result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+    result = matcher.run_request(
+        MatchRequest(query, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+    )
     return QueryOutcome(
         solved=result.solved,
         elapsed=result.stats.elapsed_seconds,

@@ -8,6 +8,8 @@ Commands
 ``generate``  materialize a registry dataset or a query workload
 ``bench``     run experiment drivers; manage run manifests
               (``run`` / ``compare`` / ``history`` / ``hotspots``)
+``serve-batch``  run a query batch through a persistent data-graph
+              session with prepared-query caching (docs/serving.md)
 ``lint``      statically check the codebase's invariants
               (docs/static-analysis.md)
 
@@ -26,6 +28,7 @@ from typing import Optional, Sequence
 
 from . import DAFMatcher, MatchConfig, __version__
 from .baselines import ALL_BASELINES
+from .interfaces import MatchOptions, MatchRequest
 from .graph.graph import Graph
 from .graph.io import read_cfl, read_edge_list, write_cfl, write_edge_list
 
@@ -134,8 +137,14 @@ def cmd_match(args: argparse.Namespace) -> int:
             run_start["workers"] = args.workers
         observer.emit(run_start)
     try:
-        result = matcher.match(
-            query, data, limit=args.limit, time_limit=args.time_limit, **match_kwargs
+        result = matcher.run_request(
+            MatchRequest(
+                query,
+                data,
+                options=MatchOptions(
+                    limit=args.limit, time_limit=args.time_limit, **match_kwargs
+                ),
+            )
         )
     except KeyboardInterrupt:
         # The interrupt landed outside the cooperative search window
@@ -369,6 +378,91 @@ def cmd_bench_hotspots(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    """``repro serve-batch``: batch queries through a persistent session."""
+    from .service import BatchEngine, DataGraphSession
+
+    data = _read_graph(args.data, args.format)
+    query_paths: list = []
+    for spec in args.queries:
+        path = Path(spec)
+        if path.is_dir():
+            files = sorted(p for p in path.iterdir() if p.is_file())
+            if not files:
+                raise SystemExit(f"no query files in directory {spec}")
+            query_paths.extend(files)
+        else:
+            query_paths.append(path)
+    queries = [(p, _read_graph(str(p), args.format)) for p in query_paths]
+    observer, sink = None, None
+    if args.metrics_out:
+        from .obs import JsonlSink, MetricsRegistry
+
+        sink = JsonlSink(args.metrics_out)
+        observer = MetricsRegistry(sink=sink)
+    session = DataGraphSession(data, cache_size=args.cache_size, observer=observer)
+    engine = BatchEngine(session, num_workers=args.workers)
+    options = MatchOptions(
+        limit=args.limit, time_limit=args.time_limit, count_only=args.count_only
+    )
+    requests = [
+        MatchRequest(query, options=options, tag=path.name) for path, query in queries
+    ]
+    per_round = []
+    results = []
+    completed = failed = 0
+    for round_index in range(args.rounds):
+        batch = engine.run(requests)
+        completed += batch.completed
+        failed += batch.failed
+        per_round.append(
+            {
+                "round": round_index,
+                "completed": batch.completed,
+                "failed": batch.failed,
+                "cache_hits": batch.cache_hits,
+                "cache_misses": batch.cache_misses,
+                "hit_rate": round(batch.hit_rate, 4),
+                "unique_queries": batch.unique_queries,
+                "elapsed_seconds": round(batch.elapsed_seconds, 6),
+            }
+        )
+        for item in batch.by_index():
+            entry = {
+                "round": round_index,
+                "tag": item.tag,
+                "status": item.status,
+                "cache": item.cache,
+            }
+            if item.result is not None:
+                entry["count"] = item.result.count
+                entry["recursive_calls"] = item.result.stats.recursive_calls
+                entry["preprocess_seconds"] = round(
+                    item.result.stats.preprocess_seconds, 6
+                )
+                if item.result.timed_out:
+                    entry["timed_out"] = True
+            if item.error:
+                entry["error"] = item.error
+            results.append(entry)
+    if sink is not None:
+        sink.close()
+    payload = {
+        "queries": len(queries),
+        "rounds": args.rounds,
+        "requests": len(queries) * args.rounds,
+        "completed": completed,
+        "failed": failed,
+        "workers": args.workers,
+        "cache": session.cache.stats(),
+        "per_round": per_round,
+        "results": results,
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0 if failed == 0 else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: run the static invariant checkers, exit 1 on findings."""
     from .lint import UnknownCheckError, catalog, render_json, render_text, run_lint
@@ -561,6 +655,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flamegraph.pl folded stacks here",
     )
     hotspots_p.set_defaults(func=cmd_bench_hotspots)
+
+    serve_p = sub.add_parser(
+        "serve-batch",
+        help="run a query batch through a persistent session (docs/serving.md)",
+    )
+    serve_p.add_argument("data", help="data graph file (loaded and indexed once)")
+    serve_p.add_argument(
+        "queries", nargs="+", help="query graph files and/or directories of them"
+    )
+    serve_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    serve_p.add_argument(
+        "--limit", type=int, default=100_000, help="embedding cap per query"
+    )
+    serve_p.add_argument(
+        "--time-limit", type=float, default=None, help="seconds per query"
+    )
+    serve_p.add_argument(
+        "--count-only", action="store_true", help="skip embedding collection"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1, help="search-stage worker processes"
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="prepared-query LRU capacity in entries (default 64)",
+    )
+    serve_p.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="run the batch N times through the same session "
+        "(rounds after the first hit the warm cache)",
+    )
+    serve_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append batch.request/batch.run events as JSONL",
+    )
+    serve_p.set_defaults(func=cmd_serve_batch)
 
     lint_p = sub.add_parser(
         "lint", help="statically check codebase invariants (docs/static-analysis.md)"

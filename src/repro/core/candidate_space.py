@@ -33,7 +33,7 @@ from ..graph.digraph import ReversedDAG, RootedDAG
 from ..graph.graph import Graph
 from ..resilience.budget import CANDIDATE_BYTES, CS_EDGE_BYTES, Budget
 from ..resilience.faults import FAULTS
-from .filters import initial_candidates, passes_local_filters
+from .filters import initial_candidates, passes_local_filters_hoisted
 
 AnyDAG = Union[RootedDAG, ReversedDAG]
 
@@ -133,9 +133,17 @@ def _refine_pass(
         children = direction.children(u)
         if not children and not apply_local_filters:
             continue
+        if apply_local_filters:
+            # Hoist the query-side MND/NLF signatures out of the per-
+            # candidate loop; the data side hits the GraphIndex when the
+            # serving layer has built one.
+            query_mnd = query.max_neighbor_degree(u)
+            query_nlf = query.neighbor_label_counts(u)
         survivors: set[int] = set()
         for v in cand[u]:
-            if apply_local_filters and not passes_local_filters(query, data, u, v):
+            if apply_local_filters and not passes_local_filters_hoisted(
+                data, v, query_mnd, query_nlf
+            ):
                 if observer is not None:
                     observer.prune_label_degree += 1
                 continue

@@ -22,6 +22,8 @@ from ..interfaces import (
     Deadline,
     Embedding,
     Matcher,
+    MatchOptions,
+    MatchRequest,
     MatchResult,
     SearchStats,
     TimeoutSignal,
@@ -62,10 +64,15 @@ class DAFMatcher(Matcher):
     >>> from repro.graph import Graph
     >>> data = Graph(labels=["A", "B", "B"], edges=[(0, 1), (0, 2), (1, 2)])
     >>> query = Graph(labels=["A", "B"], edges=[(0, 1)])
-    >>> result = DAFMatcher().match(query, data)
+    >>> from repro.interfaces import MatchRequest
+    >>> result = DAFMatcher().match(MatchRequest(query, data))
     >>> sorted(result.embeddings)
     [(0, 1), (0, 2)]
     """
+
+    #: Beyond the shared surface, DAF honors a multi-dimension resource
+    #: ``budget`` and the enumerate-only ``count_only`` fast path.
+    supported_options = Matcher.supported_options | {"budget", "count_only"}
 
     def __init__(self, config: Optional[MatchConfig] = None, observer=None) -> None:
         self.config = config if config is not None else MatchConfig()
@@ -235,7 +242,7 @@ class DAFMatcher(Matcher):
             obs.emit_counters()
         return result
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,
@@ -243,13 +250,31 @@ class DAFMatcher(Matcher):
         time_limit: Optional[float] = None,
         on_embedding: Optional[Callable[[Embedding], None]] = None,
         budget: Optional[Budget] = None,
+        count_only: bool = False,
     ) -> MatchResult:
         """Algorithm 1: find up to ``limit`` embeddings of query in data.
 
         ``budget`` optionally governs the *whole* invocation (CS build
         included) across every dimension; a breach returns a flagged
-        partial result rather than raising.
+        partial result rather than raising.  ``count_only`` counts
+        matches without materializing embedding tuples (the engine's
+        ``collect_embeddings=False`` path).
         """
+        if count_only and self.config.collect_embeddings:
+            import dataclasses
+
+            counting = DAFMatcher(
+                dataclasses.replace(self.config, collect_embeddings=False),
+                observer=self.observer,
+            )
+            return counting._match_impl(
+                query,
+                data,
+                limit=limit,
+                time_limit=time_limit,
+                on_embedding=on_embedding,
+                budget=budget,
+            )
         overall_deadline = Deadline(time_limit)
         try:
             prepared = self.prepare(query, data, budget=budget)
@@ -290,7 +315,8 @@ def find_embeddings(
     config: Optional[MatchConfig] = None,
 ) -> list[Embedding]:
     """Convenience wrapper: the embeddings of ``query`` in ``data``."""
-    return DAFMatcher(config).match(query, data, limit=limit, time_limit=time_limit).embeddings
+    request = MatchRequest(query, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+    return DAFMatcher(config).run_request(request).embeddings
 
 
 def count_embeddings(
@@ -302,11 +328,12 @@ def count_embeddings(
 ) -> int:
     """Convenience wrapper: the number of embeddings (capped at limit),
     counted without materializing them."""
-    import dataclasses
-
-    base = config if config is not None else MatchConfig()
-    counting = dataclasses.replace(base, collect_embeddings=False)
-    return DAFMatcher(counting).match(query, data, limit=limit, time_limit=time_limit).count
+    request = MatchRequest(
+        query,
+        data,
+        options=MatchOptions(limit=limit, time_limit=time_limit, count_only=True),
+    )
+    return DAFMatcher(config).run_request(request).count
 
 
 def has_embedding(

@@ -370,7 +370,7 @@ class BoostedDAFMatcher(Matcher):
             self._compressed_cache[id(data)] = entry
         return entry[1]
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -218,7 +218,7 @@ class ParallelDAFMatcher(Matcher):
         self._matcher = DAFMatcher(self.config)
 
     # ------------------------------------------------------------------
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,

@@ -73,7 +73,7 @@ class DisconnectedDAFMatcher(Matcher):
         self.name = f"{self.config.variant_name}-disconnected"
         self._matcher = DAFMatcher(self.config)
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,
@@ -83,7 +83,7 @@ class DisconnectedDAFMatcher(Matcher):
     ) -> MatchResult:
         validate_inputs(query, data)
         if len(connected_components(query)) <= 1:
-            return self._matcher.match(
+            return self._matcher._match_impl(
                 query, data, limit=limit, time_limit=time_limit, on_embedding=on_embedding
             )
         bridged_query, bridged_data = bridge_graphs(query, data)
@@ -95,7 +95,7 @@ class DisconnectedDAFMatcher(Matcher):
             def stripped_callback(embedding: Embedding) -> None:
                 on_embedding(embedding[:n])
 
-        result = self._matcher.match(
+        result = self._matcher._match_impl(
             bridged_query,
             bridged_data,
             limit=limit,

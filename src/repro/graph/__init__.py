@@ -1,5 +1,6 @@
 """Graph substrate: labeled graphs, rooted DAGs, I/O, generators, sampling."""
 
+from .canonical import canonical_hash, wl_colors
 from .digraph import ReversedDAG, RootedDAG, path_tree_size
 from .generators import (
     complete_graph,
@@ -13,6 +14,7 @@ from .generators import (
     star_graph,
 )
 from .graph import Graph, GraphError
+from .index import GraphIndex
 from .io import (
     GraphFormatError,
     graph_from_string,
@@ -45,10 +47,12 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphFormatError",
+    "GraphIndex",
     "ReversedDAG",
     "RootedDAG",
     "SamplingError",
     "bfs_levels",
+    "canonical_hash",
     "complete_graph",
     "connected_components",
     "cycle_graph",
@@ -75,6 +79,7 @@ __all__ = [
     "read_edge_list",
     "spanning_tree_edges",
     "star_graph",
+    "wl_colors",
     "write_cfl",
     "write_edge_list",
 ]

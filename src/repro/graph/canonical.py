@@ -1,0 +1,73 @@
+"""Label-aware canonical hashing of query graphs (serving-layer cache keys).
+
+The prepared-query cache in ``repro.service`` needs a key under which two
+*isomorphic* query graphs — same structure, possibly relabeled vertex ids —
+collide, so a repeated query shape skips preprocessing no matter how its
+vertices happen to be numbered.  We use the classic 1-dimensional
+Weisfeiler–Lehman color refinement: every vertex starts from its label,
+then repeatedly absorbs the sorted multiset of its neighbors' colors; the
+graph key is a digest of the final color multiset plus the vertex/edge
+counts.
+
+Two properties matter for the cache:
+
+- **soundness of collisions is NOT guaranteed** — WL is a complete
+  isomorphism invariant for trees but not for general graphs (the classic
+  counterexamples are strongly regular graphs).  Isomorphic graphs always
+  collide; colliding graphs are *probably* isomorphic.  The cache
+  therefore verifies every hit with an actual isomorphism search (VF2)
+  before reusing a prepared structure, and stores colliding
+  non-isomorphic shapes in separate slots under the same hash.
+- **process stability** — the digest must agree across interpreter runs
+  and worker processes, so nothing here may touch the salted builtin
+  ``hash()``.  All hashing goes through BLAKE2 over ``repr()``-ed labels
+  (``repr`` is stable for the str/int label types the loaders produce).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .graph import Graph
+
+
+def _digest(*parts: bytes) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part)
+        h.update(b"\x00")
+    return h.digest()
+
+
+def wl_colors(graph: Graph, iterations: int = 3) -> list[bytes]:
+    """Per-vertex WL colors after ``iterations`` refinement rounds.
+
+    Round 0 colors a vertex by its label; each subsequent round hashes
+    the vertex's own color with the sorted list of its neighbors'
+    colors.  ``iterations`` is capped at ``|V|`` — refinement provably
+    stabilizes by then.
+    """
+    graph._require_frozen()
+    colors = [_digest(repr(graph.label(v)).encode()) for v in graph.vertices()]
+    for _ in range(min(iterations, graph.num_vertices)):
+        colors = [
+            _digest(colors[v], *sorted(colors[w] for w in graph.neighbors(v)))
+            for v in graph.vertices()
+        ]
+    return colors
+
+
+def canonical_hash(graph: Graph, iterations: int = 3) -> str:
+    """A hex digest identical for isomorphic graphs (WL-stable key).
+
+    Vertex/edge counts are folded in explicitly so the trivial
+    collisions (empty color lists etc.) cannot conflate different sizes.
+    Collisions between non-isomorphic graphs are possible and must be
+    handled by the caller (see module docstring).
+    """
+    colors = wl_colors(graph, iterations=iterations)
+    return _digest(
+        str(graph.num_vertices).encode(),
+        str(graph.num_edges).encode(),
+        *sorted(colors),
+    ).hex()

@@ -59,6 +59,7 @@ class Graph:
         "_frozen",
         "_label_index",
         "_degrees",
+        "_index",
     )
 
     def __init__(
@@ -73,6 +74,7 @@ class Graph:
         self._frozen = False
         self._label_index: dict[Label, tuple[int, ...]] = {}
         self._degrees: tuple[int, ...] = ()
+        self._index = None
         if labels is not None:
             for label in labels:
                 self.add_vertex(label)
@@ -232,6 +234,34 @@ class Graph:
         if not self._adj[v]:
             return 0
         return max(self._degrees[w] for w in self._adj[v])
+
+    # ------------------------------------------------------------------
+    # Serving-layer index
+    # ------------------------------------------------------------------
+    def ensure_index(self):
+        """Build (once) and return this graph's :class:`GraphIndex`.
+
+        The index precomputes degree-sorted label buckets, NLF signatures
+        and max-neighbor degrees so the C_ini/MND/NLF filters become
+        lookups instead of scans.  It is *not* built automatically on
+        freeze — a one-shot ``match()`` would pay more for the build than
+        the lookups save — but ``repro.service.DataGraphSession`` calls
+        this on its data graph and every filter fast path then engages
+        via :attr:`cached_index`.
+        """
+        self._require_frozen()
+        if self._index is None:
+            from .index import GraphIndex
+
+            self._index = GraphIndex(self)
+        return self._index
+
+    @property
+    def cached_index(self):
+        """The built :class:`GraphIndex`, or ``None`` if ``ensure_index``
+        was never called.  Filter fast paths check this and fall back to
+        the per-call scans when absent."""
+        return self._index if self._frozen else None
 
     # ------------------------------------------------------------------
     # Derived graphs

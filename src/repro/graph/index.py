@@ -1,0 +1,119 @@
+"""Reusable data-graph indexes for the serving layer.
+
+Every ``match()`` call re-derives the same data-graph statistics: the
+label+degree scan behind C_ini (paper §3), the per-vertex neighbor-label
+multiset behind the NLF filter, and the max-neighbor-degree behind MND
+(§4, "Optimizing CS").  For a single ad-hoc query that is the right
+trade-off — the scan is linear and building anything fancier costs more
+than it saves.  A *serving* workload inverts the economics: one data
+graph answers thousands of queries, so `repro.service.DataGraphSession`
+builds a :class:`GraphIndex` once and every subsequent filter evaluation
+becomes a bucket lookup.
+
+The index is attached to the graph itself (``Graph.ensure_index()``)
+rather than passed around, so the fast paths in ``repro.core.filters``
+and ``repro.core.candidate_space`` light up transparently for every
+consumer — DAF preprocessing, all baseline filters, and forked parallel
+workers (which inherit the built index copy-on-write).
+
+Contents, per frozen graph:
+
+- **degree-sorted label buckets**: for each label, the vertices carrying
+  it sorted by ``(degree, id)`` plus the parallel degree array, so
+  ``C_ini(u)`` = a ``bisect`` + slice instead of a filtered scan and
+  ``|C_ini(u)|`` (root selection) is O(log n);
+- **NLF signatures**: ``neighbor_label_counts(v)`` precomputed for every
+  vertex (the per-call version builds a fresh dict per invocation);
+- **MND array**: ``max_neighbor_degree(v)`` for every vertex.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .graph import Graph, Label
+
+
+class GraphIndex:
+    """Immutable derived statistics of one frozen :class:`Graph`.
+
+    Construction is O(V log V + E); every query-time operation is a
+    dictionary lookup, a bisect, or an array read.  The returned
+    containers are shared, not copied — callers must treat them as
+    read-only (the NLF dicts in particular are handed out by reference
+    on the hot filter path).
+    """
+
+    __slots__ = ("_buckets", "_nlf", "_max_nbr_deg", "build_seconds")
+
+    def __init__(self, graph: "Graph") -> None:
+        graph._require_frozen()
+        start = time.perf_counter()
+        degrees = graph.degrees
+        labels = graph.labels
+
+        # Label buckets in first-seen vertex order (deterministic without
+        # requiring labels of mixed types to be sortable against each other).
+        seen: dict["Label", None] = {}
+        for lab in labels:
+            if lab not in seen:
+                seen[lab] = None
+        buckets: dict["Label", tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        for lab in seen:
+            verts = sorted(graph.vertices_with_label(lab), key=lambda v: (degrees[v], v))
+            buckets[lab] = (tuple(verts), tuple(degrees[v] for v in verts))
+        self._buckets = buckets
+
+        nlf: list[dict["Label", int]] = []
+        max_nbr_deg: list[int] = []
+        for v in graph.vertices():
+            counts: dict["Label", int] = {}
+            best = 0
+            for w in graph.neighbors(v):
+                lab = labels[w]
+                counts[lab] = counts.get(lab, 0) + 1
+                if degrees[w] > best:
+                    best = degrees[w]
+            nlf.append(counts)
+            max_nbr_deg.append(best)
+        self._nlf = tuple(nlf)
+        self._max_nbr_deg = tuple(max_nbr_deg)
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # C_ini support (label + degree threshold)
+    # ------------------------------------------------------------------
+    def candidates_with_min_degree(self, label: "Label", min_degree: int) -> list[int]:
+        """``{ v : L(v) = label, deg(v) >= min_degree }`` in ascending
+        vertex-id order (the same order the unindexed scan produces)."""
+        bucket = self._buckets.get(label)
+        if bucket is None:
+            return []
+        verts, degs = bucket
+        return sorted(verts[bisect_left(degs, min_degree):])
+
+    def count_with_min_degree(self, label: "Label", min_degree: int) -> int:
+        bucket = self._buckets.get(label)
+        if bucket is None:
+            return 0
+        verts, degs = bucket
+        return len(verts) - bisect_left(degs, min_degree)
+
+    # ------------------------------------------------------------------
+    # Local-filter support (NLF / MND)
+    # ------------------------------------------------------------------
+    def neighbor_label_counts(self, v: int) -> dict["Label", int]:
+        """Precomputed NLF signature of ``v`` — shared dict, do not mutate."""
+        return self._nlf[v]
+
+    def max_neighbor_degree(self, v: int) -> int:
+        return self._max_nbr_deg[v]
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphIndex(labels={len(self._buckets)}, "
+            f"vertices={len(self._nlf)}, built in {self.build_seconds * 1e3:.1f}ms)"
+        )

@@ -88,7 +88,10 @@ def match_networkx(
     d, d_map = from_networkx(data, label_attribute=label_attribute)
     q_names = {i: name for name, i in q_map.items()}
     d_names = {i: name for name, i in d_map.items()}
-    result = DAFMatcher(config).match(q, d, limit=limit, time_limit=time_limit)
+    from ..interfaces import MatchOptions, MatchRequest
+
+    request = MatchRequest(q, d, options=MatchOptions(limit=limit, time_limit=time_limit))
+    result = DAFMatcher(config).run_request(request)
     return [
         {q_names[u]: d_names[v] for u, v in enumerate(embedding)}
         for embedding in result.embeddings

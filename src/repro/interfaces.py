@@ -1,12 +1,19 @@
-"""Shared matcher interface, result objects, and search accounting.
+"""Shared matcher interface, request/result objects, and search accounting.
 
-Every matcher in this library — DAF and all seven baselines — implements
-the same contract so the benchmark harness can treat them uniformly and so
-*recursive calls*, the paper's machine-independent cost metric (§5.3), is
-counted the same way everywhere:
+Every matcher in this library — DAF and all baselines — implements the
+same contract so the benchmark harness and the serving layer can treat
+them uniformly and so *recursive calls*, the paper's machine-independent
+cost metric (§5.3), is counted the same way everywhere:
 
 - a matcher is constructed once (possibly with algorithm options) and
-  invoked as ``matcher.match(query, data, limit=..., time_limit=...)``;
+  invoked as ``matcher.match(MatchRequest(query, data, options=...))``;
+  the legacy ``matcher.match(query, data, limit=..., time_limit=...)``
+  spelling still works but emits a :class:`DeprecationWarning`;
+- execution options travel in one :class:`MatchOptions` payload shared by
+  the sequential, parallel, resilient, session, and batch paths; a
+  matcher declares which fields it honors via
+  :attr:`Matcher.supported_options` and requests carrying anything else
+  raise :class:`UnsupportedOptionError` instead of silently ignoring it;
 - the result carries the embeddings found (each a tuple mapping query
   vertex ``i`` to its data vertex), a :class:`SearchStats` record, and
   flags for limit/timeout termination;
@@ -17,9 +24,10 @@ counted the same way everywhere:
 from __future__ import annotations
 
 import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, fields
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .graph.graph import Graph
 
@@ -260,11 +268,107 @@ class Deadline:
         return self._deadline is not None and time.perf_counter() > self._deadline
 
 
+class UnsupportedOptionError(TypeError):
+    """A :class:`MatchRequest` carried options this matcher cannot honor.
+
+    Raised by the :meth:`Matcher.match` dispatcher instead of silently
+    dropping the option — a request that asks for, say, a resource
+    ``budget`` from a matcher that never polls one must fail loudly, or
+    the caller believes a guarantee nobody enforces.
+    """
+
+    def __init__(self, matcher: "Matcher", option_names: list[str]) -> None:
+        self.matcher_name = matcher.name
+        self.option_names = tuple(option_names)
+        supported = ", ".join(sorted(matcher.supported_options)) or "none"
+        super().__init__(
+            f"matcher {matcher.name!r} does not support option(s) "
+            f"{', '.join(option_names)} (supported: {supported})"
+        )
+
+
+@dataclass(frozen=True)
+class MatchOptions:
+    """Execution options of one match invocation — the single options
+    payload shared by every execution path (direct, session, batch,
+    parallel, resilient).
+
+    All fields default to "off"; a matcher only receives the fields it
+    declared in :attr:`Matcher.supported_options`, and a non-default
+    value for an undeclared field raises :class:`UnsupportedOptionError`
+    at dispatch.
+
+    Attributes
+    ----------
+    limit:
+        Stop after this many embeddings (``None`` means the library
+        default, the paper's k = 10^5 scaled down — see
+        :data:`DEFAULT_LIMIT`).
+    time_limit:
+        Wall-clock budget in seconds; on expiry the result is returned
+        with ``timed_out=True`` and whatever was found so far.
+    on_embedding:
+        Streaming callback invoked for each embedding as it is found
+        (embeddings are still collected in the result).
+    count_only:
+        Count embeddings without materializing them (the enumerate-only
+        fast path behind :meth:`Matcher.count`).  Only matchers whose
+        engine can skip collection declare support.
+    budget:
+        A :class:`repro.resilience.Budget` governing the invocation
+        across time/calls/memory dimensions.
+    """
+
+    limit: Optional[int] = None
+    time_limit: Optional[float] = None
+    on_embedding: Optional[Callable[[Embedding], None]] = None
+    count_only: bool = False
+    budget: Optional[Any] = None
+
+    @property
+    def resolved_limit(self) -> int:
+        return DEFAULT_LIMIT if self.limit is None else self.limit
+
+    def non_default_fields(self) -> list[str]:
+        """Names of fields set away from their defaults (the fields the
+        dispatcher validates against ``supported_options``)."""
+        return [f.name for f in fields(self) if getattr(self, f.name) != f.default]
+
+
+@dataclass
+class MatchRequest:
+    """One unit of matching work: a query, the data graph to search, and
+    the :class:`MatchOptions` governing execution.
+
+    ``data`` may be ``None`` when the request is submitted to a
+    ``repro.service.DataGraphSession`` or ``BatchEngine``, which supply
+    their session-wide data graph; calling a bare matcher with a data-less
+    request is an error.  ``tag`` is an opaque correlation id echoed back
+    in batch results.
+    """
+
+    query: Graph
+    data: Optional[Graph] = None
+    options: MatchOptions = field(default_factory=MatchOptions)
+    tag: Optional[Any] = None
+
+
 class Matcher(ABC):
-    """Abstract base for all subgraph-matching algorithms."""
+    """Abstract base for all subgraph-matching algorithms.
+
+    Subclasses implement :meth:`_match_impl` (the algorithm) and declare
+    :attr:`supported_options`; the concrete :meth:`match` front door
+    normalizes both calling conventions onto that implementation.
+    """
 
     #: Human-readable algorithm name used in benchmark reports.
     name: str = "matcher"
+
+    #: The :class:`MatchOptions` fields this matcher honors.  The
+    #: dispatcher rejects requests whose options stray outside this set
+    #: (see :class:`UnsupportedOptionError`).  Subclasses extend it, e.g.
+    #: ``supported_options = Matcher.supported_options | {"budget"}``.
+    supported_options: frozenset[str] = frozenset({"limit", "time_limit", "on_embedding"})
 
     #: Optional :class:`repro.obs.MetricsRegistry` observing this
     #: matcher's runs.  ``None`` (the default) means *no* observability
@@ -278,8 +382,88 @@ class Matcher(ABC):
         self.observer = observer
         return self
 
-    @abstractmethod
     def match(
+        self,
+        query: "Graph | MatchRequest",
+        data: Optional[Graph] = None,
+        limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+        on_embedding: Optional[Callable[[Embedding], None]] = None,
+        **legacy_options,
+    ) -> MatchResult:
+        """Execute a :class:`MatchRequest` (preferred) or a legacy
+        positional call.
+
+        The single-argument form ``matcher.match(request)`` is the
+        request surface every execution path shares.  The historical
+        ``matcher.match(query, data, limit=..., time_limit=...)``
+        spelling is still accepted but deprecated: it is repackaged into
+        a request and a :class:`DeprecationWarning` is emitted.
+        """
+        if isinstance(query, MatchRequest):
+            if (
+                data is not None
+                or limit is not None
+                or time_limit is not None
+                or on_embedding is not None
+                or legacy_options
+            ):
+                raise TypeError(
+                    "pass execution options inside the MatchRequest, "
+                    "not alongside it"
+                )
+            request = query
+        else:
+            warnings.warn(
+                "matcher.match(query, data, ...) is deprecated; build a "
+                "repro.MatchRequest (see docs/serving.md) and call "
+                "matcher.match(request)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            try:
+                options = MatchOptions(
+                    limit=limit,
+                    time_limit=time_limit,
+                    on_embedding=on_embedding,
+                    **legacy_options,
+                )
+            except TypeError as exc:
+                raise TypeError(f"unknown match option: {exc}") from None
+            request = MatchRequest(query=query, data=data, options=options)
+        return self.run_request(request)
+
+    def run_request(self, request: MatchRequest) -> MatchResult:
+        """Validate ``request`` against :attr:`supported_options` and run
+        it.  This is the non-deprecated programmatic entry point the
+        session/batch/parallel/resilient paths call directly."""
+        if request.data is None:
+            raise ValueError(
+                "MatchRequest.data is None — attach a data graph, or submit "
+                "the request through a repro.service.DataGraphSession"
+            )
+        options = request.options
+        unsupported = [
+            name for name in options.non_default_fields() if name not in self.supported_options
+        ]
+        if unsupported:
+            raise UnsupportedOptionError(self, unsupported)
+        extras = {}
+        if "count_only" in self.supported_options and options.count_only:
+            extras["count_only"] = True
+        if "budget" in self.supported_options and options.budget is not None:
+            extras["budget"] = options.budget
+        return self._match_impl(
+            request.query,
+            request.data,
+            limit=options.resolved_limit,
+            time_limit=options.time_limit,
+            on_embedding=options.on_embedding,
+            **extras,
+        )
+
+    @abstractmethod
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,
@@ -288,6 +472,13 @@ class Matcher(ABC):
         on_embedding: Optional[Callable[[Embedding], None]] = None,
     ) -> MatchResult:
         """Find up to ``limit`` embeddings of ``query`` in ``data``.
+
+        The algorithm body.  Called only through :meth:`match` /
+        :meth:`run_request`, which have already validated the option
+        surface; implementations accepting extra options (``budget``,
+        ``count_only``) add keyword parameters *and* list them in
+        :attr:`supported_options` — the IFC002 lint checker audits that
+        the two stay in sync.
 
         Parameters
         ----------
@@ -302,13 +493,28 @@ class Matcher(ABC):
         """
 
     def count(self, query: Graph, data: Graph, **kwargs) -> int:
-        """Convenience: number of embeddings (same kwargs as ``match``)."""
-        return self.match(query, data, **kwargs).count
+        """Convenience: number of embeddings (same kwargs as the legacy
+        ``match`` surface).
+
+        Uses the enumerate-only engine path (``count_only``) when this
+        matcher supports it, so no embedding tuples are materialized.
+        """
+        if "count_only" in self.supported_options:
+            kwargs.setdefault("count_only", True)
+        return self.run_request(
+            MatchRequest(query=query, data=data, options=MatchOptions(**kwargs))
+        ).count
 
     def exists(self, query: Graph, data: Graph, **kwargs) -> bool:
-        """Convenience: is there at least one embedding?"""
+        """Convenience: is there at least one embedding?  (limit=1 fast
+        path — the search stops at the first witness.)"""
         kwargs.pop("limit", None)
-        return self.match(query, data, limit=1, **kwargs).count > 0
+        return (
+            self.run_request(
+                MatchRequest(query=query, data=data, options=MatchOptions(limit=1, **kwargs))
+            ).count
+            > 0
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

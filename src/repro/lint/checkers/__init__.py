@@ -9,4 +9,5 @@ from . import schema  # noqa: F401  (SCH001)
 from . import determinism  # noqa: F401  (DET001)
 from . import budget  # noqa: F401  (BUD001)
 from . import interface  # noqa: F401  (IFC001)
+from . import options  # noqa: F401  (IFC002)
 from . import cli_docs  # noqa: F401  (CLI001)

@@ -12,7 +12,8 @@ difference" failure mode.  This checker verifies, per registered class:
 - the class exists, subclasses :class:`repro.interfaces.Matcher`, and
   its ``name`` class attribute equals its registry key (the paper's plot
   label);
-- it defines ``match`` with the shared parameter surface
+- it defines ``_match_impl`` — the algorithm body behind the concrete
+  ``Matcher.match`` dispatcher — with the shared parameter surface
   (``query``, ``data``, ``limit``, ``time_limit``, ``on_embedding``);
 - its module — or a module it imports from within ``repro``, one hop,
   which is how the ``ordered_backtrack`` delegation works — stores every
@@ -34,7 +35,8 @@ from ..findings import Finding
 #: honest value for filters-free algorithms (VF2).
 _REQUIRED_STATS_FIELDS = ("embeddings_found", "recursive_calls", "search_seconds")
 
-#: Parameters every ``match`` implementation must accept, §5.3 surface.
+#: Parameters every ``_match_impl`` implementation must accept, §5.3
+#: surface (the dispatcher always passes all five as keywords).
 _REQUIRED_MATCH_PARAMS = ("query", "data", "limit", "time_limit", "on_embedding")
 
 
@@ -43,7 +45,7 @@ class MatcherInterfaceChecker(Checker):
     id = "IFC001"
     description = (
         "every ALL_BASELINES entry subclasses Matcher, matches its registry "
-        "key, exposes the shared match() surface and populates the "
+        "key, exposes the shared _match_impl() surface and populates the "
         "SearchStats fields the bench gate reads"
     )
 
@@ -174,7 +176,7 @@ class MatcherInterfaceChecker(Checker):
             (
                 node
                 for node in class_def.body
-                if isinstance(node, ast.FunctionDef) and node.name == "match"
+                if isinstance(node, ast.FunctionDef) and node.name == "_match_impl"
             ),
             None,
         )
@@ -182,8 +184,8 @@ class MatcherInterfaceChecker(Checker):
             yield self.finding(
                 module.relpath,
                 class_def.lineno,
-                f"{class_def.name} defines no match() method of its own "
-                "(the abstract Matcher.match would raise at call time)",
+                f"{class_def.name} defines no _match_impl() method of its own "
+                "(the abstract Matcher._match_impl would raise at call time)",
             )
         else:
             params = [a.arg for a in match_def.args.args] + [
@@ -194,9 +196,10 @@ class MatcherInterfaceChecker(Checker):
                 yield self.finding(
                     module.relpath,
                     match_def.lineno,
-                    f"{class_def.name}.match is missing the shared parameter(s) "
-                    f"{missing}: the bench harness calls match(query, data, "
-                    "limit=..., time_limit=..., on_embedding=...)",
+                    f"{class_def.name}._match_impl is missing the shared "
+                    f"parameter(s) {missing}: the match() dispatcher calls "
+                    "_match_impl(query, data, limit=..., time_limit=..., "
+                    "on_embedding=...)",
                 )
 
         populated = self._populated_fields(ctx, module, store_index)

@@ -1,0 +1,185 @@
+"""IFC002 — option declarations and ``_match_impl`` signatures must agree.
+
+The :meth:`repro.interfaces.Matcher.match` dispatcher validates every
+request's :class:`~repro.interfaces.MatchOptions` against the class's
+``supported_options`` declaration, then forwards the declared extras
+(``count_only``, ``budget``, ...) to ``_match_impl`` as keyword
+arguments.  Declaration and signature are two per-class statements that
+can drift apart silently, producing exactly the failure the option
+redesign set out to kill — options that are accepted but ignored:
+
+- a ``supported_options`` entry that is not a ``MatchOptions`` field is
+  dead: no request can ever set it;
+- a declared option with no matching ``_match_impl`` parameter means the
+  dispatcher *accepts* requests setting it and then drops it on the
+  floor — the caller believes a guarantee nobody enforces;
+- an undeclared ``_match_impl`` parameter that *is* a ``MatchOptions``
+  field is unreachable: the dispatcher rejects every request that sets
+  it, so the implemented capability is dark.
+
+The checker audits every class that directly subclasses ``Matcher``
+anywhere in ``src/repro``.  On trees without ``repro.interfaces`` (or
+without a ``MatchOptions`` class) it is silent — there is no option
+contract to drift from.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..base import Checker, register
+from ..context import LintContext, ParsedModule
+from ..findings import Finding
+
+#: Parameters of the shared ``_match_impl`` surface (IFC001's contract);
+#: only parameters *beyond* these are option extras.
+_SHARED_PARAMS = frozenset(
+    {"self", "query", "data", "limit", "time_limit", "on_embedding"}
+)
+
+
+@register
+class OptionSurfaceChecker(Checker):
+    id = "IFC002"
+    description = (
+        "every Matcher subclass's supported_options declaration names real "
+        "MatchOptions fields and matches its _match_impl parameters — no "
+        "silently-ignored or unreachable options"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        anchors = self._anchors(ctx)
+        if anchors is None:
+            return  # no option contract in this tree (fixture without interfaces)
+        option_fields, base_options = anchors
+        for module in ctx.modules():
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and self._subclasses_matcher(node):
+                    yield from self._check_class(module, node, option_fields, base_options)
+
+    # -- anchor extraction ----------------------------------------------
+    @staticmethod
+    def _anchors(ctx: LintContext) -> Optional[tuple[frozenset, frozenset]]:
+        """``(MatchOptions field names, base supported_options)`` from
+        ``src/repro/interfaces.py``, or ``None`` when absent."""
+        module = ctx.module("src/repro/interfaces.py")
+        if module is None:
+            return None
+        option_fields: set[str] = set()
+        base_options: set[str] = set()
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == "MatchOptions":
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        option_fields.add(stmt.target.id)
+            elif node.name == "Matcher":
+                value = _class_assignment(node, "supported_options")
+                if value is not None:
+                    base_options.update(_string_constants(value))
+        if not option_fields:
+            return None
+        return frozenset(option_fields), frozenset(base_options)
+
+    @staticmethod
+    def _subclasses_matcher(class_def: ast.ClassDef) -> bool:
+        return any(
+            (isinstance(base, ast.Name) and base.id == "Matcher")
+            or (isinstance(base, ast.Attribute) and base.attr == "Matcher")
+            for base in class_def.bases
+        )
+
+    # -- per-class contract ---------------------------------------------
+    def _check_class(
+        self,
+        module: ParsedModule,
+        class_def: ast.ClassDef,
+        option_fields: frozenset,
+        base_options: frozenset,
+    ):
+        assign = _class_assignment_node(class_def, "supported_options")
+        if assign is not None:
+            declared = set(_string_constants(assign.value))
+            # The `Matcher.supported_options | {...}` idiom inherits the
+            # base surface; resolve the reference so base fields are not
+            # reported as drift.
+            if any(
+                isinstance(n, ast.Attribute) and n.attr == "supported_options"
+                for n in ast.walk(assign.value)
+            ):
+                declared |= base_options
+            for name in sorted(declared - option_fields):
+                yield self.finding(
+                    module.relpath,
+                    assign.lineno,
+                    f"{class_def.name}.supported_options declares {name!r}, "
+                    "which is not a MatchOptions field: no request can ever "
+                    "set it (dead declaration)",
+                )
+        else:
+            declared = set(base_options)
+
+        match_def = next(
+            (
+                node
+                for node in class_def.body
+                if isinstance(node, ast.FunctionDef) and node.name == "_match_impl"
+            ),
+            None,
+        )
+        if match_def is None:
+            return  # inherited implementation; its signature is audited there
+        params = {a.arg for a in match_def.args.args} | {
+            a.arg for a in match_def.args.kwonlyargs
+        }
+        for name in sorted((params - _SHARED_PARAMS) & option_fields):
+            if name not in declared:
+                yield self.finding(
+                    module.relpath,
+                    match_def.lineno,
+                    f"{class_def.name}._match_impl accepts MatchOptions field "
+                    f"{name!r} but the class does not declare it in "
+                    "supported_options: the match() dispatcher rejects every "
+                    "request that sets it, so the capability is unreachable",
+                )
+        if assign is not None:
+            for name in sorted((declared & option_fields) - params):
+                yield self.finding(
+                    module.relpath,
+                    assign.lineno,
+                    f"{class_def.name} declares option {name!r} in "
+                    "supported_options but _match_impl has no matching "
+                    "parameter: requests setting it are accepted and then "
+                    "silently ignored",
+                )
+
+
+def _class_assignment_node(class_def: ast.ClassDef, name: str):
+    """The ``name = ...`` / ``name: T = ...`` statement in a class body."""
+    for node in class_def.body:
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name for t in node.targets):
+                return node
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                return node
+    return None
+
+
+def _class_assignment(class_def: ast.ClassDef, name: str) -> Optional[ast.expr]:
+    node = _class_assignment_node(class_def, name)
+    return node.value if node is not None else None
+
+
+def _string_constants(expr: ast.expr) -> set[str]:
+    """Every string literal inside ``expr`` (the declared option names,
+    however the frozenset expression is spelled)."""
+    return {
+        n.value
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }

@@ -28,7 +28,16 @@ from ..findings import Finding
 
 #: Counter attribute names that must be declared in ``COUNTERS`` even
 #: when they do not carry the ``prune_`` prefix.
-_BARE_COUNTER_NAMES = frozenset({"fs_cuts", "candidates_examined", "children_entered"})
+_BARE_COUNTER_NAMES = frozenset(
+    {
+        "fs_cuts",
+        "candidates_examined",
+        "children_entered",
+        "cache_hit",
+        "cache_miss",
+        "cache_eviction",
+    }
+)
 
 #: Fields every event implicitly carries (the sink adds ``ts``).
 _IMPLICIT_FIELDS = frozenset({"event", "ts"})

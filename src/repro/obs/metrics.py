@@ -39,6 +39,10 @@ prune_failing_set       sibling candidates skipped by failing-set pruning
 fs_cuts                 number of Lemma 6.1 cut events (each skips >= 0 siblings)
 candidates_examined     candidate slots the search loop actually inspected
 children_entered        recursive descents (candidates that survived all checks)
+cache_hit               serving layer: prepared-query cache hits (preprocessing
+                        skipped entirely)
+cache_miss              serving layer: cache misses (full BuildDAG + BuildCS run)
+cache_eviction          serving layer: LRU evictions from the prepared cache
 =====================  ==========================================================
 
 Per-run consistency invariants (asserted in the test suite)::
@@ -88,6 +92,10 @@ COUNTERS: tuple[str, ...] = (
     "fs_cuts",
     "candidates_examined",
     "children_entered",
+    # Serving layer (repro.service): prepared-query cache traffic.
+    "cache_hit",
+    "cache_miss",
+    "cache_eviction",
 )
 
 #: Phase-span names used by the DAF pipeline (baselines reuse the

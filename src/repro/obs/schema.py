@@ -120,6 +120,30 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
         {"figure": _str, "rows": _int},
         {"title": _str, "has_metrics": _bool},
     ),
+    # Serving-layer events (repro.service): one batch.request per request
+    # as it completes, one batch.run per finished batch.
+    "batch.request": (
+        {"index": _int, "status": _str, "cache": _str},
+        {
+            "tag": _str,
+            "embeddings": _int,
+            "recursive_calls": _int,
+            "elapsed_seconds": _number,
+            "preprocess_seconds": _number,
+            "error": _str,
+        },
+    ),
+    "batch.run": (
+        {"requests": _int, "completed": _int, "failed": _int},
+        {
+            "cache_hits": _int,
+            "cache_misses": _int,
+            "cache_evictions": _int,
+            "unique_queries": _int,
+            "workers": _int,
+            "elapsed_seconds": _number,
+        },
+    ),
 }
 
 

@@ -73,7 +73,8 @@ class ResilientMatcher(Matcher):
     >>> from repro.graph import Graph
     >>> data = Graph(labels=["A", "B", "B"], edges=[(0, 1), (0, 2), (1, 2)])
     >>> query = Graph(labels=["A", "B"], edges=[(0, 1)])
-    >>> ResilientMatcher().match(query, data).count
+    >>> from repro.interfaces import MatchRequest
+    >>> ResilientMatcher().match(MatchRequest(query, data)).count
     2
     """
 
@@ -119,7 +120,7 @@ class ResilientMatcher(Matcher):
             )
         return stages
 
-    def match(
+    def _match_impl(
         self,
         query: Graph,
         data: Graph,
@@ -177,9 +178,9 @@ class ResilientMatcher(Matcher):
                         max_calls=remaining_calls,
                         max_memory=self.max_memory,
                     )
-                    result = matcher.match(query, data, limit=limit, budget=budget)
+                    result = matcher._match_impl(query, data, limit=limit, budget=budget)
                 else:
-                    result = matcher.match(query, data, limit=limit, time_limit=span)
+                    result = matcher._match_impl(query, data, limit=limit, time_limit=span)
             except MemoryError:
                 note(position, stage_name, f"{prefix}: MemoryError; degrading")
                 continue

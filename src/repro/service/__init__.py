@@ -1,0 +1,37 @@
+"""Serving layer: resident data graphs, prepared-query caching, batching.
+
+The core library optimizes one-shot ``match()`` calls; this package
+optimizes the *service* shape of the workload — one big data graph,
+many queries over time:
+
+- :class:`DataGraphSession` keeps a data graph resident with its
+  :class:`repro.graph.GraphIndex` built once and a
+  :class:`PreparedQueryCache` of DAG + CS structures keyed by WL
+  canonical hash (isomorphic queries share an entry);
+- :class:`BatchEngine` executes request lists with cross-request
+  deduplication, an optional shared :class:`repro.resilience.Budget`,
+  and a forked search-stage worker pool, streaming
+  :class:`BatchItem` results in completion order.
+
+:class:`repro.core.matcher.PreparedQuery` is re-exported here as the
+public name for the cached preprocessing artifact.
+
+See ``docs/serving.md`` for the architecture and the request-API
+migration guide.
+"""
+
+from ..core.matcher import PreparedQuery
+from .batch import BatchEngine, BatchItem, BatchResult
+from .cache import CacheEntry, PreparedQueryCache, find_isomorphism
+from .session import DataGraphSession
+
+__all__ = [
+    "BatchEngine",
+    "BatchItem",
+    "BatchResult",
+    "CacheEntry",
+    "DataGraphSession",
+    "PreparedQuery",
+    "PreparedQueryCache",
+    "find_isomorphism",
+]

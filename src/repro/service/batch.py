@@ -1,0 +1,520 @@
+"""Batch execution over a data-graph session.
+
+:class:`BatchEngine` takes a list of :class:`~repro.interfaces.MatchRequest`
+objects and executes them against one :class:`DataGraphSession`:
+
+- **deduplication** — requests whose queries are isomorphic *and* whose
+  options agree are grouped; the group leader runs once and followers
+  receive the leader's result translated through the verified vertex
+  bijection (so each follower's embeddings are in its own coordinates);
+- **caching** — every leader goes through the session's prepared-query
+  cache, so repeated shapes across *batches* skip preprocessing too;
+- **shared budget** — an optional :class:`repro.resilience.Budget`
+  governs the whole batch: in sequential mode every request runs under
+  it directly (all three dimensions); in parallel mode its wall-clock
+  dimension caps each worker's deadline (calls/memory cannot be summed
+  across processes and are not enforced there);
+- **parallel search** — with ``num_workers > 1``, preprocessing stays in
+  the parent (keeping the cache and its counters consistent) and the
+  search stage fans out across forked worker processes in the style of
+  :class:`repro.extensions.ParallelDAFMatcher`: each job gets a result
+  pipe, crashed workers are retried once, and results stream back in
+  completion order.
+
+:meth:`BatchEngine.run_iter` yields one :class:`BatchItem` per request
+in completion order; :meth:`BatchEngine.run` collects them and returns a
+:class:`BatchResult` summary.  Under an observer the engine emits one
+``batch.request`` event per completed request and one ``batch.run``
+event per batch (see ``repro.obs.schema``).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from typing import Any, Iterable, Iterator, Optional
+
+from ..core.matcher import DAFMatcher
+from ..graph.canonical import canonical_hash
+from ..interfaces import MatchRequest, MatchResult, UnsupportedOptionError
+from .cache import find_isomorphism
+from .session import DataGraphSession, _remap
+
+# Fork-shared slot for the job a worker should run: set in the parent
+# immediately before each Process.start() (fork snapshots it copy-on-write,
+# so concurrent workers each hold their own job).
+_BATCH_SHARED: dict[str, object] = {}
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one request in a batch, yielded in completion order."""
+
+    index: int
+    tag: Any
+    status: str  # "ok" | "error"
+    result: Optional[MatchResult]
+    #: How the request's preprocessing was satisfied: ``"hit"`` /
+    #: ``"miss"`` (prepared-query cache), ``"dedup"`` (follower of an
+    #: isomorphic leader in the same batch), ``"bypass"`` (non-DAF
+    #: matcher — no prepared cache on that path).
+    cache: str
+    error: str = ""
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class BatchResult:
+    """Everything :meth:`BatchEngine.run` learned about one batch."""
+
+    items: list[BatchItem] = field(default_factory=list)
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    unique_queries: int = 0
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over cache lookups for this batch (dedup followers
+        never reach the cache and are excluded)."""
+        total = self.cache_hits + self.cache_misses
+        return (self.cache_hits / total) if total else 0.0
+
+    def by_index(self) -> list[BatchItem]:
+        """Items reordered to match the submitted request list."""
+        return sorted(self.items, key=lambda item: item.index)
+
+
+@dataclass
+class _Group:
+    """One deduplicated unit of work: a leader request index plus
+    followers, each with its bijection onto the leader's query."""
+
+    leader: int
+    followers: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class _Job:
+    """A parallel-mode search job (preprocessing already done in-parent)."""
+
+    group: _Group
+    search_matcher: DAFMatcher
+    prepared: object
+    pi: Optional[tuple[int, ...]]
+    preprocess_seconds: float
+    cache_state: str
+    limit: int
+    time_limit: Optional[float]
+    start: float = 0.0
+    attempt: int = 0
+
+
+def _batch_worker(conn) -> None:
+    """Worker body: search the fork-inherited job, send one envelope."""
+    try:
+        matcher, prepared, limit, time_limit = _BATCH_SHARED["job"]  # type: ignore[misc]
+        result = matcher.search(prepared, limit=limit, time_limit=time_limit)
+        conn.send(
+            ("ok", result.embeddings, result.stats, result.limit_reached, result.timed_out)
+        )
+    except BaseException as exc:  # the envelope IS the error channel
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class BatchEngine:
+    """Deduplicating, cache-aware batch executor over one session.
+
+    Parameters
+    ----------
+    session:
+        The :class:`DataGraphSession` supplying the data graph, the
+        default matcher and the prepared-query cache.
+    num_workers:
+        Search-stage process fan-out; ``1`` (default) runs everything in
+        the calling process.
+    max_retries:
+        Re-dispatches allowed per parallel job after a worker crash.
+    """
+
+    def __init__(
+        self, session: DataGraphSession, num_workers: int = 1, max_retries: int = 1
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.session = session
+        self.num_workers = num_workers
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Iterable[MatchRequest], budget=None) -> BatchResult:
+        """Execute the batch and return the collected :class:`BatchResult`."""
+        cache = self.session.cache
+        hits0, misses0, evictions0 = cache.hits, cache.misses, cache.evictions
+        start = time.perf_counter()
+        batch = BatchResult(workers=self.num_workers)
+        for item in self.run_iter(requests, budget=budget, _batch=batch):
+            batch.items.append(item)
+            if item.status == "ok":
+                batch.completed += 1
+            else:
+                batch.failed += 1
+        batch.cache_hits = cache.hits - hits0
+        batch.cache_misses = cache.misses - misses0
+        batch.cache_evictions = cache.evictions - evictions0
+        batch.elapsed_seconds = time.perf_counter() - start
+        observer = self.session.observer
+        if observer is not None:
+            observer.emit(
+                {
+                    "event": "batch.run",
+                    "requests": len(batch.items),
+                    "completed": batch.completed,
+                    "failed": batch.failed,
+                    "cache_hits": batch.cache_hits,
+                    "cache_misses": batch.cache_misses,
+                    "cache_evictions": batch.cache_evictions,
+                    "unique_queries": batch.unique_queries,
+                    "workers": self.num_workers,
+                    "elapsed_seconds": round(batch.elapsed_seconds, 6),
+                }
+            )
+        return batch
+
+    def run_iter(
+        self,
+        requests: Iterable[MatchRequest],
+        budget=None,
+        _batch: Optional[BatchResult] = None,
+    ) -> Iterator[BatchItem]:
+        """Yield one :class:`BatchItem` per request, in completion order.
+
+        A deduplicated group's leader item is followed immediately by its
+        followers' items (same underlying search, remapped embeddings).
+        """
+        requests = list(requests)
+        groups = self._group(requests)
+        if _batch is not None:
+            _batch.unique_queries = len(groups)
+        if self.num_workers > 1 and len(groups) > 1:
+            yield from self._run_parallel(requests, groups, budget)
+        else:
+            for group in groups:
+                yield from self._run_group(requests, group, budget)
+
+    # ------------------------------------------------------------------
+    def _group(self, requests: list[MatchRequest]) -> list[_Group]:
+        """Group requests by (isomorphism class, options).
+
+        Requests carrying per-request callbacks or budgets are never
+        merged (a follower cannot share the leader's callback stream or
+        its budget accounting).
+        """
+        groups: list[_Group] = []
+        by_key: dict[tuple, list[int]] = {}
+        for index, request in enumerate(requests):
+            options = request.options
+            if options.on_embedding is not None or options.budget is not None:
+                groups.append(_Group(leader=index))
+                continue
+            key = (
+                canonical_hash(request.query),
+                options.limit,
+                options.time_limit,
+                options.count_only,
+            )
+            merged = False
+            for position in by_key.get(key, ()):
+                leader_query = requests[groups[position].leader].query
+                pi = find_isomorphism(request.query, leader_query)
+                if pi is not None:
+                    groups[position].followers.append((index, pi))
+                    merged = True
+                    break
+            if not merged:
+                groups.append(_Group(leader=index))
+                by_key.setdefault(key, []).append(len(groups) - 1)
+        return groups
+
+    def _effective_options(self, request: MatchRequest, budget):
+        options = request.options
+        if budget is not None and options.budget is None:
+            options = replace(options, budget=budget)
+        return options
+
+    def _items_for_group(
+        self,
+        requests: list[MatchRequest],
+        group: _Group,
+        status: str,
+        result: Optional[MatchResult],
+        cache_state: str,
+        error: str,
+        elapsed: float,
+    ) -> Iterator[BatchItem]:
+        """Materialize the leader's item plus remapped follower items."""
+        leader_request = requests[group.leader]
+        yield self._finish(
+            BatchItem(
+                index=group.leader,
+                tag=leader_request.tag,
+                status=status,
+                result=result,
+                cache=cache_state,
+                error=error,
+                elapsed_seconds=elapsed,
+            )
+        )
+        for follower_index, pi in group.followers:
+            follower_result = None
+            if result is not None:
+                follower_result = MatchResult(
+                    embeddings=[_remap(e, pi) for e in result.embeddings],
+                    stats=copy.copy(result.stats),
+                    limit_reached=result.limit_reached,
+                    timed_out=result.timed_out,
+                    budget_breach=result.budget_breach,
+                    interrupted=result.interrupted,
+                    partial_failure=result.partial_failure,
+                    degradations=list(result.degradations),
+                )
+            yield self._finish(
+                BatchItem(
+                    index=follower_index,
+                    tag=requests[follower_index].tag,
+                    status=status,
+                    result=follower_result,
+                    cache="dedup",
+                    error=error,
+                    elapsed_seconds=0.0,
+                )
+            )
+
+    def _run_group(
+        self, requests: list[MatchRequest], group: _Group, budget
+    ) -> Iterator[BatchItem]:
+        """Sequential execution of one group through the session."""
+        request = requests[group.leader]
+        options = self._effective_options(request, budget)
+        cache = self.session.cache
+        hits0, misses0 = cache.hits, cache.misses
+        start = time.perf_counter()
+        try:
+            result = self.session.run(
+                MatchRequest(query=request.query, options=options, tag=request.tag)
+            )
+            status, error = "ok", ""
+        except Exception as exc:
+            result, status = None, "error"
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - start
+        if cache.hits > hits0:
+            cache_state = "hit"
+        elif cache.misses > misses0:
+            cache_state = "miss"
+        else:
+            cache_state = "bypass"
+        yield from self._items_for_group(
+            requests, group, status, result, cache_state, error, elapsed
+        )
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self, requests: list[MatchRequest], groups: list[_Group], budget
+    ) -> Iterator[BatchItem]:
+        """Parent-side preprocessing, forked search, completion-order yield."""
+        session = self.session
+        matcher = session.matcher
+        jobs: deque[_Job] = deque()
+        for group in groups:
+            request = requests[group.leader]
+            options = request.options
+            if (
+                not isinstance(matcher, DAFMatcher)
+                or options.on_embedding is not None
+                or options.budget is not None
+            ):
+                # Callbacks and per-request budgets cannot cross a fork;
+                # run these inline (still cache-aware via the session).
+                yield from self._run_group(requests, group, budget)
+                continue
+            unsupported = [
+                name
+                for name in options.non_default_fields()
+                if name not in matcher.supported_options
+            ]
+            if unsupported:
+                error = str(UnsupportedOptionError(matcher, unsupported))
+                yield from self._items_for_group(
+                    requests, group, "error", None, "bypass", error, 0.0
+                )
+                continue
+            prep_start = time.perf_counter()
+            try:
+                prepared, pi, preprocess, cache_state = session._lookup_or_prepare(
+                    matcher, request.query, None
+                )
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                yield from self._items_for_group(
+                    requests,
+                    group,
+                    "error",
+                    None,
+                    "miss",
+                    error,
+                    time.perf_counter() - prep_start,
+                )
+                continue
+            search_matcher = matcher
+            if options.count_only and matcher.config.collect_embeddings:
+                import dataclasses as _dc
+
+                search_matcher = DAFMatcher(
+                    _dc.replace(matcher.config, collect_embeddings=False)
+                )
+            time_limit = None
+            if options.time_limit is not None:
+                time_limit = max(0.001, options.time_limit - preprocess)
+            jobs.append(
+                _Job(
+                    group=group,
+                    search_matcher=search_matcher,
+                    prepared=prepared,
+                    pi=pi,
+                    preprocess_seconds=preprocess,
+                    cache_state=cache_state,
+                    limit=options.resolved_limit,
+                    time_limit=time_limit,
+                )
+            )
+        yield from self._supervise(requests, jobs, budget)
+
+    def _supervise(
+        self, requests: list[MatchRequest], jobs: deque, budget
+    ) -> Iterator[BatchItem]:
+        """Windowed dispatch of search jobs with one-retry crash salvage."""
+        if not jobs:
+            return
+        ctx = multiprocessing.get_context("fork")
+        active: dict[int, tuple[object, object, _Job]] = {}  # id -> (process, conn, job)
+        next_id = 0
+        try:
+            while jobs or active:
+                while jobs and len(active) < self.num_workers:
+                    job = jobs.popleft()
+                    time_limit = job.time_limit
+                    if budget is not None:
+                        remaining = budget.remaining_time()
+                        if remaining is not None:
+                            remaining = max(0.001, remaining)
+                            time_limit = (
+                                remaining
+                                if time_limit is None
+                                else min(time_limit, remaining)
+                            )
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    _BATCH_SHARED["job"] = (
+                        job.search_matcher,
+                        job.prepared,
+                        job.limit,
+                        time_limit,
+                    )
+                    process = ctx.Process(target=_batch_worker, args=(child_conn,), daemon=True)
+                    job.start = time.perf_counter()
+                    process.start()
+                    child_conn.close()
+                    active[next_id] = (process, parent_conn, job)
+                    next_id += 1
+                ready = mp_connection.wait(
+                    [conn for (_p, conn, _j) in active.values()], timeout=0.05
+                )
+                for conn in ready:
+                    job_id = next(k for k, v in active.items() if v[1] is conn)
+                    process, _conn, job = active.pop(job_id)
+                    try:
+                        envelope = conn.recv()
+                    except (EOFError, OSError):
+                        envelope = None  # died without a word: hard crash
+                    process.join(timeout=5.0)
+                    if process.is_alive():
+                        process.terminate()
+                        process.join()
+                    conn.close()
+                    elapsed = time.perf_counter() - job.start
+                    if envelope is not None and envelope[0] == "ok":
+                        _tag, embeddings, stats, limit_reached, timed_out = envelope
+                        stats.preprocess_seconds = job.preprocess_seconds
+                        result = MatchResult(
+                            embeddings=(
+                                [_remap(e, job.pi) for e in embeddings]
+                                if job.pi is not None
+                                else embeddings
+                            ),
+                            stats=stats,
+                            limit_reached=limit_reached,
+                            timed_out=timed_out,
+                        )
+                        yield from self._items_for_group(
+                            requests, job.group, "ok", result, job.cache_state, "", elapsed
+                        )
+                        continue
+                    if job.attempt < self.max_retries:
+                        job.attempt += 1
+                        jobs.append(job)
+                        continue
+                    error = (
+                        envelope[1] if envelope is not None else "worker process died"
+                    )
+                    yield from self._items_for_group(
+                        requests, job.group, "error", None, job.cache_state, error, elapsed
+                    )
+        finally:
+            for process, conn, _job in active.values():
+                process.terminate()
+                process.join()
+                conn.close()
+            _BATCH_SHARED.clear()
+
+    # ------------------------------------------------------------------
+    def _finish(self, item: BatchItem) -> BatchItem:
+        """Emit the per-request event (when observed) and pass the item on."""
+        observer = self.session.observer
+        if observer is not None:
+            event = {
+                "event": "batch.request",
+                "index": item.index,
+                "status": item.status,
+                "cache": item.cache,
+            }
+            if item.tag is not None:
+                event["tag"] = str(item.tag)
+            if item.result is not None:
+                event["embeddings"] = item.result.stats.embeddings_found
+                event["recursive_calls"] = item.result.stats.recursive_calls
+                event["elapsed_seconds"] = round(item.result.stats.elapsed_seconds, 6)
+                event["preprocess_seconds"] = round(
+                    item.result.stats.preprocess_seconds, 6
+                )
+            if item.error:
+                event["error"] = item.error
+            observer.emit(event)
+        return item

@@ -22,7 +22,14 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from .graph.graph import Graph
-from .interfaces import Embedding, Matcher, is_embedding, is_induced_embedding
+from .interfaces import (
+    Embedding,
+    Matcher,
+    MatchOptions,
+    MatchRequest,
+    is_embedding,
+    is_induced_embedding,
+)
 
 
 class VerificationError(AssertionError):
@@ -86,7 +93,9 @@ def cross_validate(
     report = CrossValidationReport()
     full_sets: dict[str, set[Embedding]] = {}
     for name, matcher in matchers.items():
-        result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+        result = matcher.run_request(
+            MatchRequest(query, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+        )
         if not result.solved:
             continue
         verify_embeddings(result.embeddings, query, data)
@@ -122,8 +131,9 @@ def certify_negative(
 
     primary = primary if primary is not None else DAFMatcher()
     witness = witness if witness is not None else VF2Matcher()
-    primary_result = primary.match(query, data, limit=1, time_limit=time_limit)
-    witness_result = witness.match(query, data, limit=1, time_limit=time_limit)
+    options = MatchOptions(limit=1, time_limit=time_limit)
+    primary_result = primary.run_request(MatchRequest(query, data, options=options))
+    witness_result = witness.run_request(MatchRequest(query, data, options=options))
     if not primary_result.solved or not witness_result.solved:
         raise VerificationError(
             "certification inconclusive: a matcher did not finish "

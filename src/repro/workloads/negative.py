@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from ..core.config import MatchConfig
 from ..core.matcher import DAFMatcher
 from ..graph.graph import Graph
+from ..interfaces import MatchOptions, MatchRequest
 
 
 def perturb_labels(query: Graph, k: int, alphabet: Sequence[object], rng: random.Random) -> Graph:
@@ -90,7 +91,9 @@ def classify_queries(
     matcher = DAFMatcher(config)
     breakdown = NegativeBreakdown()
     for query in queries:
-        result = matcher.match(query, data, limit=limit, time_limit=time_limit)
+        result = matcher.run_request(
+            MatchRequest(query, data, options=MatchOptions(limit=limit, time_limit=time_limit))
+        )
         breakdown.cs_size_total += result.stats.candidates_total
         if result.timed_out:
             breakdown.unsolved += 1

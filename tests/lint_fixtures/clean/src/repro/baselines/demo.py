@@ -10,7 +10,9 @@ class Matcher:  # stand-in base so the fixture tree is import-free
 class DemoMatcher(Matcher):
     name = "Demo"
 
-    def match(self, query, data, limit=100, time_limit=None, on_embedding=None):
+    supported_options = frozenset({"limit", "time_limit", "on_embedding", "count_only"})
+
+    def _match_impl(self, query, data, limit=100, time_limit=None, on_embedding=None, count_only=False):
         stats = Stats()
         deadline = Deadline(time_limit)
 
@@ -18,7 +20,8 @@ class DemoMatcher(Matcher):
             stats.recursive_calls += 1
             deadline.tick()
             if depth < limit:
-                stats.embeddings_found += 1
+                if not count_only:
+                    stats.embeddings_found += 1
                 extend(depth + 1)
 
         start = time.perf_counter()

@@ -4,5 +4,5 @@
 class DemoMatcher:
     name = "SomethingElse"
 
-    def match(self, query, data, limit=100):
+    def _match_impl(self, query, data, limit=100):
         return None

@@ -1,0 +1,5 @@
+"""Minimal event schema anchor for the lint fixtures."""
+
+EVENT_SCHEMAS = {
+    "ping": ({"x": int}, {"y": int}),
+}

@@ -10,7 +10,7 @@ class Matcher:  # stand-in base so the fixture tree is import-free
 class DemoMatcher(Matcher):
     name = "Demo"
 
-    def match(self, query, data, limit=100, time_limit=None, on_embedding=None):
+    def _match_impl(self, query, data, limit=100, time_limit=None, on_embedding=None):
         stats = Stats()
         deadline = Deadline(time_limit)
 

@@ -77,7 +77,7 @@ class TestResilienceFlags:
         def interrupted_match(self, *args, **kwargs):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(DAFMatcher, "match", interrupted_match)
+        monkeypatch.setattr(DAFMatcher, "_match_impl", interrupted_match)
         query, data = graph_files
         assert main(["match", query, data]) == 130
         payload = json.loads(capsys.readouterr().out)
@@ -95,7 +95,7 @@ class TestResilienceFlags:
             stats = SearchStats(recursive_calls=7, embeddings_found=1)
             return MatchResult(embeddings=[(0, 1)], stats=stats, interrupted=True)
 
-        monkeypatch.setattr(DAFMatcher, "match", partial_match)
+        monkeypatch.setattr(DAFMatcher, "_match_impl", partial_match)
         query, data = graph_files
         assert main(["match", query, data]) == 130
         payload = json.loads(capsys.readouterr().out)

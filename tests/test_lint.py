@@ -69,6 +69,13 @@ BAD_FIXTURES = {
             ("src/repro/baselines/demo.py", 7),  # match() parameter surface
         },
     ),
+    "ifc002_bad": (
+        "IFC002",
+        {
+            ("src/repro/baselines/demo.py", 13),  # dead + ignored declarations
+            ("src/repro/baselines/demo.py", 15),  # undeclared option parameter
+        },
+    ),
     "cli001_bad": (
         "CLI001",
         {
@@ -109,6 +116,13 @@ class TestFixtures:
         assert "missing the shared parameter" in text
         assert "never stores SearchStats" in text
 
+    def test_ifc002_messages_cover_every_drift_direction(self):
+        findings = run_lint(root=FIXTURES / "ifc002_bad", select=["IFC002"])
+        text = " ".join(f.message for f in findings)
+        assert "not a MatchOptions field" in text  # dead declaration
+        assert "silently ignored" in text  # declared but not implemented
+        assert "capability is unreachable" in text  # implemented but not declared
+
     def test_sch001_reports_both_drift_directions(self):
         findings = run_lint(root=FIXTURES / "sch001_bad", select=["SCH001"])
         text = " ".join(f.message for f in findings)
@@ -146,12 +160,13 @@ class TestEngine:
         assert not ctx.is_suppressed(module, lines[0], "SCH001")
         assert run_lint(root=FIXTURES / "clean", select=["DET001"]) == []
 
-    def test_catalog_lists_all_five_checkers_in_order(self):
+    def test_catalog_lists_all_checkers_in_order(self):
         assert [check_id for check_id, _ in catalog()] == [
             "SCH001",
             "DET001",
             "BUD001",
             "IFC001",
+            "IFC002",
             "CLI001",
         ]
 

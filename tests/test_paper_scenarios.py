@@ -70,7 +70,7 @@ class TestFigure2CartesianProducts:
     def test_search_tree_shrinks_accordingly(self):
         query, data = make_nontree_blindspot(decoys=10)
         daf = DAFMatcher(MatchConfig(collect_embeddings=False)).match(query, data)
-        cfl = CFLMatcher().match(query, data, collect_embeddings=False)
+        cfl = CFLMatcher().match(query, data, count_only=True)
         assert daf.count == cfl.count == 1
         assert daf.stats.recursive_calls <= cfl.stats.recursive_calls
 

@@ -250,7 +250,7 @@ class _AlwaysCrashes(Matcher):
 
     name = "always-crashes"
 
-    def match(self, query, data, limit=10**9, time_limit=None, on_embedding=None):
+    def _match_impl(self, query, data, limit=10**9, time_limit=None, on_embedding=None):
         raise RuntimeError("synthetic matcher crash")
 
 

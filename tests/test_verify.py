@@ -55,8 +55,8 @@ class TestCrossValidate:
 
     def test_detects_disagreement(self, edge_query, triangle_data):
         class BrokenMatcher(DAFMatcher):
-            def match(self, *args, **kwargs):
-                result = super().match(*args, **kwargs)
+            def _match_impl(self, *args, **kwargs):
+                result = super()._match_impl(*args, **kwargs)
                 result.embeddings = result.embeddings[:-1]  # drop one
                 result.stats.embeddings_found -= 1
                 return result
@@ -88,8 +88,8 @@ class TestCertifyNegative:
 
     def test_disagreement_raises(self, edge_query, triangle_data):
         class LyingMatcher(DAFMatcher):
-            def match(self, *args, **kwargs):
-                result = super().match(*args, **kwargs)
+            def _match_impl(self, *args, **kwargs):
+                result = super()._match_impl(*args, **kwargs)
                 result.embeddings = []
                 result.stats.embeddings_found = 0
                 return result
