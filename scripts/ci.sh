@@ -5,7 +5,7 @@
 #
 # Usage: scripts/ci.sh            (from the repository root)
 #   TIER1_TIMEOUT / FAULTS_TIMEOUT / OBS_TIMEOUT / BENCH_TIMEOUT /
-#   LINT_TIMEOUT override the caps (seconds).
+#   LINT_TIMEOUT / CHAOS_TIMEOUT override the caps (seconds).
 
 set -eu
 
@@ -17,6 +17,7 @@ FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 OBS_TIMEOUT="${OBS_TIMEOUT:-120}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-600}"
 LINT_TIMEOUT="${LINT_TIMEOUT:-120}"
+CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-300}"
 
 echo "==> static analysis (cap: ${LINT_TIMEOUT}s)"
 # AST invariant checkers (docs/static-analysis.md): schema drift,
@@ -31,6 +32,13 @@ timeout --kill-after=30 "$TIER1_TIMEOUT" \
 echo "==> fault-injection suite (cap: ${FAULTS_TIMEOUT}s)"
 timeout --kill-after=30 "$FAULTS_TIMEOUT" \
     python -m pytest -x -q -m faults
+
+echo "==> chaos smoke (cap: ${CHAOS_TIMEOUT}s)"
+# Seeded end-to-end fault sweep (docs/robustness.md#the-chaos-harness):
+# every site x kind scenario must recover to the exact fault-free
+# answer. Exit code is the gate; the payload goes to stdout for triage.
+timeout --kill-after=30 "$CHAOS_TIMEOUT" \
+    python -m repro chaos --seed 0 --workers 2
 
 echo "==> metrics schema round-trip (cap: ${OBS_TIMEOUT}s)"
 # Emit a real metrics stream through the CLI, then validate it against

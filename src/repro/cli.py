@@ -10,6 +10,8 @@ Commands
               (``run`` / ``compare`` / ``history`` / ``hotspots``)
 ``serve-batch``  run a query batch through a persistent data-graph
               session with prepared-query caching (docs/serving.md)
+``chaos``     sweep seeded fault injections across serving workloads and
+              gate on exact-answer equality (docs/robustness.md)
 ``lint``      statically check the codebase's invariants
               (docs/static-analysis.md)
 
@@ -121,6 +123,21 @@ def cmd_match(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
+    if args.resume:
+        if (
+            args.resilient
+            or getattr(args, "workers", 1) > 1
+            or not isinstance(matcher, DAFMatcher)
+        ):
+            raise SystemExit(
+                "--resume needs --algorithm daf with --workers 1 (no --resilient)"
+            )
+        from .resilience import SearchCheckpoint
+
+        try:
+            match_kwargs["resume_from"] = SearchCheckpoint.load(args.resume)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"cannot load checkpoint {args.resume}: {exc}")
     observer, sink = _build_observer(args)
     if observer is not None:
         matcher.with_observer(observer)
@@ -202,6 +219,9 @@ def cmd_match(args: argparse.Namespace) -> int:
             {"slice": o.slice_index, "status": o.status, "attempts": o.attempts}
             for o in result.stats.worker_outcomes
         ]
+    if args.checkpoint_out and result.checkpoint is not None:
+        result.checkpoint.save(args.checkpoint_out)
+        payload["checkpoint"] = args.checkpoint_out
     if not args.count_only:
         payload["embeddings"] = [list(e) for e in result.embeddings]
     json.dump(payload, sys.stdout, indent=2)
@@ -380,8 +400,11 @@ def cmd_bench_hotspots(args: argparse.Namespace) -> int:
 
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     """``repro serve-batch``: batch queries through a persistent session."""
-    from .service import BatchEngine, DataGraphSession
+    from .service import BatchEngine, BatchJournal, DataGraphSession
 
+    if args.journal and args.rounds != 1:
+        raise SystemExit("--journal requires --rounds 1 (a journal keys on request index)")
+    journal = BatchJournal(args.journal) if args.journal else None
     data = _read_graph(args.data, args.format)
     query_paths: list = []
     for spec in args.queries:
@@ -411,8 +434,15 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     per_round = []
     results = []
     completed = failed = 0
+    interrupted = False
     for round_index in range(args.rounds):
-        batch = engine.run(requests)
+        try:
+            batch = engine.run(requests, journal=journal)
+        except KeyboardInterrupt:
+            # The interrupt landed outside a search (e.g. preprocessing);
+            # completed requests are already journaled — wind down.
+            interrupted = True
+            break
         completed += batch.completed
         failed += batch.failed
         per_round.append(
@@ -442,9 +472,14 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
                 )
                 if item.result.timed_out:
                     entry["timed_out"] = True
+            if item.result is not None and item.result.interrupted:
+                entry["interrupted"] = True
+                interrupted = True
             if item.error:
                 entry["error"] = item.error
             results.append(entry)
+        if interrupted:
+            break
     if sink is not None:
         sink.close()
     payload = {
@@ -458,9 +493,75 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         "per_round": per_round,
         "results": results,
     }
+    if interrupted:
+        payload["interrupted"] = True
     json.dump(payload, sys.stdout, indent=2)
     print()
+    if interrupted:
+        return 130
     return 0 if failed == 0 else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: seeded fault sweeps gated on exact-answer equality."""
+    from .resilience.chaos import DEFAULT_SCENARIOS, ChaosHarness
+    from .resilience.faults import KINDS, SITES
+
+    split = lambda v: [s.strip() for s in v.split(",") if s.strip()] if v else None  # noqa: E731
+    sites, kinds = split(args.sites), split(args.kinds)
+    for name, valid in ((sites, SITES), (kinds, KINDS)):
+        for entry in name or ():
+            if entry not in valid:
+                raise SystemExit(f"unknown {entry!r}; choices: {', '.join(valid)}")
+    scenarios = [
+        (site, kind)
+        for site, kind in DEFAULT_SCENARIOS
+        if (sites is None or site in sites) and (kinds is None or kind in kinds)
+    ]
+    if not scenarios:
+        raise SystemExit("no scenarios match the --sites/--kinds filters")
+    observer, sink = None, None
+    if args.metrics_out:
+        from .obs import JsonlSink, MetricsRegistry
+
+        sink = JsonlSink(args.metrics_out)
+        observer = MetricsRegistry(sink=sink)
+    try:
+        harness = ChaosHarness(
+            seed=args.seed,
+            observer=observer,
+            num_workers=args.workers,
+            workdir=args.workdir,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    outcomes = harness.run(scenarios)
+    if sink is not None:
+        sink.close()
+    payload = {
+        "seed": args.seed,
+        "scenarios": len(outcomes),
+        "ok": sum(o.status == "ok" for o in outcomes),
+        "skipped": sum(o.status == "skipped" for o in outcomes),
+        "failed": sum(o.status in ("mismatch", "error") for o in outcomes),
+        "results": [
+            {
+                "scenario": o.scenario,
+                "site": o.site,
+                "kind": o.kind,
+                "status": o.status,
+                "matched": o.matched,
+                "fired": o.fired,
+                "resumed": o.resumed,
+                "elapsed_seconds": round(o.elapsed_seconds, 3),
+                **({"detail": o.detail} if o.detail else {}),
+            }
+            for o in outcomes
+        ],
+    }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0 if all(o.status in ("ok", "skipped") for o in outcomes) else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -526,6 +627,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--resilient",
         action="store_true",
         help="wrap the matcher in the graceful-degradation chain (docs/robustness.md)",
+    )
+    match_p.add_argument(
+        "--checkpoint-out",
+        default=None,
+        metavar="PATH",
+        help="write the suspended search state here when the run is "
+        "interrupted (Ctrl-C) or breaches a budget; resume with --resume",
+    )
+    match_p.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="continue a previous run from a --checkpoint-out file "
+        "(same query/data/config; DAF with --workers 1 only)",
     )
     match_p.add_argument(
         "--metrics-out",
@@ -696,7 +811,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append batch.request/batch.run events as JSONL",
     )
+    serve_p.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="persist per-request outcomes and in-flight checkpoints "
+        "here; re-running with the same journal replays completed "
+        "requests and resumes interrupted ones (requires --rounds 1)",
+    )
     serve_p.set_defaults(func=cmd_serve_batch)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault injections, gate on exact-answer equality",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0, help="workload + injector seed")
+    chaos_p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="parallel-scenario fan-out (must be >= 2 so kills hit forks)",
+    )
+    chaos_p.add_argument(
+        "--sites",
+        default=None,
+        help="comma list of fault sites to sweep (default: all)",
+    )
+    chaos_p.add_argument(
+        "--kinds",
+        default=None,
+        help="comma list of fault kinds to sweep (default: all)",
+    )
+    chaos_p.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="directory for scenario batch journals (default: a temp dir)",
+    )
+    chaos_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append one chaos.run event per scenario as JSONL",
+    )
+    chaos_p.set_defaults(func=cmd_chaos)
 
     lint_p = sub.add_parser(
         "lint", help="statically check codebase invariants (docs/static-analysis.md)"

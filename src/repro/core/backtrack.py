@@ -36,14 +36,34 @@ is cut short (Case 2.1).
 matched last by a specialized matcher that exploits their independence:
 leaves with different labels can never conflict, so in counting mode whole
 groups multiply combinatorially instead of being enumerated.
+
+**Suspend / resume.**  The search runs on an explicit frame stack rather
+than Python recursion, so the full frontier — per-depth candidate
+cursors, failing-set accumulators, the partial embedding — is ordinary
+engine state.  At every *safe phase* (a node entry, a leaf-level entry,
+or an embedding report — exactly the points where ``deadline.tick()``,
+fault injection, and the cooperative SIGINT flag are polled) the engine
+can be captured into a :class:`repro.resilience.checkpoint.SearchCheckpoint`
+and later replayed onto a freshly prepared engine, continuing the search
+with **bit-identical** embeddings, order, and deterministic counters
+versus an uninterrupted run.  Subclasses that override ``_extend_fs`` /
+``_extend_plain`` with their own recursion (e.g. the boost extension's
+capacity engine) are detected at :meth:`BacktrackEngine.run` and simply
+opt out of checkpointing — their semantics are untouched.
 """
 
 from __future__ import annotations
 
+import signal
 from typing import Callable, Optional
 
 from ..interfaces import Deadline, Embedding, SearchStats, TimeoutSignal
 from ..resilience.budget import embedding_bytes
+from ..resilience.checkpoint import (
+    CheckpointMismatchError,
+    SearchCheckpoint,
+    resume_payload,
+)
 from ..resilience.faults import FAULTS
 from .candidate_space import CandidateSpace
 from .config import MatchConfig
@@ -52,6 +72,41 @@ from .ordering import make_order
 
 class _LimitReached(Exception):
     """Internal signal: the embedding limit was hit; unwind the search."""
+
+
+# Frame kinds: a core (DAG-ordered) vertex vs a deferred degree-one leaf.
+_KIND_CORE = 0
+_KIND_LEAF = 1
+
+# Drive states.  The first three are *safe phases*: the engine state is
+# consistent and a checkpoint captured there resumes exactly.  _UNSAFE
+# marks everything else (mid-advance, mid-return); _ADVANCE/_RETURN are
+# driver-internal and never observed across a suspension.
+_UNSAFE = 0
+_ENTER_CORE = 1
+_ENTER_LEAF = 2
+_REPORT = 3
+_ADVANCE = 4
+_RETURN = 5
+
+_PHASE_NAMES = {_ENTER_CORE: "enter_core", _ENTER_LEAF: "enter_leaf", _REPORT: "report"}
+_PHASE_CODES = {name: code for code, name in _PHASE_NAMES.items()}
+
+# Explicit frame layout (a plain list for speed):
+#   [kind, u, seq, pos, fs_union, found, v]
+# where ``seq`` is the candidate *index* sequence (cmu for core frames,
+# the parent's CS adjacency for leaf frames), ``pos`` is the cursor one
+# past the active candidate (so seq[pos-1] is the index currently
+# mapped), ``fs_union`` accumulates sibling failing sets (Case 2.2),
+# ``found`` records whether any child subtree found an embedding, and
+# ``v`` is the mapped data vertex (-1 while no candidate is active).
+_F_KIND = 0
+_F_U = 1
+_F_SEQ = 2
+_F_POS = 3
+_F_FS = 4
+_F_FOUND = 5
+_F_V = 6
 
 
 class BacktrackEngine:
@@ -66,6 +121,11 @@ class BacktrackEngine:
     loop performs no observability work beyond ``is not None`` checks on
     locals — there is no no-op registry object, and search results are
     bit-identical with metrics on and off.
+
+    ``checkpoint_every`` / ``on_checkpoint`` enable periodic snapshots:
+    every that-many recursive calls, ``on_checkpoint`` receives a fresh
+    :class:`SearchCheckpoint` (parallel workers piggy-back these on the
+    progress pipe so a supervisor can resume a crashed slice).
     """
 
     def __init__(
@@ -79,6 +139,8 @@ class BacktrackEngine:
         root_candidate_indices: Optional[list[int]] = None,
         tracer=None,
         observer=None,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[SearchCheckpoint], None]] = None,
     ) -> None:
         self.cs = cs
         self.config = config
@@ -93,6 +155,8 @@ class BacktrackEngine:
             observer.ensure_vertices(cs.dag.num_vertices)
         self.embeddings: list[Embedding] = []
         self.limit_reached = False
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
 
         dag = cs.dag
         n = dag.num_vertices
@@ -143,6 +207,17 @@ class BacktrackEngine:
         self.wmu = [0] * n
         self.mapped_core = 0
 
+        # Suspend/resume state.
+        self.frames: list[list] = []
+        self._state = _ENTER_CORE
+        self._report_step = 0
+        self._suspended = False
+        self._interrupted = False
+        self._iterative = False
+        self._root_indices = (
+            None if root_candidate_indices is None else list(root_candidate_indices)
+        )
+
         root = dag.root
         if root_candidate_indices is None:
             root_cmu = list(range(len(cs.candidates[root])))
@@ -159,13 +234,58 @@ class BacktrackEngine:
         """Execute the search; raises :class:`TimeoutSignal` on deadline."""
         if any(not c for c in self.cs.candidates):
             return  # empty CS: negative query, nothing to search (A.3)
+        # Subclasses that still override the extend paths with their own
+        # recursion keep their exact semantics but cannot checkpoint.
+        legacy = (
+            type(self)._extend_fs is not BacktrackEngine._extend_fs
+            or type(self)._extend_plain is not BacktrackEngine._extend_plain
+        )
+        self._iterative = not legacy
+        prev_handler = None
+        installed = False
+        if not legacy:
+            # Cooperative Ctrl-C: the first SIGINT sets a flag polled at
+            # the next safe phase so the suspension is checkpointable; a
+            # second SIGINT interrupts immediately (old behavior).
+            try:
+                prev_handler = signal.getsignal(signal.SIGINT)
+                if prev_handler is not None:
+                    signal.signal(signal.SIGINT, self._on_sigint)
+                    installed = True
+            except ValueError:
+                installed = False  # not the main thread
+        bound = False
+        if FAULTS.active:
+            # Let injected hangs see the live deadline so they can never
+            # sleep past the remaining budget.
+            FAULTS.bind_budget(self.deadline)
+            bound = True
         try:
-            if self.config.use_failing_sets:
-                self._extend_fs()
-            else:
-                self._extend_plain()
-        except _LimitReached:
-            self.limit_reached = True
+            try:
+                if self.config.use_failing_sets:
+                    self._extend_fs()
+                else:
+                    self._extend_plain()
+            except _LimitReached:
+                self._unwind()
+                self.limit_reached = True
+            except BaseException:
+                self._suspended = True
+                raise
+            if self._interrupted:
+                # The flag was raised too late to be polled; the search
+                # finished, so surface the interrupt without a checkpoint.
+                raise KeyboardInterrupt
+        finally:
+            if bound:
+                FAULTS.unbind_budget(self.deadline)
+            if installed:
+                signal.signal(signal.SIGINT, prev_handler)
+
+    def _on_sigint(self, signum, frame) -> None:
+        if self._interrupted:
+            raise KeyboardInterrupt
+        self._interrupted = True
 
     # ------------------------------------------------------------------
     # Shared machinery
@@ -245,16 +365,25 @@ class BacktrackEngine:
         return -1
 
     def _report(self) -> None:
-        if self.collect and self._charge_memory is not None:
-            # Charge before counting so a breach leaves count == collected.
-            self._charge_memory(self._embedding_cost)
-        self.stats.embeddings_found += 1
+        # Re-entrant across a suspension mid-report: ``_report_step``
+        # records what already committed (1 = counted, 2 = counted +
+        # collected) so a resumed run neither drops nor double-counts
+        # this embedding.  The streaming callback is at-least-once when
+        # it is itself the step that raised.
+        if self._report_step == 0:
+            if self.collect and self._charge_memory is not None:
+                # Charge before counting so a breach leaves count == collected.
+                self._charge_memory(self._embedding_cost)
+            self.stats.embeddings_found += 1
+            self._report_step = 1
         if self.collect or self.on_embedding is not None:
             embedding = tuple(self.mapping)
-            if self.collect:
+            if self.collect and self._report_step == 1:
                 self.embeddings.append(embedding)
+            self._report_step = 2
             if self.on_embedding is not None:
                 self.on_embedding(embedding)
+        self._report_step = 0
         if self.stats.embeddings_found >= self.limit:
             raise _LimitReached
 
@@ -268,143 +397,520 @@ class BacktrackEngine:
             raise _LimitReached
 
     # ------------------------------------------------------------------
+    # Suspend / resume
+    # ------------------------------------------------------------------
+    def can_checkpoint(self) -> bool:
+        """True when the run was suspended at a resumable safe phase."""
+        return (
+            self._suspended
+            and self._iterative
+            and self._state in (_ENTER_CORE, _ENTER_LEAF, _REPORT)
+        )
+
+    def _fingerprint(self) -> dict:
+        cfg = self.config
+        return {
+            "query_vertices": self.cs.query.num_vertices,
+            "query_edges": self.cs.query.num_edges,
+            "data_vertices": self.cs.data.num_vertices,
+            "data_edges": self.cs.data.num_edges,
+            "order": cfg.order,
+            "use_failing_sets": cfg.use_failing_sets,
+            "injective": cfg.injective,
+            "induced": cfg.induced,
+            "leaf_decomposition": cfg.leaf_decomposition,
+            "collect": self.collect,
+            "limit": self.limit,
+            "root_candidates": self._root_indices,
+        }
+
+    def capture_checkpoint(self) -> SearchCheckpoint:
+        """Snapshot the suspended frontier as a serializable checkpoint.
+
+        Only valid at a safe phase — either mid-run from the periodic
+        ``on_checkpoint`` hook (which fires exactly there) or after a
+        suspension for which :meth:`can_checkpoint` is true.
+        """
+        if self._state not in _PHASE_NAMES:
+            raise RuntimeError("engine is not at a resumable safe phase")
+        frames = [
+            [frame[_F_KIND], frame[_F_U], frame[_F_POS], frame[_F_FS], int(frame[_F_FOUND])]
+            for frame in self.frames
+        ]
+        return SearchCheckpoint(
+            fingerprint=self._fingerprint(),
+            phase=_PHASE_NAMES[self._state],
+            frames=frames,
+            report_step=self._report_step,
+            recursive_calls=self.stats.recursive_calls,
+            embeddings_found=self.stats.embeddings_found,
+            embeddings=list(self.embeddings) if self.collect else [],
+        )
+
+    def restore(self, checkpoint) -> None:
+        """Replay ``checkpoint`` onto this freshly constructed engine.
+
+        The checkpoint stores candidate *cursors*; the candidate
+        sequences are recomputed here (they are deterministic functions
+        of the prepared CS), each frame validated as it is replayed.  A
+        subsequent :meth:`run` continues the search bit-identically.
+        Accepts a :class:`SearchCheckpoint` or its ``to_dict()`` payload.
+        """
+        ckpt = resume_payload(checkpoint)
+        if ckpt is None:
+            return
+        if self.frames or self.mapped_core or self.stats.recursive_calls:
+            raise RuntimeError("restore() requires a freshly constructed engine")
+        ckpt.check_fingerprint(self._fingerprint())
+        for kind, u, pos, fs_union, found in ckpt.frames:
+            depth = len(self.frames)
+            if kind == _KIND_CORE:
+                if self.mapped_core >= self.num_core or u not in self.extendable:
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: vertex {u} is not extendable here"
+                    )
+                if self._select() != u:
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: adaptive order selects "
+                        f"{self._select()}, checkpoint says {u}"
+                    )
+                seq = self.cmu[u]
+                if not 1 <= pos <= len(seq):
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: cursor {pos} outside 1..{len(seq)}"
+                    )
+                i = seq[pos - 1]
+                v = self.cs.candidates[u][i]
+                if self.injective and v in self.visited_by:
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: candidate {v} already occupied"
+                    )
+                self.frames.append([_KIND_CORE, u, seq, pos, fs_union, bool(found), v])
+                self._map(u, i, v)
+            else:
+                lpos = depth - self.num_core
+                if (
+                    self.mapped_core != self.num_core
+                    or not 0 <= lpos < len(self.deferred_leaves)
+                    or self.deferred_leaves[lpos] != u
+                ):
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: vertex {u} is not the leaf at depth {depth}"
+                    )
+                idxs = self._leaf_candidate_indices(u)
+                if not 1 <= pos <= len(idxs):
+                    raise CheckpointMismatchError(
+                        f"frame {depth}: cursor {pos} outside 1..{len(idxs)}"
+                    )
+                i = idxs[pos - 1]
+                v = self.cs.candidates[u][i]
+                if self.injective:
+                    if v in self.visited_by:
+                        raise CheckpointMismatchError(
+                            f"frame {depth}: candidate {v} already occupied"
+                        )
+                    self.visited_by[v] = u
+                self.frames.append([_KIND_LEAF, u, idxs, pos, fs_union, bool(found), v])
+                self.mapping[u] = v
+        self.stats.recursive_calls = ckpt.recursive_calls
+        self.stats.embeddings_found = ckpt.embeddings_found
+        if self.collect:
+            self.embeddings = [tuple(e) for e in ckpt.embeddings]
+        self._report_step = ckpt.report_step
+        self._state = _PHASE_CODES[ckpt.phase]
+
+    def _unwind(self) -> None:
+        """Pop all frames after the limit is hit, restoring initial state
+        (the recursive form did this via its finally clauses)."""
+        frames = self.frames
+        while frames:
+            frame = frames.pop()
+            u = frame[_F_U]
+            v = frame[_F_V]
+            if frame[_F_KIND] == _KIND_CORE:
+                self._unmap(u, v)
+            else:
+                self.mapping[u] = -1
+                if self.injective:
+                    del self.visited_by[v]
+
+    # ------------------------------------------------------------------
     # Search with failing sets (DAF variants)
     # ------------------------------------------------------------------
-    def _extend_fs(self) -> Optional[int]:
-        """Returns the node's failing-set mask, or None if an embedding was
-        found in this subtree (Case 1 makes the parent's F empty)."""
-        self.stats.recursive_calls += 1
-        self.deadline.tick()
-        if FAULTS.active:
-            FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
-        progress = self.progress
-        if progress is not None:
-            progress.tick(self.stats.recursive_calls, self.mapped_core)
-        if self.mapped_core == self.num_core:
-            return self._match_leaves_fs()
-        u = self._select()
-        cmu = self.cmu[u]
+    def _extend_fs(self) -> None:
+        """Explicit-stack search with failing-set pruning.
+
+        Each search-tree node owns one frame; the drive loop's ``ret``
+        carries the child's failing-set mask upward (None = an embedding
+        was found in that subtree, Case 1).
+        """
+        stats = self.stats
+        deadline = self.deadline
+        frames = self.frames
         anc = self.anc
-        tracer = self.tracer
-        obs = self.obs
-        if not cmu:
-            if obs is not None:
-                obs.prune_empty += 1
-                obs.vertex_empty[u] += 1
-            if tracer is not None:
-                tracer.emptyset(u)
-            return anc[u]  # emptyset class
-        candidates_u = self.cs.candidates[u]
+        candidates = self.cs.candidates
         visited_by = self.visited_by
-        fs_union = 0
-        found_embedding = False
-        for i in cmu:
-            v = candidates_u[i]
-            if obs is not None:
-                obs.candidates_examined += 1
-            if self.injective:
-                occupier = visited_by.get(v)
-                if occupier is not None:
-                    contribution = anc[u] | anc[occupier]  # conflict class
-                    fs_union |= contribution
-                    if obs is not None:
-                        obs.prune_conflict += 1
-                        obs.vertex_conflict[u] += 1
-                    if tracer is not None:
-                        tracer.conflict(u, v, contribution)
+        injective = self.injective
+        induced = self.induced
+        obs = self.obs
+        tracer = self.tracer
+        progress = self.progress
+        every = self.checkpoint_every
+        on_checkpoint = self.on_checkpoint
+        num_leaves = len(self.deferred_leaves)
+        ret: Optional[int] = 0
+        state = self._state
+        while True:
+            if state == _ENTER_CORE:
+                self._state = _ENTER_CORE
+                if every and on_checkpoint is not None:
+                    calls = stats.recursive_calls
+                    if calls and calls % every == 0:
+                        on_checkpoint(self.capture_checkpoint())
+                if self._interrupted:
+                    raise KeyboardInterrupt
+                deadline.tick()
+                if FAULTS.active:
+                    FAULTS.fire("backtrack.step", calls=stats.recursive_calls + 1)
+                self._state = _UNSAFE
+                stats.recursive_calls += 1
+                if progress is not None:
+                    progress.tick(stats.recursive_calls, self.mapped_core)
+                if self.mapped_core == self.num_core:
+                    if not num_leaves:
+                        state = _REPORT
+                        continue
+                    if self._can_count_combinatorially():
+                        ret = self._count_leaves()
+                        state = _RETURN
+                        continue
+                    state = _ENTER_LEAF
                     continue
-            if self.induced:
-                offender = self._induced_violation(u, v)
-                if offender >= 0:
-                    contribution = anc[u] | anc[offender]
-                    fs_union |= contribution
+                u = self._select()
+                cmu = self.cmu[u]
+                if not cmu:
                     if obs is not None:
-                        obs.prune_conflict += 1
-                        obs.vertex_conflict[u] += 1
+                        obs.prune_empty += 1
+                        obs.vertex_empty[u] += 1
                     if tracer is not None:
-                        tracer.conflict(u, v, contribution)
+                        tracer.emptyset(u)
+                    ret = anc[u]  # emptyset class
+                    state = _RETURN
                     continue
-            if obs is not None:
-                obs.children_entered += 1
-                obs.vertex_entered[u] += 1
-            if tracer is not None:
-                tracer.enter(u, v)
-            self._map(u, i, v)
-            try:
-                child_fs = self._extend_fs()
-            finally:
-                self._unmap(u, v)
-            if tracer is not None:
-                tracer.leave(child_fs, child_fs is None)
-            if child_fs is None:
-                found_embedding = True
-            elif not (child_fs >> u) & 1:
-                # Case 2.1 + Lemma 6.1: remaining siblings are redundant.
-                if obs is not None:
-                    obs.fs_cuts += 1
-                    skipped = len(cmu) - cmu.index(i) - 1
-                    obs.prune_failing_set += skipped
-                    obs.vertex_fs_pruned[u] += skipped
-                if tracer is not None:
-                    position = cmu.index(i)
-                    for j in cmu[position + 1 :]:
-                        tracer.pruned(u, candidates_u[j])
-                return None if found_embedding else child_fs
-            else:
-                fs_union |= child_fs  # Case 2.2
-        return None if found_embedding else fs_union
+                frames.append([_KIND_CORE, u, cmu, 0, 0, False, -1])
+                state = _ADVANCE
+            elif state == _ENTER_LEAF:
+                self._state = _ENTER_LEAF
+                lpos = len(frames) - self.num_core
+                if lpos == num_leaves:
+                    state = _REPORT
+                    continue
+                deadline.tick()
+                self._state = _UNSAFE
+                u = self.deferred_leaves[lpos]
+                idxs = self._leaf_candidate_indices(u)
+                if not idxs:
+                    if obs is not None:
+                        obs.prune_empty += 1
+                        obs.vertex_empty[u] += 1
+                    ret = anc[u]
+                    state = _RETURN
+                    continue
+                frames.append([_KIND_LEAF, u, idxs, 0, 0, False, -1])
+                state = _ADVANCE
+            elif state == _REPORT:
+                self._state = _REPORT
+                self._report()
+                self._state = _UNSAFE
+                ret = None
+                state = _RETURN
+            elif state == _ADVANCE:
+                frame = frames[-1]
+                u = frame[_F_U]
+                seq = frame[_F_SEQ]
+                pos = frame[_F_POS]
+                length = len(seq)
+                candidates_u = candidates[u]
+                advanced = False
+                if frame[_F_KIND] == _KIND_CORE:
+                    while pos < length:
+                        i = seq[pos]
+                        pos += 1
+                        v = candidates_u[i]
+                        if obs is not None:
+                            obs.candidates_examined += 1
+                        if injective:
+                            occupier = visited_by.get(v)
+                            if occupier is not None:
+                                contribution = anc[u] | anc[occupier]  # conflict class
+                                frame[_F_FS] |= contribution
+                                if obs is not None:
+                                    obs.prune_conflict += 1
+                                    obs.vertex_conflict[u] += 1
+                                if tracer is not None:
+                                    tracer.conflict(u, v, contribution)
+                                continue
+                        if induced:
+                            offender = self._induced_violation(u, v)
+                            if offender >= 0:
+                                contribution = anc[u] | anc[offender]
+                                frame[_F_FS] |= contribution
+                                if obs is not None:
+                                    obs.prune_conflict += 1
+                                    obs.vertex_conflict[u] += 1
+                                if tracer is not None:
+                                    tracer.conflict(u, v, contribution)
+                                continue
+                        if obs is not None:
+                            obs.children_entered += 1
+                            obs.vertex_entered[u] += 1
+                        if tracer is not None:
+                            tracer.enter(u, v)
+                        frame[_F_POS] = pos
+                        frame[_F_V] = v
+                        self._map(u, i, v)
+                        advanced = True
+                        break
+                    if advanced:
+                        state = _ENTER_CORE
+                    else:
+                        frame[_F_POS] = pos
+                        frames.pop()
+                        ret = None if frame[_F_FOUND] else frame[_F_FS]
+                        state = _RETURN
+                else:
+                    while pos < length:
+                        i = seq[pos]
+                        pos += 1
+                        v = candidates_u[i]
+                        if obs is not None:
+                            obs.candidates_examined += 1
+                        if injective:
+                            occupier = visited_by.get(v)
+                            if occupier is not None:
+                                frame[_F_FS] |= anc[u] | anc[occupier]
+                                if obs is not None:
+                                    obs.prune_conflict += 1
+                                    obs.vertex_conflict[u] += 1
+                                continue
+                            visited_by[v] = u
+                        if obs is not None:
+                            obs.children_entered += 1
+                            obs.vertex_entered[u] += 1
+                        frame[_F_POS] = pos
+                        frame[_F_V] = v
+                        self.mapping[u] = v
+                        advanced = True
+                        break
+                    if advanced:
+                        state = _ENTER_LEAF
+                    else:
+                        frame[_F_POS] = pos
+                        frames.pop()
+                        ret = None if frame[_F_FOUND] else frame[_F_FS]
+                        state = _RETURN
+            else:  # _RETURN: deliver ret to the parent frame
+                if not frames:
+                    break
+                frame = frames[-1]
+                u = frame[_F_U]
+                v = frame[_F_V]
+                if frame[_F_KIND] == _KIND_CORE:
+                    self._unmap(u, v)
+                    frame[_F_V] = -1
+                    if tracer is not None:
+                        tracer.leave(ret, ret is None)
+                else:
+                    self.mapping[u] = -1
+                    if injective:
+                        del visited_by[v]
+                    frame[_F_V] = -1
+                if ret is None:
+                    frame[_F_FOUND] = True
+                    state = _ADVANCE
+                elif not (ret >> u) & 1:
+                    # Case 2.1 + Lemma 6.1: remaining siblings are redundant.
+                    seq = frame[_F_SEQ]
+                    pos = frame[_F_POS]
+                    if obs is not None:
+                        obs.fs_cuts += 1
+                        skipped = len(seq) - pos
+                        obs.prune_failing_set += skipped
+                        obs.vertex_fs_pruned[u] += skipped
+                    if frame[_F_KIND] == _KIND_CORE and tracer is not None:
+                        candidates_u = candidates[u]
+                        for j in seq[pos:]:
+                            tracer.pruned(u, candidates_u[j])
+                    frames.pop()
+                    ret = None if frame[_F_FOUND] else ret
+                    state = _RETURN
+                else:
+                    frame[_F_FS] |= ret  # Case 2.2
+                    state = _ADVANCE
 
     # ------------------------------------------------------------------
     # Search without failing sets (DA variants)
     # ------------------------------------------------------------------
     def _extend_plain(self) -> None:
-        self.stats.recursive_calls += 1
-        self.deadline.tick()
-        if FAULTS.active:
-            FAULTS.fire("backtrack.step", calls=self.stats.recursive_calls)
-        progress = self.progress
-        if progress is not None:
-            progress.tick(self.stats.recursive_calls, self.mapped_core)
-        if self.mapped_core == self.num_core:
-            self._match_leaves_plain()
-            return
-        u = self._select()
-        cmu = self.cmu[u]
-        obs = self.obs
-        if not cmu:
-            if obs is not None:
-                obs.prune_empty += 1
-                obs.vertex_empty[u] += 1
-            return
-        candidates_u = self.cs.candidates[u]
+        stats = self.stats
+        deadline = self.deadline
+        frames = self.frames
+        candidates = self.cs.candidates
         visited_by = self.visited_by
+        injective = self.injective
+        induced = self.induced
+        obs = self.obs
         tracer = self.tracer
-        for i in cmu:
-            v = candidates_u[i]
-            if obs is not None:
-                obs.candidates_examined += 1
-            if self.injective and v in visited_by:
-                if obs is not None:
-                    obs.prune_conflict += 1
-                    obs.vertex_conflict[u] += 1
-                continue
-            if self.induced and self._induced_violation(u, v) >= 0:
-                if obs is not None:
-                    obs.prune_conflict += 1
-                    obs.vertex_conflict[u] += 1
-                continue
-            if obs is not None:
-                obs.children_entered += 1
-                obs.vertex_entered[u] += 1
-            if tracer is not None:
-                tracer.enter(u, v)
-            self._map(u, i, v)
-            try:
-                self._extend_plain()
-            finally:
-                self._unmap(u, v)
-            if tracer is not None:
-                tracer.leave(None, False)
+        progress = self.progress
+        every = self.checkpoint_every
+        on_checkpoint = self.on_checkpoint
+        num_leaves = len(self.deferred_leaves)
+        state = self._state
+        while True:
+            if state == _ENTER_CORE:
+                self._state = _ENTER_CORE
+                if every and on_checkpoint is not None:
+                    calls = stats.recursive_calls
+                    if calls and calls % every == 0:
+                        on_checkpoint(self.capture_checkpoint())
+                if self._interrupted:
+                    raise KeyboardInterrupt
+                deadline.tick()
+                if FAULTS.active:
+                    FAULTS.fire("backtrack.step", calls=stats.recursive_calls + 1)
+                self._state = _UNSAFE
+                stats.recursive_calls += 1
+                if progress is not None:
+                    progress.tick(stats.recursive_calls, self.mapped_core)
+                if self.mapped_core == self.num_core:
+                    if not num_leaves:
+                        state = _REPORT
+                        continue
+                    if self._can_count_combinatorially():
+                        self._count_leaves()
+                        state = _RETURN
+                        continue
+                    state = _ENTER_LEAF
+                    continue
+                u = self._select()
+                cmu = self.cmu[u]
+                if not cmu:
+                    if obs is not None:
+                        obs.prune_empty += 1
+                        obs.vertex_empty[u] += 1
+                    state = _RETURN
+                    continue
+                frames.append([_KIND_CORE, u, cmu, 0, 0, False, -1])
+                state = _ADVANCE
+            elif state == _ENTER_LEAF:
+                self._state = _ENTER_LEAF
+                lpos = len(frames) - self.num_core
+                if lpos == num_leaves:
+                    state = _REPORT
+                    continue
+                deadline.tick()
+                self._state = _UNSAFE
+                u = self.deferred_leaves[lpos]
+                idxs = self._leaf_candidate_indices(u)
+                if not idxs:
+                    if obs is not None:
+                        obs.prune_empty += 1
+                        obs.vertex_empty[u] += 1
+                    state = _RETURN
+                    continue
+                frames.append([_KIND_LEAF, u, idxs, 0, 0, False, -1])
+                state = _ADVANCE
+            elif state == _REPORT:
+                self._state = _REPORT
+                self._report()
+                self._state = _UNSAFE
+                state = _RETURN
+            elif state == _ADVANCE:
+                frame = frames[-1]
+                u = frame[_F_U]
+                seq = frame[_F_SEQ]
+                pos = frame[_F_POS]
+                length = len(seq)
+                candidates_u = candidates[u]
+                advanced = False
+                if frame[_F_KIND] == _KIND_CORE:
+                    while pos < length:
+                        i = seq[pos]
+                        pos += 1
+                        v = candidates_u[i]
+                        if obs is not None:
+                            obs.candidates_examined += 1
+                        if injective and v in visited_by:
+                            if obs is not None:
+                                obs.prune_conflict += 1
+                                obs.vertex_conflict[u] += 1
+                            continue
+                        if induced and self._induced_violation(u, v) >= 0:
+                            if obs is not None:
+                                obs.prune_conflict += 1
+                                obs.vertex_conflict[u] += 1
+                            continue
+                        if obs is not None:
+                            obs.children_entered += 1
+                            obs.vertex_entered[u] += 1
+                        if tracer is not None:
+                            tracer.enter(u, v)
+                        frame[_F_POS] = pos
+                        frame[_F_V] = v
+                        self._map(u, i, v)
+                        advanced = True
+                        break
+                    if advanced:
+                        state = _ENTER_CORE
+                    else:
+                        frame[_F_POS] = pos
+                        frames.pop()
+                        state = _RETURN
+                else:
+                    while pos < length:
+                        i = seq[pos]
+                        pos += 1
+                        v = candidates_u[i]
+                        if obs is not None:
+                            obs.candidates_examined += 1
+                        if injective:
+                            if v in visited_by:
+                                if obs is not None:
+                                    obs.prune_conflict += 1
+                                    obs.vertex_conflict[u] += 1
+                                continue
+                            visited_by[v] = u
+                        if obs is not None:
+                            obs.children_entered += 1
+                            obs.vertex_entered[u] += 1
+                        frame[_F_POS] = pos
+                        frame[_F_V] = v
+                        self.mapping[u] = v
+                        advanced = True
+                        break
+                    if advanced:
+                        state = _ENTER_LEAF
+                    else:
+                        frame[_F_POS] = pos
+                        frames.pop()
+                        state = _RETURN
+            else:  # _RETURN
+                if not frames:
+                    break
+                frame = frames[-1]
+                u = frame[_F_U]
+                v = frame[_F_V]
+                if frame[_F_KIND] == _KIND_CORE:
+                    self._unmap(u, v)
+                    frame[_F_V] = -1
+                    if tracer is not None:
+                        tracer.leave(None, False)
+                else:
+                    self.mapping[u] = -1
+                    if injective:
+                        del visited_by[v]
+                    frame[_F_V] = -1
+                state = _ADVANCE
 
     # ------------------------------------------------------------------
     # Leaf matching (§3: degree-one vertices matched last)
@@ -417,6 +923,10 @@ class BacktrackEngine:
     def _can_count_combinatorially(self) -> bool:
         return not self.collect and self.on_embedding is None
 
+    # The recursive leaf matchers below are no longer used by the
+    # explicit-stack drivers (which inline leaf handling so it can be
+    # checkpointed); they are kept because extension engines that still
+    # override _extend_fs/_extend_plain recursively call into them.
     def _match_leaves_fs(self) -> Optional[int]:
         leaves = self.deferred_leaves
         if not leaves:

@@ -231,34 +231,43 @@ def build_candidate_space(
 
     directions: tuple[AnyDAG, AnyDAG] = (dag.reverse(), dag)
     steps_done = 0
-    _checkpoint(0)
-    refine_start = time.perf_counter() if observer is not None else 0.0
-    if refine_to_fixpoint:
-        for step in range(max_fixpoint_steps):
-            changed = _refine_pass(
-                query,
-                data,
-                directions[step % 2],
-                cand,
-                apply_local_filters=(step == 0),
-                observer=observer,
-            )
-            steps_done += 1
-            _checkpoint(steps_done)
-            if not changed and step > 0:
-                break
-    else:
-        for step in range(refinement_steps):
-            _refine_pass(
-                query,
-                data,
-                directions[step % 2],
-                cand,
-                apply_local_filters=(step == 0 and use_local_filters),
-                observer=observer,
-            )
-            steps_done += 1
-            _checkpoint(steps_done)
+    bound = False
+    if budget is not None and FAULTS.active:
+        # Injected hangs at cs.refine must not sleep past this budget.
+        FAULTS.bind_budget(budget)
+        bound = True
+    try:
+        _checkpoint(0)
+        refine_start = time.perf_counter() if observer is not None else 0.0
+        if refine_to_fixpoint:
+            for step in range(max_fixpoint_steps):
+                changed = _refine_pass(
+                    query,
+                    data,
+                    directions[step % 2],
+                    cand,
+                    apply_local_filters=(step == 0),
+                    observer=observer,
+                )
+                steps_done += 1
+                _checkpoint(steps_done)
+                if not changed and step > 0:
+                    break
+        else:
+            for step in range(refinement_steps):
+                _refine_pass(
+                    query,
+                    data,
+                    directions[step % 2],
+                    cand,
+                    apply_local_filters=(step == 0 and use_local_filters),
+                    observer=observer,
+                )
+                steps_done += 1
+                _checkpoint(steps_done)
+    finally:
+        if bound:
+            FAULTS.unbind_budget(budget)
     if observer is not None:
         observer.record_span("cs_refine", time.perf_counter() - refine_start)
 

@@ -30,6 +30,7 @@ from ..interfaces import (
     validate_inputs,
 )
 from ..resilience.budget import Budget, BudgetExceeded
+from ..resilience.checkpoint import resume_payload
 from .backtrack import BacktrackEngine
 from .candidate_space import CandidateSpace, build_candidate_space
 from .config import MatchConfig
@@ -71,8 +72,9 @@ class DAFMatcher(Matcher):
     """
 
     #: Beyond the shared surface, DAF honors a multi-dimension resource
-    #: ``budget`` and the enumerate-only ``count_only`` fast path.
-    supported_options = Matcher.supported_options | {"budget", "count_only"}
+    #: ``budget``, the enumerate-only ``count_only`` fast path, and
+    #: resuming a suspended search from a checkpoint (``resume_from``).
+    supported_options = Matcher.supported_options | {"budget", "count_only", "resume_from"}
 
     def __init__(self, config: Optional[MatchConfig] = None, observer=None) -> None:
         self.config = config if config is not None else MatchConfig()
@@ -154,6 +156,9 @@ class DAFMatcher(Matcher):
         tracer=None,
         budget: Optional[Budget] = None,
         observer=None,
+        resume_from=None,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint=None,
     ) -> MatchResult:
         """Run Backtrack (Algorithm 1 line 4) over a prepared query.
 
@@ -173,6 +178,15 @@ class DAFMatcher(Matcher):
         ``observer`` (or the matcher-level ``self.observer``) records
         prune-reason counters, the ``order``/``search`` spans, and leaves
         its snapshot in ``result.stats.metrics``.
+
+        Suspend/resume: when the search is cut short at a resumable safe
+        phase, ``result.checkpoint`` carries a
+        :class:`~repro.resilience.checkpoint.SearchCheckpoint`; pass it
+        back as ``resume_from`` (with the same prepared query and config)
+        to continue bit-identically.  ``checkpoint_every`` /
+        ``on_checkpoint`` additionally stream periodic snapshots every
+        that-many recursive calls (how parallel workers heartbeat their
+        frontier to the supervisor).
         """
         if limit < 1:
             raise ValueError("limit must be >= 1")
@@ -207,7 +221,22 @@ class DAFMatcher(Matcher):
             root_candidate_indices=root_candidate_indices,
             tracer=tracer,
             observer=obs,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
         )
+        if resume_from is not None:
+            ckpt = resume_payload(resume_from)
+            engine.restore(ckpt)
+            if obs is not None:
+                obs.emit(
+                    {
+                        "event": "checkpoint.resume",
+                        "phase": ckpt.phase,
+                        "depth": ckpt.depth,
+                        "recursive_calls": ckpt.recursive_calls,
+                        "embeddings_found": ckpt.embeddings_found,
+                    }
+                )
         if obs is not None:
             # Engine setup is dominated by the matching-order machinery
             # (weight arrays for path-size ordering).
@@ -219,17 +248,45 @@ class DAFMatcher(Matcher):
         if old_depth < needed_depth:
             sys.setrecursionlimit(needed_depth)
         search_start = time.perf_counter()
+
+        def attach_checkpoint(reason: str) -> None:
+            if not engine.can_checkpoint():
+                return
+            ckpt = engine.capture_checkpoint()
+            result.checkpoint = ckpt
+            if obs is not None:
+                obs.emit(
+                    {
+                        "event": "checkpoint.save",
+                        "reason": reason,
+                        "phase": ckpt.phase,
+                        "depth": ckpt.depth,
+                        "recursive_calls": ckpt.recursive_calls,
+                        "embeddings_found": ckpt.embeddings_found,
+                    }
+                )
+
         try:
             engine.run()
         except BudgetExceeded as exc:
             result.budget_breach = exc.dimension
             result.timed_out = exc.dimension == "time"
+            attach_checkpoint(f"budget:{exc.dimension}")
         except TimeoutSignal:
             result.timed_out = True
+            attach_checkpoint("timeout")
         except KeyboardInterrupt:
             # Cooperative cancel: surface what was found, flagged, instead
             # of discarding the work (the CLI maps this to exit code 130).
             result.interrupted = True
+            attach_checkpoint("interrupt")
+        except Exception as exc:
+            # Unexpected crash (e.g. an injected fault): hang the frontier
+            # on the exception so supervisors can resume instead of
+            # restarting, then let it propagate.
+            if engine.can_checkpoint():
+                exc.search_checkpoint = engine.capture_checkpoint()
+            raise
         finally:
             stats.search_seconds = time.perf_counter() - search_start
             if old_depth < needed_depth:
@@ -251,6 +308,7 @@ class DAFMatcher(Matcher):
         on_embedding: Optional[Callable[[Embedding], None]] = None,
         budget: Optional[Budget] = None,
         count_only: bool = False,
+        resume_from=None,
     ) -> MatchResult:
         """Algorithm 1: find up to ``limit`` embeddings of query in data.
 
@@ -258,7 +316,8 @@ class DAFMatcher(Matcher):
         included) across every dimension; a breach returns a flagged
         partial result rather than raising.  ``count_only`` counts
         matches without materializing embedding tuples (the engine's
-        ``collect_embeddings=False`` path).
+        ``collect_embeddings=False`` path).  ``resume_from`` continues a
+        previously checkpointed search over the same query/data/config.
         """
         if count_only and self.config.collect_embeddings:
             import dataclasses
@@ -274,6 +333,7 @@ class DAFMatcher(Matcher):
                 time_limit=time_limit,
                 on_embedding=on_embedding,
                 budget=budget,
+                resume_from=resume_from,
             )
         overall_deadline = Deadline(time_limit)
         try:
@@ -304,6 +364,7 @@ class DAFMatcher(Matcher):
             time_limit=remaining,
             on_embedding=on_embedding,
             budget=budget,
+            resume_from=resume_from,
         )
 
 

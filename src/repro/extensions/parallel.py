@@ -20,9 +20,18 @@ supervision loop
 - reaps workers that overrun the wall-clock budget (terminating them a
   small grace period past the deadline) while keeping every envelope
   already received — partial results are salvaged, never discarded;
+- collects periodic **search checkpoints** piggy-backed on the progress
+  pipe (every ``checkpoint_every`` recursive calls) so the retry of a
+  crashed, erroring, or stalled slice *resumes* from the slice's last
+  frontier instead of re-running it from scratch — the resumed worker's
+  counters stay cumulative, so merged stats are unchanged;
+- optionally treats a worker silent for ``stall_timeout`` seconds as
+  wedged: it is terminated and its slice retried (from its last
+  checkpoint) without waiting for the global deadline;
 - records one :class:`~repro.interfaces.WorkerOutcome` per slice in
-  ``SearchStats.worker_outcomes`` and flags
-  ``MatchResult.partial_failure`` when a slice is permanently lost.
+  ``SearchStats.worker_outcomes`` (``resumed_from_calls`` marks resumed
+  retries) and flags ``MatchResult.partial_failure`` when a slice is
+  permanently lost.
 
 The paper's workers share a global embedding counter and stop at ``k``;
 across processes we approximate by giving every worker the full budget
@@ -91,13 +100,21 @@ def _slice_worker(
     indices: list[int],
     limit: int,
     time_limit: Optional[float],
+    checkpoint_every: Optional[int] = None,
+    resume_from: Optional[dict] = None,
 ) -> None:
     """Worker body: search one root-candidate slice, send one envelope.
 
     Every Python-level failure (including injected ``kind="raise"``
-    faults) is converted into an ``("error", message)`` envelope;
-    ``kind="exit"`` faults and real hard kills bypass this entirely,
-    which the parent observes as pipe EOF.
+    faults) is converted into an ``("error", message, checkpoint?)``
+    envelope; ``kind="exit"`` faults and real hard kills bypass this
+    entirely, which the parent observes as pipe EOF.
+
+    With ``checkpoint_every`` set, the engine's frontier additionally
+    travels the pipe as ``("checkpoint", slice_index, payload)``
+    envelopes at that cadence, and ``resume_from`` (the last such payload
+    the supervisor kept) makes a retry continue where the dead attempt
+    left off.
 
     Under observation each worker owns a private
     :class:`~repro.obs.MetricsRegistry` (lock-free single-owner counters)
@@ -123,12 +140,22 @@ def _slice_worker(
             worker_obs = MetricsRegistry(
                 sink=_PipeSink(conn, slice_index), progress=progress
             )
+
+        def send_checkpoint(ckpt) -> None:
+            try:
+                conn.send(("checkpoint", slice_index, ckpt.to_dict()))
+            except Exception:
+                pass  # parent gone; checkpoints are best-effort
+
         result = matcher.search(
             prepared,
             limit=limit,
             time_limit=time_limit,
             root_candidate_indices=indices,
             observer=worker_obs,
+            resume_from=resume_from,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=send_checkpoint if checkpoint_every else None,
         )
         # The supervisor owns the wall clock and built the CS once, so a
         # worker must not re-report those dimensions (SearchStats.merge
@@ -148,8 +175,17 @@ def _slice_worker(
             )
         )
     except BaseException as exc:  # the envelope IS the error channel
+        # A crash at a resumable safe phase carries its frontier home so
+        # the supervisor's retry can continue instead of restarting.
+        ckpt = getattr(exc, "search_checkpoint", None)
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    None if ckpt is None else ckpt.to_dict(),
+                )
+            )
         except Exception:
             pass
     finally:
@@ -193,6 +229,16 @@ class ParallelDAFMatcher(Matcher):
         Seconds past the wall-clock deadline before still-running
         workers are forcibly terminated (they normally stop themselves
         cooperatively well within this).
+    checkpoint_every:
+        Recursive-call cadence at which workers piggy-back search
+        checkpoints on the result pipe (``None``/0 disables).  A retried
+        slice resumes from its last received checkpoint.
+    stall_timeout:
+        With checkpoints flowing, a worker that sends *nothing* (no
+        checkpoint, no event, no result) for this many seconds is
+        presumed wedged: it is terminated and its slice retried from the
+        last checkpoint.  ``None`` (default) keeps the old behavior of
+        waiting for the global deadline.
     """
 
     def __init__(
@@ -202,6 +248,8 @@ class ParallelDAFMatcher(Matcher):
         max_retries: int = 2,
         backoff_base: float = 0.05,
         kill_grace: float = 0.5,
+        checkpoint_every: Optional[int] = 4096,
+        stall_timeout: Optional[float] = None,
     ) -> None:
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -209,10 +257,16 @@ class ParallelDAFMatcher(Matcher):
             raise ValueError("num_workers must be >= 1")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if checkpoint_every is not None and checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0/None disables)")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
         self.num_workers = num_workers
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.kill_grace = kill_grace
+        self.checkpoint_every = checkpoint_every or None
+        self.stall_timeout = stall_timeout
         self.config = config if config is not None else MatchConfig()
         self.name = f"{self.config.variant_name}-p{num_workers}"
         self._matcher = DAFMatcher(self.config)
@@ -333,6 +387,30 @@ class ParallelDAFMatcher(Matcher):
         outcomes: dict[int, WorkerOutcome] = {}
         embeddings: list[Embedding] = []
         any_timeout = False
+        # Freshest checkpoint payload per slice (piggy-backed on the
+        # pipe); a retry dispatches with it so the slice resumes instead
+        # of restarting.  ``resumed_from`` records the counter value the
+        # *currently running* attempt resumed at, ``last_seen`` the last
+        # time each active worker sent anything (stall detection).
+        checkpoints: dict[int, dict] = {}
+        resumed_from: dict[int, int] = {}
+        last_seen: dict[int, float] = {}
+
+        def keep_checkpoint(index: int, payload: Optional[dict]) -> None:
+            if not payload:
+                return
+            prev = checkpoints.get(index)
+            if prev is None or payload["recursive_calls"] >= prev["recursive_calls"]:
+                checkpoints[index] = payload
+
+        def retry_or_lose(index: int, attempt: int, status: str, error: str) -> None:
+            if attempt < self.max_retries:
+                stats.worker_retries += 1
+                delay = self.backoff_base * (2**attempt)
+                pending.append((index, attempt + 1, time.perf_counter() + delay))
+            else:
+                outcome(index, status, attempt, error=error)
+                merged.partial_failure = True
 
         def outcome(index: int, status: str, attempt: int, **kw) -> None:
             record = WorkerOutcome(
@@ -353,6 +431,11 @@ class ParallelDAFMatcher(Matcher):
                         "recursive_calls": record.recursive_calls,
                         "embeddings_found": record.embeddings_found,
                         "timed_out": record.timed_out,
+                        **(
+                            {"resumed_from_calls": record.resumed_from_calls}
+                            if record.resumed_from_calls
+                            else {}
+                        ),
                         **({"error": record.error} if record.error else {}),
                     }
                 )
@@ -407,6 +490,24 @@ class ParallelDAFMatcher(Matcher):
                     stop_all("killed", timed_out=True)
                     any_timeout = True
                     break
+                if self.stall_timeout is not None:
+                    # A worker that has sent nothing (no heartbeat, no
+                    # checkpoint) for stall_timeout seconds is presumed
+                    # hung: kill it and route through the crash/retry
+                    # path, which resumes from its freshest checkpoint.
+                    for index in list(active):
+                        if now - last_seen.get(index, now) <= self.stall_timeout:
+                            continue
+                        act = active.pop(index)
+                        act.process.terminate()
+                        act.process.join()
+                        act.conn.close()
+                        retry_or_lose(
+                            index,
+                            act.attempt,
+                            "crashed",
+                            f"worker stalled (silent > {self.stall_timeout}s)",
+                        )
                 # Launch due work into free slots.
                 launched = True
                 while launched and len(active) < self.num_workers:
@@ -419,6 +520,7 @@ class ParallelDAFMatcher(Matcher):
                             None if deadline is None else max(0.001, deadline - now)
                         )
                         parent_conn, child_conn = ctx.Pipe(duplex=False)
+                        ckpt = checkpoints.get(index) if attempt > 0 else None
                         process = ctx.Process(
                             target=_slice_worker,
                             args=(
@@ -428,12 +530,17 @@ class ParallelDAFMatcher(Matcher):
                                 slices[index],
                                 limit,
                                 worker_limit,
+                                self.checkpoint_every,
+                                ckpt,
                             ),
                             daemon=True,
                         )
                         process.start()
                         child_conn.close()
                         active[index] = _Active(process, parent_conn, index, attempt)
+                        last_seen[index] = now
+                        if ckpt is not None:
+                            resumed_from[index] = ckpt["recursive_calls"]
                         launched = True
                         break
                 if not active:
@@ -451,6 +558,13 @@ class ParallelDAFMatcher(Matcher):
                         envelope = conn.recv()
                     except (EOFError, OSError):
                         envelope = None  # died without a word: hard crash
+                    last_seen[act.slice_index] = time.perf_counter()
+                    if envelope is not None and envelope[0] == "checkpoint":
+                        # Periodic search state from a still-running
+                        # worker; keep the freshest so a retry after a
+                        # crash resumes instead of restarting.
+                        keep_checkpoint(act.slice_index, envelope[2])
+                        continue
                     if envelope is not None and envelope[0] == "event":
                         # Live observability from a still-running worker
                         # (heartbeats, spans): re-emit under the parent
@@ -481,6 +595,7 @@ class ParallelDAFMatcher(Matcher):
                             recursive_calls=worker_stats.recursive_calls,
                             embeddings_found=worker_stats.embeddings_found,
                             timed_out=timed_out,
+                            resumed_from_calls=resumed_from.get(act.slice_index, 0),
                         )
                         heartbeat()
                         if stats.embeddings_found >= limit:
@@ -491,15 +606,12 @@ class ParallelDAFMatcher(Matcher):
                     # Worker raised (envelope) or died silently (EOF).
                     error = envelope[1] if envelope is not None else "worker process died"
                     status = "error" if envelope is not None else "crashed"
-                    if act.attempt < self.max_retries:
-                        stats.worker_retries += 1
-                        delay = self.backoff_base * (2**act.attempt)
-                        pending.append(
-                            (act.slice_index, act.attempt + 1, time.perf_counter() + delay)
-                        )
-                    else:
-                        outcome(act.slice_index, status, act.attempt, error=error)
-                        merged.partial_failure = True
+                    if envelope is not None and len(envelope) > 2:
+                        # The worker captured its search state at the
+                        # point of failure; prefer it over any older
+                        # periodic checkpoint.
+                        keep_checkpoint(act.slice_index, envelope[2])
+                    retry_or_lose(act.slice_index, act.attempt, status, error)
         except BaseException:
             # Supervisor itself interrupted/crashed: reap children first.
             stop_all("killed", timed_out=False)

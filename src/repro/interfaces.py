@@ -60,6 +60,11 @@ class WorkerOutcome:
     recursive_calls: int = 0
     embeddings_found: int = 0
     timed_out: bool = False
+    #: Counter value a retry resumed from (0 = every attempt started from
+    #: scratch).  ``recursive_calls`` stays cumulative across the resume,
+    #: so ``recursive_calls - resumed_from_calls`` is the work actually
+    #: re-executed by the final attempt.
+    resumed_from_calls: int = 0
 
 
 def _merge_metrics(base: dict, extra: dict) -> dict:
@@ -184,7 +189,11 @@ class MatchResult:
       the embeddings present are genuine but possibly incomplete;
     - ``degradations``: human-readable log of every attempt a
       :class:`repro.resilience.ResilientMatcher` made before producing
-      this result.
+      this result;
+    - ``checkpoint``: when the search was cut short at a resumable point
+      (budget breach, Ctrl-C), a
+      :class:`repro.resilience.checkpoint.SearchCheckpoint` that resumes
+      it — pass back via ``MatchOptions(resume_from=...)``.
     """
 
     embeddings: list[Embedding] = field(default_factory=list)
@@ -195,6 +204,7 @@ class MatchResult:
     interrupted: bool = False
     partial_failure: bool = False
     degradations: list[str] = field(default_factory=list)
+    checkpoint: Optional[Any] = None
 
     @property
     def solved(self) -> bool:
@@ -317,6 +327,12 @@ class MatchOptions:
     budget:
         A :class:`repro.resilience.Budget` governing the invocation
         across time/calls/memory dimensions.
+    resume_from:
+        A :class:`repro.resilience.checkpoint.SearchCheckpoint` (or its
+        ``to_dict()`` payload) from a previous interrupted invocation of
+        the *same* query/data/config; the search continues from it
+        instead of starting over, with final embeddings and counters
+        identical to an uninterrupted run.
     """
 
     limit: Optional[int] = None
@@ -324,6 +340,7 @@ class MatchOptions:
     on_embedding: Optional[Callable[[Embedding], None]] = None
     count_only: bool = False
     budget: Optional[Any] = None
+    resume_from: Optional[Any] = None
 
     @property
     def resolved_limit(self) -> int:
@@ -453,6 +470,8 @@ class Matcher(ABC):
             extras["count_only"] = True
         if "budget" in self.supported_options and options.budget is not None:
             extras["budget"] = options.budget
+        if "resume_from" in self.supported_options and options.resume_from is not None:
+            extras["resume_from"] = options.resume_from
         return self._match_impl(
             request.query,
             request.data,

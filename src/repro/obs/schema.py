@@ -94,6 +94,7 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "recursive_calls": _int,
             "embeddings_found": _int,
             "timed_out": _bool,
+            "resumed_from_calls": _int,
             "error": _str,
         },
     ),
@@ -141,6 +142,40 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "cache_evictions": _int,
             "unique_queries": _int,
             "workers": _int,
+            "elapsed_seconds": _number,
+        },
+    ),
+    # Suspend/resume events (repro.resilience.checkpoint): one
+    # checkpoint.save per checkpoint attached to an interrupted result,
+    # one checkpoint.resume per search continued from one.
+    "checkpoint.save": (
+        {
+            "reason": _str,
+            "phase": _str,
+            "depth": _int,
+            "recursive_calls": _int,
+            "embeddings_found": _int,
+        },
+        {"scope": _str, "slice": _int},
+    ),
+    "checkpoint.resume": (
+        {
+            "phase": _str,
+            "depth": _int,
+            "recursive_calls": _int,
+            "embeddings_found": _int,
+        },
+        {"scope": _str, "slice": _int},
+    ),
+    # Chaos-harness events (repro.resilience.chaos): one chaos.run per
+    # scenario swept, reporting whether the faulted run's final answer
+    # matched the fault-free baseline exactly.
+    "chaos.run": (
+        {"scenario": _str, "site": _str, "kind": _str, "status": _str},
+        {
+            "matched": _bool,
+            "fired": _int,
+            "resumed": _bool,
             "elapsed_seconds": _number,
         },
     ),

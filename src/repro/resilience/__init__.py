@@ -11,9 +11,13 @@ this actually triggers.  This package provides those pieces:
   memory) duck-compatible with :class:`repro.interfaces.Deadline`;
 - :mod:`repro.resilience.faults` — deterministic, seedable fault
   injection at the worker-start / CS-refinement / backtrack-step hooks;
+- :mod:`repro.resilience.checkpoint` — serializable suspend/resume state
+  for the backtracking engine (:class:`SearchCheckpoint`);
 - :class:`ResilientMatcher` — a wrapper walking a graceful-degradation
-  chain (counting mode → light filters → fallback baseline) instead of
-  crashing.
+  chain (resume from checkpoint → counting mode → light filters →
+  fallback baseline) instead of crashing;
+- :mod:`repro.resilience.chaos` — seeded end-to-end fault sweeps that
+  assert exact result equality against fault-free runs.
 
 See ``docs/robustness.md`` for the full tour.
 """
@@ -25,6 +29,7 @@ from .budget import (
     BudgetExceeded,
     embedding_bytes,
 )
+from .checkpoint import CheckpointMismatchError, SearchCheckpoint
 from .faults import FAULTS, FaultInjector, FaultSpec, InjectedFault, inject
 
 __all__ = [
@@ -32,11 +37,13 @@ __all__ = [
     "BudgetExceeded",
     "CANDIDATE_BYTES",
     "CS_EDGE_BYTES",
+    "CheckpointMismatchError",
     "FAULTS",
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
     "ResilientMatcher",
+    "SearchCheckpoint",
     "embedding_bytes",
     "inject",
 ]

@@ -1,0 +1,510 @@
+"""End-to-end chaos harness: seeded fault sweeps with exact-answer gates.
+
+The individual resilience pieces — fault injection (:mod:`.faults`),
+suspend/resume checkpoints (:mod:`.checkpoint`), the degradation chain
+(:mod:`.resilient`), supervised parallel workers
+(:mod:`repro.extensions.parallel`) and resumable batches
+(:mod:`repro.service.batch`) — each have unit tests, but the property
+that actually matters is end-to-end: *a fault anywhere in the stack must
+not change the answer*.  This module sweeps every fault site crossed
+with every fault kind over a seeded serving workload and asserts **exact
+embedding-set equality** against the fault-free run:
+
+===================  =======================================================
+scenario             recovery mechanism exercised
+===================  =======================================================
+backtrack.step/raise ``ResilientMatcher`` resumes the same stage from the
+                     crash-point checkpoint (no degradation).
+backtrack.step/exit  a parallel worker is hard-killed mid-search; the
+                     supervisor retry resumes its slice from the last
+                     piggy-backed checkpoint.
+backtrack.step/hang  a parallel worker wedges; ``stall_timeout`` reaps it
+                     and the retry resumes from checkpoint.
+cs.refine/raise      a batch request errors during CS construction; the
+                     journal re-run replays completed requests and retries
+                     the failed one.
+cs.refine/exit       the whole batch process is hard-killed mid-run; a
+                     fresh process replays the journal and finishes.
+cs.refine/hang       an injected hang is capped by the armed ``Budget``;
+                     the breached request is re-run clean.
+worker.start/raise   the parallel supervisor's plain retry path.
+worker.start/exit    same, for a silent hard kill.
+worker.start/hang    a worker that never starts is stall-reaped and
+                     retried.
+===================  =======================================================
+
+Each swept scenario emits one ``chaos.run`` event (see
+:mod:`repro.obs.schema`) and yields a :class:`ChaosOutcome`; the sweep
+is fully deterministic for a fixed seed.  The CLI front-end is
+``repro chaos`` and the CI smoke lives in ``scripts/ci.sh``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..graph.generators import gnm_random_graph
+from ..interfaces import MatchOptions, MatchRequest
+from .budget import Budget
+from .faults import FAULTS, KINDS, SITES, FaultSpec
+
+#: (site, kind) pairs swept by default — the full cross product.
+DEFAULT_SCENARIOS: tuple[tuple[str, str], ...] = tuple(
+    (site, kind) for site in SITES for kind in KINDS
+)
+
+#: Checkpoint cadence used by the parallel scenarios — small, so crashed
+#: slices have fresh state to resume from even on tiny workloads.
+CHECKPOINT_EVERY = 16
+
+#: Seconds of worker silence before the supervisor reaps it in the hang
+#: scenarios.
+STALL_TIMEOUT = 0.75
+
+#: Injected hang duration — long enough to dwarf the stall timeout /
+#: armed budget, short enough that a recovery bug cannot stall a sweep.
+HANG_SECONDS = 4.0
+
+
+@dataclass
+class ChaosOutcome:
+    """What one swept scenario observed."""
+
+    scenario: str
+    site: str
+    kind: str
+    #: ``"ok"`` (fault fired, recovery engaged, answer matched exactly),
+    #: ``"mismatch"`` (some gate failed — see ``detail``), ``"skipped"``
+    #: (workload cannot express the scenario), ``"error"`` (the harness
+    #: itself crashed).
+    status: str
+    matched: bool = False
+    #: How many times the fault (provably) fired — for hard-kill kinds
+    #: this is inferred from retries/exit codes, because a killed process
+    #: cannot report.
+    fired: int = 0
+    #: Whether recovery resumed from a checkpoint (as opposed to a
+    #: from-scratch retry or a journal replay).
+    resumed: bool = False
+    elapsed_seconds: float = 0.0
+    detail: str = ""
+
+
+def _chaos_batch_child(data, queries, journal_root, specs, seed) -> None:
+    """Forked body for the cs.refine/exit scenario: run the batch with a
+    journal under an armed injector, and die when the fault says so."""
+    FAULTS.configure(list(specs), seed=seed)
+    try:
+        from ..service.batch import BatchEngine, BatchJournal
+        from ..service.session import DataGraphSession
+
+        engine = BatchEngine(DataGraphSession(data))
+        engine.run(
+            [MatchRequest(query=q, tag=i) for i, q in enumerate(queries)],
+            journal=BatchJournal(journal_root),
+        )
+    finally:
+        FAULTS.clear()
+
+
+class ChaosHarness:
+    """Seeded end-to-end fault sweep over a generated serving workload.
+
+    Parameters
+    ----------
+    seed:
+        Drives the workload generator and the injector RNG; a fixed seed
+        makes the whole sweep reproducible.
+    observer:
+        Optional :class:`repro.obs.MetricsRegistry`; receives one
+        ``chaos.run`` event per scenario.
+    num_workers:
+        Fan-out for the parallel scenarios (needs >= 2 so a kill hits a
+        forked worker, never the harness process).
+    workdir:
+        Directory for batch journals; a temp dir when omitted.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        observer=None,
+        num_workers: int = 2,
+        workdir=None,
+    ) -> None:
+        if num_workers < 2:
+            raise ValueError("chaos needs num_workers >= 2 (kills must hit forks)")
+        self.seed = seed
+        self.observer = observer
+        self.num_workers = num_workers
+        if workdir is None:
+            workdir = tempfile.mkdtemp(prefix="repro-chaos-")
+        self.workdir = Path(workdir)
+        # Two labels + nonsparse queries drive the search deep enough
+        # (hundreds of recursive calls per slice) that mid-search faults
+        # land well past the first parallel checkpoint.
+        rng = random.Random(seed)
+        labels = [rng.choice("AB") for _ in range(64)]
+        self.data = gnm_random_graph(64, 200, labels, rng)
+        from ..workloads.query_sets import generate_query_set
+
+        self.queries = generate_query_set(
+            self.data, size=8, density="nonsparse", count=4, rng=rng, dataset="chaos"
+        ).queries
+        if not self.queries:
+            raise RuntimeError("chaos workload generator produced no queries")
+        self._expected_cache: dict[int, tuple[list, int]] = {}
+
+    # -- fault-free ground truth --------------------------------------
+    def _expected(self, index: int) -> tuple[list, int]:
+        """Sorted fault-free embeddings + call count for query ``index``."""
+        if index not in self._expected_cache:
+            from ..core.matcher import DAFMatcher
+
+            result = DAFMatcher().match(MatchRequest(self.queries[index], self.data))
+            self._expected_cache[index] = (
+                sorted(result.embeddings),
+                result.stats.recursive_calls,
+            )
+        return self._expected_cache[index]
+
+    def _requests(self) -> list[MatchRequest]:
+        return [MatchRequest(query=q, tag=i) for i, q in enumerate(self.queries)]
+
+    # -- sweep driver --------------------------------------------------
+    def run(self, scenarios=None) -> list[ChaosOutcome]:
+        """Sweep ``scenarios`` (default: all 9) and return the outcomes."""
+        if scenarios is None:
+            scenarios = DEFAULT_SCENARIOS
+        outcomes: list[ChaosOutcome] = []
+        for site, kind in scenarios:
+            start = time.perf_counter()
+            try:
+                outcome = self._dispatch(site, kind)
+            except Exception as exc:
+                FAULTS.clear()
+                outcome = ChaosOutcome(
+                    scenario=f"{site}/{kind}",
+                    site=site,
+                    kind=kind,
+                    status="error",
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            outcome.elapsed_seconds = time.perf_counter() - start
+            if self.observer is not None:
+                self.observer.emit(
+                    {
+                        "event": "chaos.run",
+                        "scenario": outcome.scenario,
+                        "site": outcome.site,
+                        "kind": outcome.kind,
+                        "status": outcome.status,
+                        "matched": outcome.matched,
+                        "fired": outcome.fired,
+                        "resumed": outcome.resumed,
+                        "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+                    }
+                )
+            outcomes.append(outcome)
+        return outcomes
+
+    def _dispatch(self, site: str, kind: str) -> ChaosOutcome:
+        if site == "backtrack.step":
+            if kind == "raise":
+                return self._backtrack_raise()
+            return self._backtrack_parallel(kind)
+        if site == "cs.refine":
+            if kind == "raise":
+                return self._cs_raise()
+            if kind == "exit":
+                return self._cs_exit()
+            return self._cs_hang()
+        if site == "worker.start":
+            return self._worker_start(kind)
+        raise ValueError(f"unknown chaos site {site!r}")
+
+    def _outcome(self, site: str, kind: str, **kw) -> ChaosOutcome:
+        return ChaosOutcome(scenario=f"{site}/{kind}", site=site, kind=kind, **kw)
+
+    # -- backtrack.step scenarios --------------------------------------
+    def _backtrack_raise(self) -> ChaosOutcome:
+        """Sequential crash mid-search: ResilientMatcher must resume the
+        same stage from the crash-point checkpoint, not degrade."""
+        from .resilient import ResilientMatcher
+
+        expected, total = self._expected(0)
+        if total < 4:
+            return self._outcome(
+                "backtrack.step", "raise", status="skipped", detail="search too small"
+            )
+        at = max(1, (3 * total) // 4)
+        FAULTS.configure(
+            [FaultSpec("backtrack.step", "raise", at_visit=at)], seed=self.seed
+        )
+        try:
+            result = ResilientMatcher().match(MatchRequest(self.queries[0], self.data))
+            fired = len(FAULTS.fired)
+        finally:
+            FAULTS.clear()
+        resumed = any(
+            "resuming from checkpoint" in line for line in result.degradations
+        )
+        matched = sorted(result.embeddings) == expected
+        ok = matched and fired >= 1 and resumed
+        return self._outcome(
+            "backtrack.step",
+            "raise",
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            resumed=resumed,
+            detail="" if ok else f"fired={fired} resumed={resumed} matched={matched}",
+        )
+
+    def _parallel_matcher(self, **overrides):
+        from ..extensions.parallel import ParallelDAFMatcher
+
+        kwargs = dict(
+            num_workers=self.num_workers,
+            max_retries=2,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        kwargs.update(overrides)
+        return ParallelDAFMatcher(**kwargs)
+
+    def _backtrack_parallel(self, kind: str) -> ChaosOutcome:
+        """Hard-kill (or wedge) a parallel worker mid-search; the retry
+        must *resume* its slice from the last piggy-backed checkpoint."""
+        expected, _ = self._expected(0)
+        request = MatchRequest(self.queries[0], self.data)
+        baseline = self._parallel_matcher().match(request)
+        slice_calls = [
+            o.recursive_calls
+            for o in baseline.stats.worker_outcomes
+            if o.status == "ok"
+        ]
+        if len(slice_calls) < 2:
+            return self._outcome(
+                "backtrack.step", kind, status="skipped", detail="needs >= 2 slices"
+            )
+        tmax = max(slice_calls)
+        # Fire late enough that (a) a checkpoint exists below the crash
+        # point and (b) the resumed run finishes before reaching the
+        # fault's per-process visit index again (no refire loop):
+        # at >= (tmax + CHECKPOINT_EVERY) / 2 with at < tmax.
+        if tmax < 2 * CHECKPOINT_EVERY:
+            return self._outcome(
+                "backtrack.step", kind, status="skipped", detail="slices too small"
+            )
+        at = max(CHECKPOINT_EVERY, (3 * tmax) // 4)
+        overrides = {}
+        if kind == "hang":
+            overrides["stall_timeout"] = STALL_TIMEOUT
+            spec = FaultSpec(
+                "backtrack.step", "hang", at_visit=at, hang_seconds=HANG_SECONDS
+            )
+        else:
+            spec = FaultSpec("backtrack.step", "exit", at_visit=at)
+        FAULTS.configure([spec], seed=self.seed)
+        try:
+            result = self._parallel_matcher(**overrides).match(request)
+        finally:
+            FAULTS.clear()
+        resumed = any(
+            o.resumed_from_calls > 0 for o in result.stats.worker_outcomes
+        )
+        fired = result.stats.worker_retries
+        matched = sorted(result.embeddings) == expected
+        ok = matched and fired >= 1 and resumed
+        return self._outcome(
+            "backtrack.step",
+            kind,
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            resumed=resumed,
+            detail="" if ok else f"fired={fired} resumed={resumed} matched={matched}",
+        )
+
+    # -- cs.refine scenarios -------------------------------------------
+    def _count_cs_visits(self) -> int:
+        """Total cs.refine hook visits of a fresh-session batch run,
+        counted by arming a spec that can never detonate."""
+        from ..service.batch import BatchEngine
+        from ..service.session import DataGraphSession
+
+        FAULTS.configure([FaultSpec("cs.refine", probability=0.0)], seed=0)
+        try:
+            BatchEngine(DataGraphSession(self.data)).run(self._requests())
+            return FAULTS._visits[0]
+        finally:
+            FAULTS.clear()
+
+    def _batch_matches(self, batch) -> tuple[bool, str]:
+        """Exact per-request equality of a BatchResult vs ground truth."""
+        items = batch.by_index()
+        if len(items) != len(self.queries):
+            return False, f"{len(items)} items for {len(self.queries)} requests"
+        for item in items:
+            expected, _ = self._expected(item.index)
+            if item.status != "ok" or item.result is None:
+                return False, f"request {item.index}: {item.status} ({item.error})"
+            if sorted(item.result.embeddings) != expected:
+                return False, f"request {item.index}: embeddings differ"
+        return True, ""
+
+    def _cs_raise(self) -> ChaosOutcome:
+        """A batch request crashes during CS construction; re-running
+        with the same journal replays the finished requests and retries
+        the failed one (fault already consumed)."""
+        from ..service.batch import BatchEngine, BatchJournal
+        from ..service.session import DataGraphSession
+
+        mid = self._count_cs_visits() // 2
+        journal = BatchJournal(self.workdir / "journal-cs-raise")
+        engine = BatchEngine(DataGraphSession(self.data))
+        FAULTS.configure(
+            [FaultSpec("cs.refine", "raise", at_visit=mid)], seed=self.seed
+        )
+        try:
+            first = engine.run(self._requests(), journal=journal)
+            fired = len(FAULTS.fired)
+            second = engine.run(self._requests(), journal=journal)
+        finally:
+            FAULTS.clear()
+        replayed = any(item.cache == "journal" for item in second.items)
+        matched, why = self._batch_matches(second)
+        ok = matched and fired >= 1 and first.failed >= 1 and replayed
+        return self._outcome(
+            "cs.refine",
+            "raise",
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            detail=why
+            or (
+                ""
+                if ok
+                else f"fired={fired} failed={first.failed} replayed={replayed}"
+            ),
+        )
+
+    def _cs_exit(self) -> ChaosOutcome:
+        """The whole batch process is hard-killed mid-run; a fresh
+        process finishes the batch by replaying the journal."""
+        from ..service.batch import BatchEngine, BatchJournal
+        from ..service.session import DataGraphSession
+
+        mid = self._count_cs_visits() // 2
+        journal_root = self.workdir / "journal-cs-exit"
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(
+            target=_chaos_batch_child,
+            args=(
+                self.data,
+                self.queries,
+                journal_root,
+                [FaultSpec("cs.refine", "exit", at_visit=mid)],
+                self.seed,
+            ),
+            daemon=True,
+        )
+        child.start()
+        child.join(timeout=60.0)
+        if child.is_alive():
+            child.terminate()
+            child.join()
+        fired = 1 if child.exitcode == 3 else 0
+        final = BatchEngine(DataGraphSession(self.data)).run(
+            self._requests(), journal=BatchJournal(journal_root)
+        )
+        replayed = any(item.cache == "journal" for item in final.items)
+        matched, why = self._batch_matches(final)
+        ok = matched and fired == 1 and replayed
+        return self._outcome(
+            "cs.refine",
+            "exit",
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            detail=why or ("" if ok else f"exitcode={child.exitcode} replayed={replayed}"),
+        )
+
+    def _cs_hang(self) -> ChaosOutcome:
+        """An injected hang during CS refinement is capped by the armed
+        budget; the breached request is re-run clean and must agree."""
+        from ..core.matcher import DAFMatcher
+
+        expected, _ = self._expected(0)
+        FAULTS.configure(
+            [
+                FaultSpec(
+                    "cs.refine", "hang", at_visit=1, hang_seconds=HANG_SECONDS
+                )
+            ],
+            seed=self.seed,
+        )
+        try:
+            breached = DAFMatcher().match(
+                MatchRequest(
+                    self.queries[0],
+                    self.data,
+                    options=MatchOptions(budget=Budget(time_limit=0.4)),
+                )
+            )
+            fired = len(FAULTS.fired)
+        finally:
+            FAULTS.clear()
+        capped = breached.budget_breach == "time" or breached.timed_out
+        retry = DAFMatcher().match(MatchRequest(self.queries[0], self.data))
+        matched = sorted(retry.embeddings) == expected
+        ok = matched and fired >= 1 and capped
+        return self._outcome(
+            "cs.refine",
+            "hang",
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            detail="" if ok else f"fired={fired} capped={capped} matched={matched}",
+        )
+
+    # -- worker.start scenarios ----------------------------------------
+    def _worker_start(self, kind: str) -> ChaosOutcome:
+        """Kill/wedge one worker at startup; the supervisor's plain
+        retry (attempt 1 no longer matches the fault filter) recovers."""
+        expected, _ = self._expected(0)
+        request = MatchRequest(self.queries[0], self.data)
+        baseline = self._parallel_matcher().match(request)
+        if len(baseline.stats.worker_outcomes) < 2:
+            return self._outcome(
+                "worker.start", kind, status="skipped", detail="needs >= 2 slices"
+            )
+        overrides = {}
+        spec_kw: dict = {"match": {"slice_index": 0, "attempt": 0}}
+        if kind == "hang":
+            overrides["stall_timeout"] = STALL_TIMEOUT
+            spec_kw["hang_seconds"] = HANG_SECONDS
+        FAULTS.configure(
+            [FaultSpec("worker.start", kind, **spec_kw)], seed=self.seed
+        )
+        try:
+            result = self._parallel_matcher(**overrides).match(request)
+        finally:
+            FAULTS.clear()
+        fired = result.stats.worker_retries
+        matched = sorted(result.embeddings) == expected
+        ok = matched and fired >= 1
+        return self._outcome(
+            "worker.start",
+            kind,
+            status="ok" if ok else "mismatch",
+            matched=matched,
+            fired=fired,
+            detail="" if ok else f"fired={fired} matched={matched}",
+        )

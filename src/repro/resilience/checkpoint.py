@@ -1,0 +1,178 @@
+"""Serializable search checkpoints (suspend/resume for the engine).
+
+A :class:`SearchCheckpoint` captures the full frontier of a suspended
+:class:`repro.core.backtrack.BacktrackEngine` run — the per-depth
+candidate cursors, the failing-set stack, the partial embedding (implied
+by the cursors), the collected embeddings, and the deterministic
+``SearchStats`` counters — as plain JSON-serializable data.  Resuming a
+checkpoint on a freshly prepared engine replays the cursor path and
+continues the search so that the combined run is **bit-identical** to an
+uninterrupted one: same embeddings in the same order, same
+``recursive_calls``/``embeddings_found``.
+
+Design notes
+------------
+
+- The checkpoint stores *cursors* (positions into candidate sequences),
+  not data-vertex ids: the candidate sequences themselves are
+  deterministic functions of the prepared query, so they are recomputed
+  on restore and validated frame by frame.  This keeps checkpoints small
+  (O(depth + embeddings found)) and makes corruption detectable.
+- A ``fingerprint`` of the query/data/config/limit surface guards
+  against resuming a checkpoint on a different search; mismatches raise
+  :class:`CheckpointMismatchError` instead of silently diverging.
+- This module deliberately imports nothing from ``repro`` — it is pure
+  data, safe to use from workers, the CLI, and the batch journal without
+  import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Bump when the frame layout changes; loaders reject unknown versions.
+CHECKPOINT_VERSION = 1
+
+#: Engine phases at which a suspension is resumable.
+PHASES = ("enter_core", "enter_leaf", "report")
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint does not belong to this prepared search (different
+    query/data/config/limit, corrupted frames, or unknown version)."""
+
+
+@dataclass
+class SearchCheckpoint:
+    """A suspended backtracking search, ready to be serialized.
+
+    Attributes
+    ----------
+    fingerprint:
+        Identifying surface of the search this checkpoint belongs to
+        (query/data sizes, config variant knobs, limit, root slice).
+        Restore refuses a checkpoint whose fingerprint differs.
+    phase:
+        Which safe point the engine suspended at (one of :data:`PHASES`).
+    frames:
+        One ``[kind, u, pos, fs_union, found]`` entry per search-tree
+        depth: ``kind`` 0 = core frame / 1 = deferred-leaf frame, ``u``
+        the query vertex, ``pos`` the 1-based cursor past the active
+        candidate, ``fs_union`` the accumulated failing-set mask and
+        ``found`` whether an embedding was found under this node.
+    report_step:
+        Progress marker inside an interrupted embedding report (0 =
+        nothing committed, 1 = counted, 2 = counted + collected) so a
+        resume neither drops nor double-counts the embedding.
+    recursive_calls / embeddings_found:
+        The deterministic counters at suspension; restore seeds the new
+        run's ``SearchStats`` with them so final counters match an
+        uninterrupted run exactly.
+    embeddings:
+        Embeddings collected before suspension (empty in counting mode).
+    """
+
+    fingerprint: dict
+    phase: str
+    frames: list = field(default_factory=list)
+    report_step: int = 0
+    recursive_calls: int = 0
+    embeddings_found: int = 0
+    embeddings: list = field(default_factory=list)
+    version: int = CHECKPOINT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise CheckpointMismatchError(
+                f"unknown checkpoint phase {self.phase!r}; choices: {PHASES}"
+            )
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fingerprint": dict(self.fingerprint),
+            "phase": self.phase,
+            "frames": [list(frame) for frame in self.frames],
+            "report_step": self.report_step,
+            "recursive_calls": self.recursive_calls,
+            "embeddings_found": self.embeddings_found,
+            "embeddings": [list(e) for e in self.embeddings],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchCheckpoint":
+        if not isinstance(payload, dict):
+            raise CheckpointMismatchError("checkpoint payload must be a JSON object")
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointMismatchError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        try:
+            frames = [
+                [int(k), int(u), int(pos), int(fs), int(found)]
+                for k, u, pos, fs, found in payload["frames"]
+            ]
+            return cls(
+                fingerprint=dict(payload["fingerprint"]),
+                phase=str(payload["phase"]),
+                frames=frames,
+                report_step=int(payload.get("report_step", 0)),
+                recursive_calls=int(payload["recursive_calls"]),
+                embeddings_found=int(payload["embeddings_found"]),
+                embeddings=[tuple(int(v) for v in e) for e in payload.get("embeddings", [])],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointMismatchError(f"malformed checkpoint payload: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "SearchCheckpoint":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointMismatchError(f"checkpoint is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: Any) -> "SearchCheckpoint":
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+
+    def check_fingerprint(self, fingerprint: dict) -> None:
+        """Raise :class:`CheckpointMismatchError` unless ``fingerprint``
+        matches, naming the first differing key for diagnosis."""
+        if self.fingerprint == fingerprint:
+            return
+        for key in sorted(set(self.fingerprint) | set(fingerprint)):
+            mine = self.fingerprint.get(key)
+            theirs = fingerprint.get(key)
+            if mine != theirs:
+                raise CheckpointMismatchError(
+                    f"checkpoint belongs to a different search: "
+                    f"{key}={mine!r} vs {theirs!r}"
+                )
+        raise CheckpointMismatchError("checkpoint belongs to a different search")
+
+
+def resume_payload(checkpoint: Optional["SearchCheckpoint | dict"]) -> Optional[SearchCheckpoint]:
+    """Normalize a resume argument: accepts a :class:`SearchCheckpoint`,
+    a ``to_dict()`` payload (what travels over worker pipes / journals),
+    or ``None``."""
+    if checkpoint is None or isinstance(checkpoint, SearchCheckpoint):
+        return checkpoint
+    return SearchCheckpoint.from_dict(checkpoint)

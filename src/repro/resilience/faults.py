@@ -28,6 +28,12 @@ probability, and a kind:
 - ``"hang"``  — sleep ``hang_seconds`` (a stuck worker the supervisor
   must reap by deadline).
 
+Hangs are *budget-capped*: hook owners bind their live deadline/budget
+governor via :meth:`FaultInjector.bind_budget`, and an injected hang then
+sleeps in small interruptible slices, never past the governor's remaining
+time — so chaos sweeps and CI can never stall longer than the armed
+deadline.
+
 Because parallel workers are forked, arming the injector in the parent
 arms it in every worker — which is precisely how the tests kill one
 worker out of N deterministically (filter on ``slice_index``).
@@ -103,12 +109,16 @@ class FaultInjector:
     the fork boundary.
     """
 
+    #: Granularity of an injected hang's interruptible sleep slices.
+    HANG_SLICE = 0.05
+
     def __init__(self) -> None:
         self.active = False
         self._specs: list[FaultSpec] = []
         self._visits: list[int] = []
         self._rng = random.Random(0)
         self.fired: list[tuple[str, dict]] = []
+        self._governor = None
 
     def configure(self, specs: list[FaultSpec], seed: int = 0) -> None:
         self._specs = list(specs)
@@ -119,6 +129,36 @@ class FaultInjector:
 
     def clear(self) -> None:
         self.configure([])
+        self._governor = None
+
+    def bind_budget(self, governor) -> None:
+        """Cap injected hangs at ``governor``'s remaining time.
+
+        ``governor`` is a :class:`repro.interfaces.Deadline` or a
+        :class:`repro.resilience.budget.Budget` (anything exposing
+        ``remaining_time()`` or a ``_deadline`` perf-counter instant).
+        Hook owners bind before entering a faulted region and unbind on
+        the way out; binding is identity-keyed so a nested owner cannot
+        accidentally drop another's governor.
+        """
+        self._governor = governor
+
+    def unbind_budget(self, governor) -> None:
+        if self._governor is governor:
+            self._governor = None
+
+    def _governor_remaining(self) -> Optional[float]:
+        """Seconds left on the bound governor, or None when unbounded."""
+        governor = self._governor
+        if governor is None:
+            return None
+        remaining = getattr(governor, "remaining_time", None)
+        if callable(remaining):
+            return remaining()
+        instant = getattr(governor, "_deadline", None)
+        if instant is None:
+            return None
+        return instant - time.perf_counter()
 
     def fire(self, site: str, **context) -> None:
         """Hook entry point: trigger any armed fault matching this visit.
@@ -146,9 +186,25 @@ class FaultInjector:
         if spec.kind == "exit":
             os._exit(3)
         if spec.kind == "hang":
-            time.sleep(spec.hang_seconds)
+            self._hang(spec.hang_seconds)
             return
         raise InjectedFault(f"injected fault at {site}")
+
+    def _hang(self, seconds: float) -> None:
+        """Sleep up to ``seconds``, in slices, capped at the bound
+        governor's remaining time (a hang should stall the owner, not
+        outlive its deadline)."""
+        end = time.perf_counter() + seconds
+        while True:
+            left = end - time.perf_counter()
+            if left <= 0:
+                return
+            budget_left = self._governor_remaining()
+            if budget_left is not None:
+                if budget_left <= 0:
+                    return
+                left = min(left, budget_left)
+            time.sleep(min(left, self.HANG_SLICE))
 
 
 #: The process-global injector every hook site consults.

@@ -21,6 +21,16 @@ less than the one before).  Unexpected exceptions (including injected
 faults) are crash-isolated: logged to ``result.degradations`` and the
 chain moves on.  Every attempt, successful or not, leaves one line in
 ``MatchResult.degradations``.
+
+Degrading throws away work, so it is the *second* choice: when a DAF
+stage crashes but the engine captured a
+:class:`~repro.resilience.checkpoint.SearchCheckpoint` at the point of
+failure (attached to the exception as ``exc.search_checkpoint``), the
+same stage is retried with ``resume_from`` — continuing the search
+bit-identically from where it stopped instead of dropping to a weaker
+configuration.  Resume retries are bounded (``max_resume_attempts``) and
+each must have advanced the call counter past the previous checkpoint,
+so a deterministically-crashing site cannot loop forever.
 """
 
 from __future__ import annotations
@@ -67,6 +77,9 @@ class ResilientMatcher(Matcher):
     max_calls / max_memory:
         Budget dimensions applied to every DAF attempt (``max_calls``
         is global: calls spent by failed attempts count against it).
+    max_resume_attempts:
+        How many times a crashed DAF stage may be resumed from its
+        crash-point checkpoint before the chain degrades instead.
 
     Examples
     --------
@@ -86,6 +99,7 @@ class ResilientMatcher(Matcher):
         use_fallback: bool = True,
         max_calls: Optional[int] = None,
         max_memory: Optional[int] = None,
+        max_resume_attempts: int = 3,
     ) -> None:
         if primary is None:
             primary = DAFMatcher(config if config is not None else MatchConfig())
@@ -97,6 +111,7 @@ class ResilientMatcher(Matcher):
         self.fallback = fallback
         self.max_calls = max_calls
         self.max_memory = max_memory
+        self.max_resume_attempts = max_resume_attempts
         self.name = f"resilient({getattr(primary, 'name', type(primary).__name__)})"
 
     # ------------------------------------------------------------------
@@ -171,29 +186,78 @@ class ResilientMatcher(Matcher):
             previous_observer = matcher.observer
             if obs is not None:
                 matcher.observer = obs
+            result = None
+            resume_from = None
+            resume_attempts = 0
             try:
-                if isinstance(matcher, DAFMatcher):
-                    budget = Budget(
-                        time_limit=span,
-                        max_calls=remaining_calls,
-                        max_memory=self.max_memory,
-                    )
-                    result = matcher._match_impl(query, data, limit=limit, budget=budget)
-                else:
-                    result = matcher._match_impl(query, data, limit=limit, time_limit=span)
-            except MemoryError:
-                note(position, stage_name, f"{prefix}: MemoryError; degrading")
-                continue
-            except Exception as exc:  # crash isolation — keep KeyboardInterrupt fatal
-                note(
-                    position,
-                    stage_name,
-                    f"{prefix}: crashed ({type(exc).__name__}: {exc}); degrading",
-                )
-                continue
+                while True:
+                    span = remaining_time()
+                    if span is not None and span <= 0.0:
+                        note(
+                            position,
+                            stage_name,
+                            f"{prefix}: wall-clock budget exhausted mid-resume",
+                        )
+                        break
+                    try:
+                        if isinstance(matcher, DAFMatcher):
+                            budget = Budget(
+                                time_limit=span,
+                                max_calls=remaining_calls,
+                                max_memory=self.max_memory,
+                            )
+                            result = matcher._match_impl(
+                                query,
+                                data,
+                                limit=limit,
+                                budget=budget,
+                                resume_from=resume_from,
+                            )
+                        else:
+                            result = matcher._match_impl(
+                                query, data, limit=limit, time_limit=span
+                            )
+                    except MemoryError:
+                        note(position, stage_name, f"{prefix}: MemoryError; degrading")
+                        break
+                    except Exception as exc:  # crash isolation — KeyboardInterrupt stays fatal
+                        # Resume before degrading: if the engine captured
+                        # its state at the crash point, retry this same
+                        # stage from there — but only while each retry
+                        # provably advances past the previous checkpoint.
+                        ckpt = getattr(exc, "search_checkpoint", None)
+                        advanced = ckpt is not None and (
+                            resume_from is None
+                            or ckpt.recursive_calls > resume_from.recursive_calls
+                        )
+                        if (
+                            advanced
+                            and isinstance(matcher, DAFMatcher)
+                            and resume_attempts < self.max_resume_attempts
+                        ):
+                            resume_attempts += 1
+                            resume_from = ckpt
+                            note(
+                                position,
+                                stage_name,
+                                f"{prefix}: crashed ({type(exc).__name__}: {exc}); "
+                                f"resuming from checkpoint at "
+                                f"{ckpt.recursive_calls} calls "
+                                f"(resume attempt {resume_attempts})",
+                            )
+                            continue
+                        note(
+                            position,
+                            stage_name,
+                            f"{prefix}: crashed ({type(exc).__name__}: {exc}); degrading",
+                        )
+                        break
+                    break  # the attempt produced a result
             finally:
                 if obs is not None:
                     matcher.observer = previous_observer
+            if result is None:
+                continue
 
             calls_spent += result.stats.recursive_calls
             last_result = result

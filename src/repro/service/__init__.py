@@ -21,13 +21,14 @@ migration guide.
 """
 
 from ..core.matcher import PreparedQuery
-from .batch import BatchEngine, BatchItem, BatchResult
+from .batch import BatchEngine, BatchItem, BatchJournal, BatchResult
 from .cache import CacheEntry, PreparedQueryCache, find_isomorphism
 from .session import DataGraphSession
 
 __all__ = [
     "BatchEngine",
     "BatchItem",
+    "BatchJournal",
     "BatchResult",
     "CacheEntry",
     "DataGraphSession",

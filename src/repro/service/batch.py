@@ -26,21 +26,32 @@ in completion order; :meth:`BatchEngine.run` collects them and returns a
 :class:`BatchResult` summary.  Under an observer the engine emits one
 ``batch.request`` event per completed request and one ``batch.run``
 event per batch (see ``repro.obs.schema``).
+
+Batches are **resumable**: pass a :class:`BatchJournal` and every
+completed request is persisted to ``outcomes.jsonl`` as it finishes,
+while interrupted searches (Ctrl-C, budget breach) persist their
+:class:`~repro.resilience.checkpoint.SearchCheckpoint` to
+``ckpt_<index>.json``.  Re-running the same batch with the same journal
+replays completed requests from disk (``cache="journal"``) and resumes
+checkpointed ones from where they stopped.
 """
 
 from __future__ import annotations
 
 import copy
+import json
 import multiprocessing
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from multiprocessing import connection as mp_connection
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Optional
 
 from ..core.matcher import DAFMatcher
 from ..graph.canonical import canonical_hash
-from ..interfaces import MatchRequest, MatchResult, UnsupportedOptionError
+from ..interfaces import MatchRequest, MatchResult, SearchStats, UnsupportedOptionError
+from ..resilience.checkpoint import CheckpointMismatchError, SearchCheckpoint
 from .cache import find_isomorphism
 from .session import DataGraphSession, _remap
 
@@ -91,6 +102,116 @@ class BatchResult:
     def by_index(self) -> list[BatchItem]:
         """Items reordered to match the submitted request list."""
         return sorted(self.items, key=lambda item: item.index)
+
+
+class BatchJournal:
+    """Crash-safe persistence for one batch: per-request outcomes plus
+    in-flight search checkpoints, all under one directory.
+
+    - ``outcomes.jsonl`` — one line per *completed* request (appended as
+      it finishes; a torn final line from a killed writer is tolerated);
+    - ``ckpt_<index>.json`` — the suspended search state of a request
+      that was interrupted mid-search, cleared once it completes.
+
+    Feed the same journal back into :meth:`BatchEngine.run_iter` and the
+    engine replays completed requests from disk (``cache="journal"``)
+    and resumes checkpointed ones instead of restarting them.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.outcomes_path = self.root / "outcomes.jsonl"
+
+    # -- completed outcomes -------------------------------------------
+    def load(self) -> dict[int, dict]:
+        """All persisted outcome records, by request index (last wins)."""
+        records: dict[int, dict] = {}
+        if not self.outcomes_path.exists():
+            return records
+        with open(self.outcomes_path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a killed writer
+                records[record["index"]] = record
+        return records
+
+    def record(self, item: BatchItem) -> None:
+        """Append one completed item (embeddings included, so a replay
+        can reconstruct the full :class:`MatchResult`)."""
+        record: dict[str, Any] = {
+            "index": item.index,
+            "status": item.status,
+            "cache": item.cache,
+            "error": item.error,
+            "elapsed_seconds": item.elapsed_seconds,
+        }
+        result = item.result
+        if result is not None:
+            record["result"] = {
+                "embeddings": [list(e) for e in result.embeddings],
+                "embeddings_found": result.stats.embeddings_found,
+                "recursive_calls": result.stats.recursive_calls,
+                "search_seconds": result.stats.search_seconds,
+                "preprocess_seconds": result.stats.preprocess_seconds,
+                "limit_reached": result.limit_reached,
+                "timed_out": result.timed_out,
+            }
+        with open(self.outcomes_path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record) + "\n")
+            stream.flush()
+
+    def replay_item(self, index: int, record: dict, request: MatchRequest) -> BatchItem:
+        """Rebuild the :class:`BatchItem` a persisted record describes."""
+        result = None
+        payload = record.get("result")
+        if payload is not None:
+            stats = SearchStats()
+            stats.embeddings_found = payload["embeddings_found"]
+            stats.recursive_calls = payload["recursive_calls"]
+            stats.search_seconds = payload["search_seconds"]
+            stats.preprocess_seconds = payload["preprocess_seconds"]
+            result = MatchResult(
+                embeddings=[tuple(e) for e in payload["embeddings"]],
+                stats=stats,
+                limit_reached=payload["limit_reached"],
+                timed_out=payload["timed_out"],
+            )
+        return BatchItem(
+            index=index,
+            tag=request.tag,
+            status=record["status"],
+            result=result,
+            cache="journal",
+            error=record.get("error", ""),
+        )
+
+    # -- in-flight checkpoints ----------------------------------------
+    def _checkpoint_path(self, index: int) -> Path:
+        return self.root / f"ckpt_{index}.json"
+
+    def save_checkpoint(self, index: int, checkpoint: SearchCheckpoint) -> None:
+        checkpoint.save(self._checkpoint_path(index))
+
+    def load_checkpoint(self, index: int) -> Optional[SearchCheckpoint]:
+        path = self._checkpoint_path(index)
+        if not path.exists():
+            return None
+        try:
+            return SearchCheckpoint.load(path)
+        except (ValueError, KeyError, OSError):
+            return None  # corrupt/torn checkpoint: restart from scratch
+
+    def clear_checkpoint(self, index: int) -> None:
+        try:
+            self._checkpoint_path(index).unlink()
+        except FileNotFoundError:
+            pass
 
 
 @dataclass
@@ -165,13 +286,15 @@ class BatchEngine:
         self.max_retries = max_retries
 
     # ------------------------------------------------------------------
-    def run(self, requests: Iterable[MatchRequest], budget=None) -> BatchResult:
+    def run(
+        self, requests: Iterable[MatchRequest], budget=None, journal=None
+    ) -> BatchResult:
         """Execute the batch and return the collected :class:`BatchResult`."""
         cache = self.session.cache
         hits0, misses0, evictions0 = cache.hits, cache.misses, cache.evictions
         start = time.perf_counter()
         batch = BatchResult(workers=self.num_workers)
-        for item in self.run_iter(requests, budget=budget, _batch=batch):
+        for item in self.run_iter(requests, budget=budget, journal=journal, _batch=batch):
             batch.items.append(item)
             if item.status == "ok":
                 batch.completed += 1
@@ -203,34 +326,87 @@ class BatchEngine:
         self,
         requests: Iterable[MatchRequest],
         budget=None,
+        journal: Optional[BatchJournal] = None,
         _batch: Optional[BatchResult] = None,
     ) -> Iterator[BatchItem]:
         """Yield one :class:`BatchItem` per request, in completion order.
 
         A deduplicated group's leader item is followed immediately by its
         followers' items (same underlying search, remapped embeddings).
+
+        With a ``journal``, requests already completed in a previous run
+        are replayed from disk (``cache="journal"``) without searching,
+        requests with a persisted checkpoint resume from it, and every
+        newly-completed item is persisted before it is yielded.  When a
+        search comes back interrupted (Ctrl-C mid-search), its checkpoint
+        is persisted and the remaining requests are *not* dispatched —
+        the next run with the same journal picks up exactly there.
         """
         requests = list(requests)
-        groups = self._group(requests)
+        replayed: dict[int, dict] = {}
+        if journal is not None:
+            for index, record in journal.load().items():
+                # Errors are retried on a re-run; only clean completions
+                # are replayed.
+                if index < len(requests) and record["status"] == "ok":
+                    replayed[index] = record
+        for index in sorted(replayed):
+            yield self._finish(
+                journal.replay_item(index, replayed[index], requests[index])
+            )
+        groups = self._group(requests, skip=replayed.keys())
         if _batch is not None:
             _batch.unique_queries = len(groups)
         if self.num_workers > 1 and len(groups) > 1:
-            yield from self._run_parallel(requests, groups, budget)
+            inner = self._run_parallel(requests, groups, budget, journal)
         else:
-            for group in groups:
-                yield from self._run_group(requests, group, budget)
+            inner = self._chain_groups(requests, groups, budget, journal)
+        for item in inner:
+            yield self._journal_note(journal, item)
+            if item.result is not None and item.result.interrupted:
+                # Stop dispatching: the interrupt was a request to wind
+                # down, and the journal (when present) already holds the
+                # suspended state for this request.
+                inner.close()
+                return
+
+    def _chain_groups(
+        self, requests: list[MatchRequest], groups: list[_Group], budget, journal
+    ) -> Iterator[BatchItem]:
+        for group in groups:
+            yield from self._run_group(requests, group, budget, journal)
+
+    def _journal_note(
+        self, journal: Optional[BatchJournal], item: BatchItem
+    ) -> BatchItem:
+        """Persist one freshly-completed item (or its checkpoint)."""
+        if journal is None:
+            return item
+        result = item.result
+        checkpoint = None if result is None else result.checkpoint
+        if checkpoint is not None:
+            journal.save_checkpoint(item.index, checkpoint)
+        elif result is not None and result.interrupted:
+            pass  # no state captured: the re-run restarts it from scratch
+        else:
+            journal.record(item)
+            journal.clear_checkpoint(item.index)
+        return item
 
     # ------------------------------------------------------------------
-    def _group(self, requests: list[MatchRequest]) -> list[_Group]:
+    def _group(self, requests: list[MatchRequest], skip=frozenset()) -> list[_Group]:
         """Group requests by (isomorphism class, options).
 
         Requests carrying per-request callbacks or budgets are never
         merged (a follower cannot share the leader's callback stream or
-        its budget accounting).
+        its budget accounting).  Indices in ``skip`` (journal replays)
+        are excluded entirely.
         """
         groups: list[_Group] = []
         by_key: dict[tuple, list[int]] = {}
         for index, request in enumerate(requests):
+            if index in skip:
+                continue
             options = request.options
             if options.on_embedding is not None or options.budget is not None:
                 groups.append(_Group(leader=index))
@@ -309,22 +485,36 @@ class BatchEngine:
             )
 
     def _run_group(
-        self, requests: list[MatchRequest], group: _Group, budget
+        self, requests: list[MatchRequest], group: _Group, budget, journal=None
     ) -> Iterator[BatchItem]:
         """Sequential execution of one group through the session."""
         request = requests[group.leader]
         options = self._effective_options(request, budget)
+        if journal is not None and options.resume_from is None:
+            resume = journal.load_checkpoint(group.leader)
+            if resume is not None:
+                options = replace(options, resume_from=resume)
         cache = self.session.cache
         hits0, misses0 = cache.hits, cache.misses
         start = time.perf_counter()
-        try:
-            result = self.session.run(
-                MatchRequest(query=request.query, options=options, tag=request.tag)
-            )
-            status, error = "ok", ""
-        except Exception as exc:
-            result, status = None, "error"
-            error = f"{type(exc).__name__}: {exc}"
+        while True:
+            try:
+                result = self.session.run(
+                    MatchRequest(query=request.query, options=options, tag=request.tag)
+                )
+                status, error = "ok", ""
+            except CheckpointMismatchError as exc:
+                if options.resume_from is not None:
+                    # Stale journal checkpoint (query/config changed
+                    # between runs): drop it and restart from scratch.
+                    options = replace(options, resume_from=None)
+                    continue
+                result, status = None, "error"
+                error = f"{type(exc).__name__}: {exc}"
+            except Exception as exc:
+                result, status = None, "error"
+                error = f"{type(exc).__name__}: {exc}"
+            break
         elapsed = time.perf_counter() - start
         if cache.hits > hits0:
             cache_state = "hit"
@@ -338,7 +528,7 @@ class BatchEngine:
 
     # ------------------------------------------------------------------
     def _run_parallel(
-        self, requests: list[MatchRequest], groups: list[_Group], budget
+        self, requests: list[MatchRequest], groups: list[_Group], budget, journal=None
     ) -> Iterator[BatchItem]:
         """Parent-side preprocessing, forked search, completion-order yield."""
         session = self.session
@@ -351,10 +541,15 @@ class BatchEngine:
                 not isinstance(matcher, DAFMatcher)
                 or options.on_embedding is not None
                 or options.budget is not None
+                or (
+                    journal is not None
+                    and journal.load_checkpoint(group.leader) is not None
+                )
             ):
-                # Callbacks and per-request budgets cannot cross a fork;
-                # run these inline (still cache-aware via the session).
-                yield from self._run_group(requests, group, budget)
+                # Callbacks, per-request budgets and checkpoint resumes
+                # cannot cross a fork; run these inline (still
+                # cache-aware via the session).
+                yield from self._run_group(requests, group, budget, journal)
                 continue
             unsupported = [
                 name

@@ -215,6 +215,7 @@ class DataGraphSession:
             on_embedding=on_embedding,
             budget=budget,
             observer=self.observer,
+            resume_from=options.resume_from,
         )
         result.stats.preprocess_seconds = preprocess
         if pi is not None and result.embeddings:

@@ -1,0 +1,77 @@
+"""End-to-end chaos sweeps (docs/robustness.md).
+
+The harness plants seeded faults at every hook site × fault kind and
+asserts the recovery machinery — checkpoint resume, supervisor retry,
+journal replay, budget-capped hangs — reproduces the fault-free answer
+*exactly*.  These tests run the sweep once per module and interrogate
+the outcomes; the heavy lifting (per-scenario equality checks) lives in
+:mod:`repro.resilience.chaos` itself.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import JsonlSink, MetricsRegistry
+from repro.obs.schema import validate_jsonl
+from repro.resilience.chaos import DEFAULT_SCENARIOS, KINDS, SITES, ChaosHarness
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def outcomes(tmp_path_factory):
+    harness = ChaosHarness(seed=0, workdir=str(tmp_path_factory.mktemp("chaos")))
+    return harness.run()
+
+
+class TestSweep:
+    def test_covers_every_site_and_kind(self, outcomes):
+        assert {(o.site, o.kind) for o in outcomes} == set(DEFAULT_SCENARIOS)
+        assert len(outcomes) == len(SITES) * len(KINDS) == 9
+
+    def test_every_scenario_recovers_exactly(self, outcomes):
+        bad = [(o.scenario, o.status, o.detail) for o in outcomes if o.status != "ok"]
+        assert not bad, f"chaos scenarios did not recover: {bad}"
+        assert all(o.matched for o in outcomes), "recovered answers must match fault-free"
+
+    def test_every_fault_actually_fired(self, outcomes):
+        unfired = [o.scenario for o in outcomes if o.fired < 1]
+        assert not unfired, f"faults never detonated (vacuous scenarios): {unfired}"
+
+    def test_backtrack_faults_recover_via_resume(self, outcomes):
+        resumed = {o.scenario for o in outcomes if o.resumed}
+        want = {f"backtrack.step/{kind}" for kind in KINDS}
+        assert want <= resumed, (
+            "backtrack faults must recover by *resuming* a checkpoint, "
+            f"not restarting: resumed={sorted(resumed)}"
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcomes(self, outcomes, tmp_path):
+        scenarios = [("worker.start", "raise"), ("cs.refine", "raise")]
+        first = ChaosHarness(seed=0, workdir=str(tmp_path / "a")).run(scenarios)
+        replay = ChaosHarness(seed=0, workdir=str(tmp_path / "b")).run(scenarios)
+        key = lambda o: (o.scenario, o.status, o.matched, o.fired, o.resumed)
+        assert [key(o) for o in first] == [key(o) for o in replay]
+
+
+class TestEvents:
+    def test_chaos_run_events_validate_against_schema(self, tmp_path):
+        path = tmp_path / "chaos.jsonl"
+        sink = JsonlSink(path)
+        obs = MetricsRegistry(sink=sink)
+        harness = ChaosHarness(seed=0, observer=obs, workdir=str(tmp_path / "wd"))
+        ran = harness.run([("cs.refine", "raise"), ("backtrack.step", "raise")])
+        sink.close()
+        assert validate_jsonl(path) == []
+        events = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if '"chaos.run"' in line
+        ]
+        events = [e for e in events if e["event"] == "chaos.run"]
+        assert len(events) == len(ran) == 2
+        assert {e["scenario"] for e in events} == {o.scenario for o in ran}
+        assert all(e["status"] == "ok" for e in events)

@@ -74,3 +74,32 @@ class TestDatasets:
         # Dataset specs carry fixed seeds (repro.datasets.registry), so two
         # loads in the same or different processes must agree byte-for-byte.
         assert graph_to_string(load("yeast")) == graph_to_string(load("yeast"))
+
+
+class TestCheckpoints:
+    """A suspended search is itself a deterministic artifact: cutting the
+    same search at the same call count must serialize to identical JSON
+    (docs/robustness.md) — the property worker retries and journal
+    replays rely on."""
+
+    @staticmethod
+    def _suspend(max_calls):
+        from repro import Budget, DAFMatcher
+        from repro.interfaces import MatchOptions, MatchRequest
+
+        rng = random.Random(99)
+        data = gnm_random_graph(24, 80, ["A"] * 24, rng)
+        query = gnm_random_graph(4, 4, ["A"] * 4, rng)
+        result = DAFMatcher().match(
+            MatchRequest(
+                query, data, options=MatchOptions(budget=Budget(max_calls=max_calls))
+            )
+        )
+        assert result.checkpoint is not None
+        return result.checkpoint
+
+    def test_checkpoint_json_bit_identical_across_runs(self):
+        assert self._suspend(120).to_json() == self._suspend(120).to_json()
+
+    def test_different_cut_points_serialize_differently(self):
+        assert self._suspend(120).to_json() != self._suspend(180).to_json()
