@@ -14,7 +14,12 @@ Two file kinds are recognized:
   ``bench.summary`` mirror events);
 - **run manifests** (``BENCH_<n>.json`` or any JSON object tagged
   ``"schema": "repro.bench.manifest"``) — validated by
-  :func:`repro.bench.validate_manifest_file`.
+  :func:`repro.bench.validate_manifest_file`;
+- **telemetry exports** (JSON objects tagged ``"schema":
+  "repro.obs.telemetry"``, as written by ``repro serve-batch
+  --telemetry-out``) — windows and alerts validated against the
+  ``telemetry.window`` / ``telemetry.alert`` event schemas by
+  :func:`repro.obs.telemetry.validate_export`.
 
 See ``docs/observability.md`` for the event field tables and
 ``docs/benchmarks.md`` for the manifest format.
@@ -35,19 +40,30 @@ except ImportError:  # direct invocation without PYTHONPATH
     from repro.obs.schema import validate_jsonl
 
 from repro.bench.manifest import MANIFEST_SCHEMA, manifest_index, validate_manifest_file
+from repro.obs.telemetry import TELEMETRY_SCHEMA, validate_export
 
 
-def is_manifest(path: Path) -> bool:
-    """Manifest detection: the BENCH_<n>.json name, or the schema tag on
-    a file that parses as one JSON object (JSONL streams never do)."""
-    if manifest_index(path) is not None:
-        return True
+def _is_single_object_with_tag(path: Path, tag: str) -> bool:
+    """True when ``path`` parses as one JSON object carrying ``tag``
+    (JSONL streams never do — every line is its own object)."""
     try:
         head = path.read_text(encoding="utf-8")
     except OSError:
         return False
     head = head.lstrip()
-    return head.startswith("{") and f'"{MANIFEST_SCHEMA}"' in head and "\n{" not in head.rstrip()
+    return head.startswith("{") and f'"{tag}"' in head and "\n{" not in head.rstrip()
+
+
+def is_manifest(path: Path) -> bool:
+    """Manifest detection: the BENCH_<n>.json name, or the schema tag."""
+    if manifest_index(path) is not None:
+        return True
+    return _is_single_object_with_tag(path, MANIFEST_SCHEMA)
+
+
+def is_telemetry_export(path: Path) -> bool:
+    """Telemetry-export detection: the ``repro.obs.telemetry`` tag."""
+    return _is_single_object_with_tag(path, TELEMETRY_SCHEMA)
 
 
 def main(argv: list[str]) -> int:
@@ -64,6 +80,9 @@ def main(argv: list[str]) -> int:
         if is_manifest(path):
             errors = validate_manifest_file(path)
             kind = "manifest"
+        elif is_telemetry_export(path):
+            errors = validate_export(path)
+            kind = "telemetry"
         else:
             errors = validate_jsonl(path)
             kind = "events"

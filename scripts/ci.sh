@@ -58,19 +58,48 @@ timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
 echo "==> batch serving smoke (cap: ${OBS_TIMEOUT}s)"
 # Round-trip the serving layer (docs/serving.md): two rounds of the same
 # tiny batch through `repro serve-batch` must produce warm-cache hits
-# (hit-rate > 0), no failures, and a schema-valid metrics sidecar.
+# (hit-rate > 0), no failures, a schema-valid metrics sidecar, and a
+# telemetry summary with windowed latency percentiles and hit-rate
+# (docs/observability.md#live-telemetry).
 timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
     python -m repro serve-batch '$OBS_TMP/yeast.graph' '$OBS_TMP/q' \
         --limit 1000 --count-only --rounds 2 \
-        --metrics-out '$OBS_TMP/serve_metrics.jsonl' > '$OBS_TMP/serve.json'
-    python scripts/check_metrics_schema.py '$OBS_TMP/serve_metrics.jsonl'
+        --metrics-out '$OBS_TMP/serve_metrics.jsonl' \
+        --telemetry-out '$OBS_TMP/serve_telemetry.json' > '$OBS_TMP/serve.json'
+    python scripts/check_metrics_schema.py '$OBS_TMP/serve_metrics.jsonl' \
+        '$OBS_TMP/serve_telemetry.json'
     python - '$OBS_TMP/serve.json' <<'EOF'
 import json, sys
 payload = json.load(open(sys.argv[1]))
 assert payload[\"failed\"] == 0, payload
 assert payload[\"cache\"][\"hit_rate\"] > 0, payload[\"cache\"]
 assert payload[\"per_round\"][-1][\"cache_misses\"] == 0, payload[\"per_round\"]
+telemetry = payload[\"telemetry\"]
+assert telemetry[\"cache_hit_rate\"] > 0, telemetry
+assert telemetry[\"p95_seconds\"] > 0, telemetry
+assert telemetry[\"requests\"] > 0 and telemetry[\"errors\"] == 0, telemetry
 EOF
+"
+
+echo "==> telemetry smoke (cap: ${OBS_TIMEOUT}s)"
+# End-to-end observability round-trip (docs/observability.md): a traced
+# batch run must yield (a) a trace listing and a renderable span tree
+# via `repro trace show`, (b) windowed percentiles/hit-rate via
+# `repro top` with a deliberately unmeetable p95 SLO firing an ALERT,
+# and (c) zero-overhead invariance when metrics are disabled.
+timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
+    python -m repro serve-batch '$OBS_TMP/yeast.graph' '$OBS_TMP/q' \
+        --limit 1000 --count-only --rounds 2 --window 1 \
+        --metrics-out '$OBS_TMP/telemetry_events.jsonl' >/dev/null
+    python -m repro trace show '$OBS_TMP/telemetry_events.jsonl' \
+        | grep -q 't000001'
+    python -m repro trace show '$OBS_TMP/telemetry_events.jsonl' \
+        --trace t000001 | grep -q 'status=ok'
+    python -m repro top '$OBS_TMP/telemetry_events.jsonl' \
+        --window 1 --slo-p95 0.0000001 > '$OBS_TMP/top.txt'
+    grep -q 'ALERT' '$OBS_TMP/top.txt'
+    grep -q 'p95' '$OBS_TMP/top.txt'
+    python -m pytest -q tests/test_obs.py -k ZeroOverhead
 "
 
 echo "==> perf gate: smoke bench vs BENCH_0.json (cap: ${BENCH_TIMEOUT}s)"

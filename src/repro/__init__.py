@@ -58,6 +58,8 @@ from .obs import (
     MetricsRegistry,
     ProgressReporter,
     SamplingTracer,
+    TelemetryAggregator,
+    TraceContext,
 )
 from .resilience import Budget, BudgetExceeded
 from .resilience.resilient import ResilientMatcher
@@ -95,6 +97,8 @@ __all__ = [
     "ResilientMatcher",
     "SamplingTracer",
     "SearchStats",
+    "TelemetryAggregator",
+    "TraceContext",
     "UnsupportedOptionError",
     "WorkerOutcome",
     "__version__",

@@ -10,6 +10,10 @@ Commands
               (``run`` / ``compare`` / ``history`` / ``hotspots``)
 ``serve-batch``  run a query batch through a persistent data-graph
               session with prepared-query caching (docs/serving.md)
+``trace``     inspect request traces in a metrics JSONL stream
+              (``show``: list traces / render one request tree)
+``top``       windowed telemetry summary of a metrics stream (latency
+              percentiles, cache hit-rate, crash rate, SLO alerts)
 ``chaos``     sweep seeded fault injections across serving workloads and
               gate on exact-answer equality (docs/robustness.md)
 ``lint``      statically check the codebase's invariants
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from pathlib import Path
@@ -141,6 +146,11 @@ def cmd_match(args: argparse.Namespace) -> int:
     observer, sink = _build_observer(args)
     if observer is not None:
         matcher.with_observer(observer)
+        from .obs.telemetry import TraceIdAllocator, resumed_context
+
+        resume_ckpt = match_kwargs.get("resume_from")
+        trace = resumed_context(getattr(resume_ckpt, "trace", None))
+        observer.trace = trace if trace is not None else TraceIdAllocator().allocate()
         run_start = {
             "event": "run_start",
             "algorithm": getattr(matcher, "name", args.algorithm),
@@ -404,6 +414,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
 
     if args.journal and args.rounds != 1:
         raise SystemExit("--journal requires --rounds 1 (a journal keys on request index)")
+    if args.telemetry_out and not args.metrics_out:
+        raise SystemExit("--telemetry-out requires --metrics-out (it summarizes that stream)")
     journal = BatchJournal(args.journal) if args.journal else None
     data = _read_graph(args.data, args.format)
     query_paths: list = []
@@ -417,12 +429,20 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         else:
             query_paths.append(path)
     queries = [(p, _read_graph(str(p), args.format)) for p in query_paths]
-    observer, sink = None, None
+    observer, sink, aggregator = None, None, None
     if args.metrics_out:
-        from .obs import JsonlSink, MetricsRegistry
+        from .obs import JsonlSink, MetricsRegistry, TeeSink
+        from .obs.telemetry import TelemetryAggregator
 
         sink = JsonlSink(args.metrics_out)
-        observer = MetricsRegistry(sink=sink)
+        # The aggregator folds the live stream into telemetry.window
+        # events (latency percentiles, hit-rate, crash-rate) written to
+        # the same sidecar; one window per batch round by default.
+        aggregator = TelemetryAggregator(
+            window_requests=args.window if args.window else max(1, len(queries)),
+            out=sink,
+        )
+        observer = MetricsRegistry(sink=TeeSink(sink, aggregator))
     session = DataGraphSession(data, cache_size=args.cache_size, observer=observer)
     engine = BatchEngine(session, num_workers=args.workers)
     options = MatchOptions(
@@ -480,6 +500,8 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             results.append(entry)
         if interrupted:
             break
+    if aggregator is not None:
+        aggregator.close()  # close the final (possibly partial) window
     if sink is not None:
         sink.close()
     payload = {
@@ -493,6 +515,10 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         "per_round": per_round,
         "results": results,
     }
+    if aggregator is not None:
+        payload["telemetry"] = aggregator.summary()
+        if args.telemetry_out:
+            aggregator.export_json(args.telemetry_out)
     if interrupted:
         payload["interrupted"] = True
     json.dump(payload, sys.stdout, indent=2)
@@ -500,6 +526,83 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     if interrupted:
         return 130
     return 0 if failed == 0 else 1
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    """``repro trace show``: list traces or render one request tree."""
+    from .obs.telemetry import (
+        collect_traces,
+        read_events,
+        render_trace_list,
+        render_trace_tree,
+    )
+
+    try:
+        events = read_events(args.events)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.events}: {exc}")
+    if args.trace:
+        print(render_trace_tree(events, args.trace))
+        return 0 if any(e.get("trace_id") == args.trace for e in events) else 1
+    print(render_trace_list(collect_traces(events)))
+    return 0
+
+
+def _top_watchdog(args: argparse.Namespace):
+    from .obs.telemetry import SloWatchdog, default_slo_rules
+
+    return SloWatchdog(
+        default_slo_rules(
+            p95_seconds=args.slo_p95,
+            hit_rate_floor=args.slo_hit_rate,
+            crash_rate_ceiling=args.slo_crash_rate,
+        )
+    )
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: windowed telemetry summary of a metrics stream."""
+    import time as _time
+
+    from .obs.telemetry import TelemetryAggregator, render_top
+
+    aggregator = TelemetryAggregator(
+        window_requests=args.window, watchdog=_top_watchdog(args)
+    )
+    try:
+        stream = open(args.events, "r", encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.events}: {exc}")
+
+    def drain() -> None:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail; the writer may still be appending
+            if isinstance(event, dict):
+                aggregator.emit(event)
+
+    with stream:
+        if not args.follow:
+            drain()
+            aggregator.flush()
+            print(render_top(aggregator))
+            return 0
+        try:
+            while True:
+                drain()
+                print(render_top(aggregator))
+                print("---")
+                sys.stdout.flush()
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            aggregator.flush()
+            print(render_top(aggregator))
+            return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -809,7 +912,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         metavar="PATH",
-        help="append batch.request/batch.run events as JSONL",
+        help="append batch.request/batch.run events as JSONL "
+        "(plus telemetry.window summaries; see `repro top`)",
+    )
+    serve_p.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requests per telemetry window in the metrics stream "
+        "(default: the batch size, i.e. one window per round)",
+    )
+    serve_p.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write the aggregated telemetry windows/alerts as a JSON "
+        "document (validated by scripts/check_metrics_schema.py); "
+        "requires --metrics-out",
     )
     serve_p.add_argument(
         "--journal",
@@ -820,6 +940,72 @@ def build_parser() -> argparse.ArgumentParser:
         "requests and resumes interrupted ones (requires --rounds 1)",
     )
     serve_p.set_defaults(func=cmd_serve_batch)
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect request traces in a metrics JSONL stream"
+    )
+    trace_sub = trace_p.add_subparsers(dest="what", required=True)
+    show_p = trace_sub.add_parser(
+        "show", help="list traces, or render one request's span tree"
+    )
+    show_p.add_argument("events", help="metrics JSONL file (from --metrics-out)")
+    show_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="ID",
+        help="render this trace id as a tree with per-span phase/prune "
+        "attribution (omit to list all traces in the stream)",
+    )
+    show_p.set_defaults(func=cmd_trace_show)
+
+    top_p = sub.add_parser(
+        "top",
+        help="windowed telemetry summary of a metrics stream "
+        "(docs/observability.md)",
+    )
+    top_p.add_argument("events", help="metrics JSONL file (from --metrics-out)")
+    top_p.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep reading appended events and refresh the summary "
+        "(Ctrl-C exits cleanly)",
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh cadence with --follow (default 2)",
+    )
+    top_p.add_argument(
+        "--window",
+        type=int,
+        default=16,
+        metavar="N",
+        help="completed requests per aggregation window (default 16)",
+    )
+    top_p.add_argument(
+        "--slo-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="alert when a window's p95 latency exceeds this many seconds",
+    )
+    top_p.add_argument(
+        "--slo-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="alert when a window's cache hit-rate falls below this (0..1)",
+    )
+    top_p.add_argument(
+        "--slo-crash-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="alert when a window's worker crash rate exceeds this (0..1)",
+    )
+    top_p.set_defaults(func=cmd_top)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -880,7 +1066,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # A downstream consumer (head, grep -q) closed the pipe; point
+        # stdout at devnull so the interpreter's shutdown flush does not
+        # raise a second time, and exit with the conventional 128+SIGPIPE.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -228,6 +228,10 @@ class DAFMatcher(Matcher):
             ckpt = resume_payload(resume_from)
             engine.restore(ckpt)
             if obs is not None:
+                obs.resumes += 1
+                # Continue the original request's trace (resume lineage)
+                # unless a caller already installed a context.
+                obs.adopt_trace(ckpt.trace)
                 obs.emit(
                     {
                         "event": "checkpoint.resume",
@@ -255,6 +259,8 @@ class DAFMatcher(Matcher):
             ckpt = engine.capture_checkpoint()
             result.checkpoint = ckpt
             if obs is not None:
+                if obs.trace is not None:
+                    ckpt.trace = obs.trace.to_dict()
                 obs.emit(
                     {
                         "event": "checkpoint.save",
@@ -285,7 +291,10 @@ class DAFMatcher(Matcher):
             # on the exception so supervisors can resume instead of
             # restarting, then let it propagate.
             if engine.can_checkpoint():
-                exc.search_checkpoint = engine.capture_checkpoint()
+                ckpt = engine.capture_checkpoint()
+                if obs is not None and obs.trace is not None:
+                    ckpt.trace = obs.trace.to_dict()
+                exc.search_checkpoint = ckpt
             raise
         finally:
             stats.search_seconds = time.perf_counter() - search_start

@@ -64,7 +64,7 @@ from ..interfaces import (
     WorkerOutcome,
     _merge_metrics,
 )
-from ..obs import MetricsRegistry, ProgressReporter, slice_eta
+from ..obs import MetricsRegistry, ProgressReporter, TraceContext, slice_eta
 from ..obs.sinks import EventSink
 from ..resilience.faults import FAULTS
 
@@ -140,8 +140,21 @@ def _slice_worker(
             worker_obs = MetricsRegistry(
                 sink=_PipeSink(conn, slice_index), progress=progress
             )
+            trace_payload = observe.get("trace")  # type: ignore[union-attr]
+            if trace_payload:
+                # Structural span name (slice + attempt) — deterministic
+                # and fork-safe, no cross-process id coordination needed.
+                worker_obs.trace = TraceContext.from_dict(trace_payload).child(
+                    f"w{slice_index}a{attempt}"
+                )
 
         def send_checkpoint(ckpt) -> None:
+            if (
+                ckpt.trace is None
+                and worker_obs is not None
+                and worker_obs.trace is not None
+            ):
+                ckpt.trace = worker_obs.trace.to_dict()
             try:
                 conn.send(("checkpoint", slice_index, ckpt.to_dict()))
             except Exception:
@@ -331,6 +344,10 @@ class ParallelDAFMatcher(Matcher):
                 "progress_interval": (
                     reporter.min_interval_seconds if reporter is not None else 0.5
                 ),
+                # Workers derive their own child spans (w<slice>a<attempt>)
+                # from the request's context, so every forwarded event
+                # lands in the same trace as the parent's.
+                "trace": obs.trace.to_dict() if obs.trace is not None else None,
             }
         try:
             embeddings, any_timeout = self._supervise(
@@ -422,23 +439,28 @@ class ParallelDAFMatcher(Matcher):
             )
             outcomes[index] = record
             if obs is not None:
-                obs.emit(
-                    {
-                        "event": "worker",
-                        "slice": index,
-                        "status": status,
-                        "attempts": record.attempts,
-                        "recursive_calls": record.recursive_calls,
-                        "embeddings_found": record.embeddings_found,
-                        "timed_out": record.timed_out,
-                        **(
-                            {"resumed_from_calls": record.resumed_from_calls}
-                            if record.resumed_from_calls
-                            else {}
-                        ),
-                        **({"error": record.error} if record.error else {}),
-                    }
-                )
+                event = {
+                    "event": "worker",
+                    "slice": index,
+                    "status": status,
+                    "attempts": record.attempts,
+                    "recursive_calls": record.recursive_calls,
+                    "embeddings_found": record.embeddings_found,
+                    "timed_out": record.timed_out,
+                    **(
+                        {"resumed_from_calls": record.resumed_from_calls}
+                        if record.resumed_from_calls
+                        else {}
+                    ),
+                    **({"error": record.error} if record.error else {}),
+                }
+                if obs.trace is not None:
+                    # The outcome describes one worker *attempt*: stamp it
+                    # with that attempt's structural span (not the parent's
+                    # s0), so a crashed a0 and its a1 retry are
+                    # distinguishable in the trace tree from ids alone.
+                    obs.trace.child(f"w{index}a{attempt}").stamp(event)
+                obs.emit(event)
 
         def heartbeat() -> None:
             """Supervisor-level progress: slice completion rate and ETA."""

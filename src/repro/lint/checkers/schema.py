@@ -36,11 +36,13 @@ _BARE_COUNTER_NAMES = frozenset(
         "cache_hit",
         "cache_miss",
         "cache_eviction",
+        "resumes",
     }
 )
 
-#: Fields every event implicitly carries (the sink adds ``ts``).
-_IMPLICIT_FIELDS = frozenset({"event", "ts"})
+#: Fields every event implicitly carries: the sink adds ``ts``, and a
+#: bound :class:`repro.obs.TraceContext` stamps the trace triple.
+_IMPLICIT_FIELDS = frozenset({"event", "ts", "trace_id", "span_id", "parent_span_id"})
 
 
 @register

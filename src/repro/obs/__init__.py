@@ -15,6 +15,11 @@ first-class, always-available layer across every matcher in the repo:
   scales: every N-th node plus *all* failure leaves, bounded memory.
 - :class:`ProgressReporter` — throttled heartbeats (calls/sec, depth,
   and for parallel search per-slice liveness + completion ETA).
+- :mod:`repro.obs.telemetry` — request-scoped tracing
+  (:class:`TraceContext` / :class:`TraceIdAllocator`), streaming window
+  aggregation (:class:`TelemetryAggregator`,
+  :class:`StreamingHistogram`) and the SLO watchdog (:class:`SloRule` /
+  :class:`SloWatchdog`), surfaced by ``repro trace show`` / ``repro top``.
 
 The zero-overhead contract: with no observer attached the engines hold
 ``None`` and perform no observability work at all — results are
@@ -32,8 +37,26 @@ from .metrics import (
 )
 from .progress import ProgressReporter, slice_eta
 from .sampling import SamplingTracer, TraceRecord
-from .schema import EVENT_SCHEMAS, validate_event, validate_jsonl, validate_lines
+from .schema import (
+    EVENT_SCHEMAS,
+    TRACE_FIELDS,
+    validate_event,
+    validate_jsonl,
+    validate_lines,
+)
 from .sinks import EventSink, JsonlSink, MemorySink, TeeSink
+from .telemetry import (
+    SloRule,
+    SloWatchdog,
+    StreamingHistogram,
+    TelemetryAggregator,
+    TraceContext,
+    TraceIdAllocator,
+    default_slo_rules,
+    render_top,
+    render_trace_list,
+    render_trace_tree,
+)
 
 __all__ = [
     "COUNTERS",
@@ -45,12 +68,23 @@ __all__ = [
     "PHASES",
     "ProgressReporter",
     "SamplingTracer",
+    "SloRule",
+    "SloWatchdog",
+    "StreamingHistogram",
+    "TRACE_FIELDS",
     "TeeSink",
+    "TelemetryAggregator",
+    "TraceContext",
+    "TraceIdAllocator",
     "TraceRecord",
     "VERTEX_COUNTERS",
+    "default_slo_rules",
     "hotspot_rows",
     "render_hotspots",
     "render_snapshot",
+    "render_top",
+    "render_trace_list",
+    "render_trace_tree",
     "slice_eta",
     "validate_event",
     "validate_jsonl",

@@ -43,6 +43,9 @@ cache_hit               serving layer: prepared-query cache hits (preprocessing
                         skipped entirely)
 cache_miss              serving layer: cache misses (full BuildDAG + BuildCS run)
 cache_eviction          serving layer: LRU evictions from the prepared cache
+resumes                 searches continued from a ``SearchCheckpoint`` (mirrors
+                        the ``checkpoint.resume`` event into snapshots, so resume
+                        frequency is visible without replaying the event stream)
 =====================  ==========================================================
 
 Per-run consistency invariants (asserted in the test suite)::
@@ -96,11 +99,22 @@ COUNTERS: tuple[str, ...] = (
     "cache_hit",
     "cache_miss",
     "cache_eviction",
+    # Checkpointable search (repro.resilience.checkpoint): searches
+    # continued from a suspended checkpoint.
+    "resumes",
 )
 
 #: Phase-span names used by the DAF pipeline (baselines reuse the
-#: applicable subset).  ``cs_refine`` nests inside ``cs_construct``.
-PHASES: tuple[str, ...] = ("dag_build", "cs_construct", "cs_refine", "order", "search")
+#: applicable subset).  ``cs_refine`` nests inside ``cs_construct``;
+#: ``cache_lookup`` is the serving layer's prepared-query probe.
+PHASES: tuple[str, ...] = (
+    "dag_build",
+    "cs_construct",
+    "cs_refine",
+    "order",
+    "search",
+    "cache_lookup",
+)
 
 #: Per-query-vertex attribution dimensions; ``vertex_<name>`` is the
 #: registry's int array for each, and snapshots carry them as sparse
@@ -130,7 +144,7 @@ class MetricsRegistry:
     __slots__ = (
         COUNTERS
         + tuple(f"vertex_{name}" for name in VERTEX_COUNTERS)
-        + ("spans", "candidate_sizes", "sink", "progress")
+        + ("spans", "candidate_sizes", "sink", "progress", "_trace")
     )
 
     def __init__(
@@ -146,8 +160,35 @@ class MetricsRegistry:
         self.candidate_sizes: list[int] = []
         self.sink = sink
         self.progress = progress
+        self._trace = None
         if progress is not None and progress.sink is None:
             progress.sink = sink
+
+    # -- tracing --------------------------------------------------------
+    @property
+    def trace(self):
+        """The active :class:`~repro.obs.telemetry.TraceContext` (or
+        ``None``).  While set, every event this registry emits — spans,
+        counters, histograms, progress heartbeats, arbitrary
+        :meth:`emit` payloads — is stamped with the correlation triple."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, context) -> None:
+        self._trace = context
+        if self.progress is not None:
+            self.progress.trace = context
+
+    def adopt_trace(self, payload: Optional[dict], name: str = "resume") -> None:
+        """Adopt the trace a checkpoint was captured under (resume
+        lineage): same ``trace_id``, a ``.resume`` child span.  No-op for
+        ``None``/empty payloads or when a trace is already active (the
+        caller — session, worker, CLI — then owns the context)."""
+        if not payload or self._trace is not None:
+            return
+        from .telemetry import resumed_context
+
+        self.trace = resumed_context(payload, name)
 
     # -- counters -------------------------------------------------------
     def counters(self) -> dict[str, int]:
@@ -194,9 +235,10 @@ class MetricsRegistry:
         """Accumulate ``seconds`` into phase ``name`` and emit the event."""
         self.spans[name] = self.spans.get(name, 0.0) + seconds
         if self.sink is not None:
-            self.sink.emit(
-                {"event": "span", "name": name, "seconds": round(seconds, 6)}
-            )
+            event = {"event": "span", "name": name, "seconds": round(seconds, 6)}
+            if self._trace is not None:
+                self._trace.stamp(event)
+            self.sink.emit(event)
 
     @contextmanager
     def span(self, name: str):
@@ -212,18 +254,24 @@ class MetricsRegistry:
         """Record the per-query-vertex candidate-set sizes |C(u)|."""
         self.candidate_sizes = list(sizes)
         if self.sink is not None:
-            self.sink.emit(
-                {
-                    "event": "histogram",
-                    "name": "candidates_per_vertex",
-                    "values": self.candidate_sizes,
-                }
-            )
+            event = {
+                "event": "histogram",
+                "name": "candidates_per_vertex",
+                "values": self.candidate_sizes,
+            }
+            if self._trace is not None:
+                self._trace.stamp(event)
+            self.sink.emit(event)
 
     # -- events / snapshots ---------------------------------------------
     def emit(self, event: dict) -> None:
-        """Forward an arbitrary event to the sink (no-op without one)."""
+        """Forward an arbitrary event to the sink (no-op without one),
+        stamping the active trace context (existing stamps win, so a
+        worker-stamped event re-emitted by the supervisor keeps the
+        worker's span)."""
         if self.sink is not None:
+            if self._trace is not None:
+                self._trace.stamp(event)
             self.sink.emit(event)
 
     def snapshot(self) -> dict:
@@ -246,7 +294,10 @@ class MetricsRegistry:
     def emit_counters(self) -> None:
         """Emit the final ``counters`` event (end of a search)."""
         if self.sink is not None:
-            self.sink.emit({"event": "counters", "counters": self.counters()})
+            event = {"event": "counters", "counters": self.counters()}
+            if self._trace is not None:
+                self._trace.stamp(event)
+            self.sink.emit(event)
 
     def render_summary(self) -> str:
         """Human-readable profile block (the CLI's ``--profile`` output)."""

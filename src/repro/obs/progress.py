@@ -49,6 +49,7 @@ class ProgressReporter:
         "sink",
         "stream",
         "scope",
+        "trace",
         "_countdown",
         "_start",
         "_last_time",
@@ -71,6 +72,9 @@ class ProgressReporter:
         self.sink = sink
         self.stream = stream
         self.scope = scope
+        # Set by MetricsRegistry's trace setter; heartbeats then carry
+        # the request's correlation fields like every other event.
+        self.trace = None
         self._countdown = every_calls
         now = time.perf_counter()
         self._start = now
@@ -113,6 +117,8 @@ class ProgressReporter:
 
     def _emit(self, payload: dict) -> None:
         if self.sink is not None:
+            if self.trace is not None:
+                self.trace.stamp(payload)
             self.sink.emit(payload)
         if self.stream is not None:
             line = (

@@ -51,8 +51,15 @@ def _span_map(value: object) -> bool:
     )
 
 
+#: Correlation fields stamped by :class:`repro.obs.telemetry.TraceContext`.
+#: Like ``ts``, they are implicit: any event may carry them (as strings),
+#: so they are validated once in :func:`validate_event` rather than
+#: repeated in every schema entry below.
+TRACE_FIELDS: tuple[str, ...] = ("trace_id", "span_id", "parent_span_id")
+
 #: event type -> (required fields, optional fields).  Every event also
-#: carries ``ts`` (epoch seconds, added by the sink), listed once here.
+#: carries ``ts`` (epoch seconds, added by the sink) and may carry the
+#: :data:`TRACE_FIELDS` correlation triple, listed once here.
 EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
     "run_start": (
         {"algorithm": _str, "query_vertices": _int, "data_vertices": _int},
@@ -167,6 +174,40 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
         },
         {"scope": _str, "slice": _int},
     ),
+    # Telemetry events (repro.obs.telemetry): one telemetry.window per
+    # closed aggregation window, one telemetry.alert per SLO rule breach.
+    "telemetry.window": (
+        {"index": _int, "requests": _int},
+        {
+            "errors": _int,
+            "p50_seconds": _number,
+            "p95_seconds": _number,
+            "p99_seconds": _number,
+            "cache_hits": _int,
+            "cache_misses": _int,
+            "cache_hit_rate": _number,
+            "recursive_calls": _int,
+            "embeddings": _int,
+            "calls_per_embedding": _number,
+            "worker_outcomes": _int,
+            "worker_crashes": _int,
+            "worker_retries": _int,
+            "crash_rate": _number,
+            "resumes": _int,
+            "alerts": _int,
+        },
+    ),
+    "telemetry.alert": (
+        {
+            "rule": _str,
+            "metric": _str,
+            "value": _number,
+            "threshold": _number,
+            "op": _str,
+            "window": _int,
+        },
+        {},
+    ),
     # Chaos-harness events (repro.resilience.chaos): one chaos.run per
     # scenario swept, reporting whether the faulted run's final answer
     # matched the fault-free baseline exactly.
@@ -201,7 +242,7 @@ def validate_event(event: object) -> list[str]:
                 f"{event_type}: field {name!r} has invalid value {event[name]!r}"
             )
     for name, value in event.items():
-        if name in ("event", "ts"):
+        if name in ("event", "ts") or name in TRACE_FIELDS:
             continue
         if name in required:
             continue
@@ -211,6 +252,12 @@ def validate_event(event: object) -> list[str]:
             errors.append(f"{event_type}: field {name!r} has invalid value {value!r}")
     if "ts" in event and not _number(event["ts"]):
         errors.append(f"{event_type}: 'ts' must be numeric, got {event['ts']!r}")
+    for name in TRACE_FIELDS:
+        if name in event and not _str(event[name]):
+            errors.append(
+                f"{event_type}: trace field {name!r} must be a string, "
+                f"got {event[name]!r}"
+            )
     return errors
 
 

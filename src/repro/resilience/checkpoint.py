@@ -72,6 +72,12 @@ class SearchCheckpoint:
         uninterrupted run exactly.
     embeddings:
         Embeddings collected before suspension (empty in counting mode).
+    trace:
+        Optional correlation payload (the ``to_dict()`` of the
+        :class:`repro.obs.telemetry.TraceContext` the suspended search
+        was stamped under, as a plain string dict — this module stays
+        import-free).  A resumed run adopts it so the continuation lands
+        in the same trace as the original request (resume lineage).
     """
 
     fingerprint: dict
@@ -81,6 +87,7 @@ class SearchCheckpoint:
     recursive_calls: int = 0
     embeddings_found: int = 0
     embeddings: list = field(default_factory=list)
+    trace: Optional[dict] = None
     version: int = CHECKPOINT_VERSION
 
     def __post_init__(self) -> None:
@@ -95,7 +102,7 @@ class SearchCheckpoint:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "version": self.version,
             "fingerprint": dict(self.fingerprint),
             "phase": self.phase,
@@ -105,6 +112,11 @@ class SearchCheckpoint:
             "embeddings_found": self.embeddings_found,
             "embeddings": [list(e) for e in self.embeddings],
         }
+        # Only present when a trace was active: untraced checkpoints keep
+        # the exact payload shape (and bytes) of prior versions.
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SearchCheckpoint":
@@ -129,6 +141,11 @@ class SearchCheckpoint:
                 recursive_calls=int(payload["recursive_calls"]),
                 embeddings_found=int(payload["embeddings_found"]),
                 embeddings=[tuple(int(v) for v in e) for e in payload.get("embeddings", [])],
+                trace=(
+                    dict(payload["trace"])
+                    if payload.get("trace") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointMismatchError(f"malformed checkpoint payload: {exc}") from exc

@@ -51,6 +51,7 @@ from typing import Any, Iterable, Iterator, Optional
 from ..core.matcher import DAFMatcher
 from ..graph.canonical import canonical_hash
 from ..interfaces import MatchRequest, MatchResult, SearchStats, UnsupportedOptionError
+from ..obs.telemetry import TraceContext, resumed_context
 from ..resilience.checkpoint import CheckpointMismatchError, SearchCheckpoint
 from .cache import find_isomorphism
 from .session import DataGraphSession, _remap
@@ -284,6 +285,9 @@ class BatchEngine:
         self.session = session
         self.num_workers = num_workers
         self.max_retries = max_retries
+        # Request index -> TraceContext for the batch currently running;
+        # _finish() stamps each batch.request event from it.
+        self._active_traces: dict[int, TraceContext] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -343,6 +347,8 @@ class BatchEngine:
         the next run with the same journal picks up exactly there.
         """
         requests = list(requests)
+        self._active_traces.clear()
+        observer = self.session.observer
         replayed: dict[int, dict] = {}
         if journal is not None:
             for index, record in journal.load().items():
@@ -351,6 +357,10 @@ class BatchEngine:
                 if index < len(requests) and record["status"] == "ok":
                     replayed[index] = record
         for index in sorted(replayed):
+            if observer is not None:
+                # Replays did not search, but their batch.request events
+                # should still correlate (a fresh trace per replay).
+                self._active_traces[index] = self.session.traces.allocate()
             yield self._finish(
                 journal.replay_item(index, replayed[index], requests[index])
             )
@@ -436,6 +446,26 @@ class BatchEngine:
             options = replace(options, budget=budget)
         return options
 
+    def _request_trace(self, group: _Group, options) -> TraceContext:
+        """Pre-allocate the group's trace: resume lineage wins, else a
+        fresh id; followers become ``dup<i>`` child spans of the leader
+        (the dedup relationship stays visible in the trace tree)."""
+        resume = options.resume_from
+        payload = None
+        if resume is not None:
+            payload = (
+                resume.get("trace")
+                if isinstance(resume, dict)
+                else getattr(resume, "trace", None)
+            )
+        context = resumed_context(payload)
+        if context is None:
+            context = self.session.traces.allocate()
+        self._active_traces[group.leader] = context
+        for follower_index, _pi in group.followers:
+            self._active_traces[follower_index] = context.child(f"dup{follower_index}")
+        return context
+
     def _items_for_group(
         self,
         requests: list[MatchRequest],
@@ -496,11 +526,15 @@ class BatchEngine:
                 options = replace(options, resume_from=resume)
         cache = self.session.cache
         hits0, misses0 = cache.hits, cache.misses
+        trace = None
+        if self.session.observer is not None:
+            trace = self._request_trace(group, options)
         start = time.perf_counter()
         while True:
             try:
                 result = self.session.run(
-                    MatchRequest(query=request.query, options=options, tag=request.tag)
+                    MatchRequest(query=request.query, options=options, tag=request.tag),
+                    trace=trace,
                 )
                 status, error = "ok", ""
             except CheckpointMismatchError as exc:
@@ -551,6 +585,10 @@ class BatchEngine:
                 # cache-aware via the session).
                 yield from self._run_group(requests, group, budget, journal)
                 continue
+            observer = session.observer
+            trace = None
+            if observer is not None:
+                trace = self._request_trace(group, options)
             unsupported = [
                 name
                 for name in options.non_default_fields()
@@ -564,9 +602,21 @@ class BatchEngine:
                 continue
             prep_start = time.perf_counter()
             try:
-                prepared, pi, preprocess, cache_state = session._lookup_or_prepare(
-                    matcher, request.query, None
-                )
+                if observer is not None:
+                    # Parent-side preprocessing runs under the request's
+                    # context (the forked search itself is unobserved).
+                    previous = observer.trace
+                    observer.trace = trace
+                    try:
+                        prepared, pi, preprocess, cache_state = (
+                            session._lookup_or_prepare(matcher, request.query, None)
+                        )
+                    finally:
+                        observer.trace = previous
+                else:
+                    prepared, pi, preprocess, cache_state = session._lookup_or_prepare(
+                        matcher, request.query, None
+                    )
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 yield from self._items_for_group(
@@ -711,5 +761,8 @@ class BatchEngine:
                 )
             if item.error:
                 event["error"] = item.error
+            trace = self._active_traces.get(item.index)
+            if trace is not None:
+                trace.stamp(event)
             observer.emit(event)
         return item

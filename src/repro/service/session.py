@@ -35,6 +35,7 @@ from ..interfaces import (
     SearchStats,
     UnsupportedOptionError,
 )
+from ..obs.telemetry import TraceContext, TraceIdAllocator, resumed_context
 from ..resilience.budget import BudgetExceeded
 from .cache import PreparedQueryCache
 
@@ -96,15 +97,29 @@ class DataGraphSession:
         self.matcher: Matcher = matcher if matcher is not None else DAFMatcher()
         self.observer = observer
         self.cache = PreparedQueryCache(cache_size, observer=observer)
+        # Deterministic per-session trace ids: request N is always tN
+        # (same-seed reruns produce bit-identical streams).
+        self.traces = TraceIdAllocator()
 
     # ------------------------------------------------------------------
-    def run(self, request: MatchRequest, matcher: Optional[Matcher] = None) -> MatchResult:
+    def run(
+        self,
+        request: MatchRequest,
+        matcher: Optional[Matcher] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> MatchResult:
         """Execute one :class:`~repro.interfaces.MatchRequest` against the
         session's data graph.
 
         ``request.data`` must be ``None`` (the session supplies its graph)
         or the session's graph itself; anything else is an error — a
         session's cache entries are only valid for its own graph.
+
+        When the session is observed, every event the request emits is
+        stamped with a :class:`~repro.obs.TraceContext` — the one passed
+        in (``BatchEngine`` pre-allocates), the resumed request's original
+        context (when ``options.resume_from`` carries one), or a fresh id
+        from the session's allocator.
         """
         matcher = matcher if matcher is not None else self.matcher
         if request.data is not None and request.data is not self.data:
@@ -112,12 +127,43 @@ class DataGraphSession:
                 "request carries a different data graph than this session; "
                 "open a separate DataGraphSession for it"
             )
-        if isinstance(matcher, DAFMatcher):
-            return self._run_daf(matcher, request)
-        bound = MatchRequest(
-            query=request.query, data=self.data, options=request.options, tag=request.tag
-        )
-        return matcher.run_request(bound)
+        observer = self.observer
+        previous = None
+        if observer is not None:
+            if trace is None:
+                trace = self._request_trace(request)
+            previous = observer.trace
+            observer.trace = trace
+        try:
+            if isinstance(matcher, DAFMatcher):
+                return self._run_daf(matcher, request)
+            bound = MatchRequest(
+                query=request.query,
+                data=self.data,
+                options=request.options,
+                tag=request.tag,
+            )
+            return matcher.run_request(bound)
+        finally:
+            if observer is not None:
+                observer.trace = previous
+
+    def _request_trace(self, request: MatchRequest) -> TraceContext:
+        """The context a request runs under: resume lineage wins (the
+        continuation stays inside the original request's trace), else a
+        fresh deterministic id."""
+        resume = request.options.resume_from
+        payload = None
+        if resume is not None:
+            payload = (
+                resume.get("trace")
+                if isinstance(resume, dict)
+                else getattr(resume, "trace", None)
+            )
+        resumed = resumed_context(payload)
+        if resumed is not None:
+            return resumed
+        return self.traces.allocate()
 
     def warm(self, queries) -> int:
         """Prepare (or touch) each query so later requests hit the cache.
@@ -147,6 +193,8 @@ class DataGraphSession:
         """
         start = time.perf_counter()
         found = self.cache.lookup(query)
+        if self.observer is not None:
+            self.observer.record_span("cache_lookup", time.perf_counter() - start)
         if found is not None:
             entry, pi = found
             if pi == tuple(range(query.num_vertices)):

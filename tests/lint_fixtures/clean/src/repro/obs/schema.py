@@ -2,4 +2,5 @@
 
 EVENT_SCHEMAS = {
     "ping": ({"x": int}, {"y": int}),
+    "telemetry.window": ({"index": int}, {"resumes": int}),
 }

@@ -42,6 +42,7 @@ BAD_FIXTURES = {
             ("src/repro/core/engine.py", 10),  # undeclared counter
             ("src/repro/core/engine.py", 12),  # undeclared vertex dimension
             ("src/repro/core/engine.py", 14),  # unknown phase
+            ("src/repro/core/engine.py", 15),  # unknown field 'verdict' (trace fields stay implicit)
             ("src/repro/obs/metrics.py", 3),  # dead counter slot
             ("src/repro/obs/schema.py", 5),  # dead schema entry
         },

@@ -1,0 +1,588 @@
+"""Request-scoped tracing + live telemetry (docs/observability.md).
+
+Four contracts under test:
+
+- **trace substrate** — deterministic ids (DET001: counter-derived, never
+  wall-clock/random), structural span names, setdefault stamping so a
+  supervisor re-emission never overwrites a worker-stamped span;
+- **propagation** — one trace id survives the session -> batch -> worker
+  pipe -> checkpoint -> resume pipeline, and untraced checkpoints keep
+  the exact payload bytes of prior versions;
+- **aggregation** — the streaming windows/percentiles/rates fold events
+  deterministically, the SLO watchdog fires alerts, and the export
+  round-trips through ``validate_export``;
+- **zero interference** — tracing on vs. off changes no search result,
+  and the JSONL stream stays line-atomic and schema-valid under
+  fork-based parallel dispatch.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import Budget, DAFMatcher
+from repro.extensions import ParallelDAFMatcher
+from repro.graph import Graph, ensure_connected, gnm_random_graph
+from repro.interfaces import MatchOptions, MatchRequest
+from repro.obs import JsonlSink, MetricsRegistry, TeeSink
+from repro.obs.schema import TRACE_FIELDS, validate_event, validate_jsonl
+from repro.obs.telemetry import (
+    SloRule,
+    SloWatchdog,
+    StreamingHistogram,
+    TelemetryAggregator,
+    TraceContext,
+    TraceIdAllocator,
+    collect_traces,
+    default_slo_rules,
+    read_events,
+    render_top,
+    render_trace_list,
+    render_trace_tree,
+    resumed_context,
+    validate_export,
+)
+from repro.resilience import SearchCheckpoint
+from repro.resilience.faults import FaultSpec, inject
+from repro.service import BatchEngine, DataGraphSession
+
+LIMIT = 10**9
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = random.Random(99)
+    data = ensure_connected(gnm_random_graph(24, 80, ["A"] * 24, rng), rng)
+    query = ensure_connected(gnm_random_graph(4, 4, ["A"] * 4, rng), rng)
+    return query, data
+
+
+def session_events(query, data, runs=1, sink_events=None):
+    """Run ``query`` through an observed session ``runs`` times; return
+    the emitted events and the results."""
+    events = [] if sink_events is None else sink_events
+    observer = MetricsRegistry(sink=_ListSink(events))
+    session = DataGraphSession(data, observer=observer)
+    results = [
+        session.run(MatchRequest(query, options=MatchOptions(limit=LIMIT)))
+        for _ in range(runs)
+    ]
+    return events, results
+
+
+class _ListSink:
+    def __init__(self, events):
+        self.events = events
+
+    def emit(self, event):
+        self.events.append(dict(event))
+
+    def close(self):
+        pass
+
+
+# ----------------------------------------------------------------------
+# Trace substrate
+# ----------------------------------------------------------------------
+class TestTraceContext:
+    def test_child_spans_are_structural(self):
+        root = TraceContext("t000001")
+        assert (root.trace_id, root.span_id, root.parent_span_id) == ("t000001", "s0", None)
+        worker = root.child("w2a0")
+        assert worker.trace_id == "t000001"
+        assert worker.span_id == "s0.w2a0"
+        assert worker.parent_span_id == "s0"
+        assert worker.child("resume").span_id == "s0.w2a0.resume"
+
+    def test_stamp_uses_setdefault_semantics(self):
+        # A supervisor re-emitting a worker-stamped event must not
+        # overwrite the worker's span with its own.
+        worker = TraceContext("t1", "s0.w0a0", "s0")
+        supervisor = TraceContext("t1")
+        event = worker.stamp({"event": "worker"})
+        supervisor.stamp(event)
+        assert event["span_id"] == "s0.w0a0"
+        assert event["parent_span_id"] == "s0"
+
+    def test_dict_round_trip(self):
+        ctx = TraceContext("t000007", "s0.dup1", "s0")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_allocator_is_deterministic(self):
+        a, b = TraceIdAllocator(), TraceIdAllocator()
+        ids = [a.allocate().trace_id for _ in range(3)]
+        assert ids == [b.allocate().trace_id for _ in range(3)]
+        assert ids == sorted(ids)  # monotone => stable sort order in listings
+
+    def test_resumed_context_none_in_none_out(self):
+        assert resumed_context(None) is None
+        resumed = resumed_context({"trace_id": "t1", "span_id": "s0"})
+        assert resumed.span_id == "s0.resume"
+        assert resumed.parent_span_id == "s0"
+
+
+class TestStreamingHistogram:
+    def test_empty_is_none(self):
+        assert StreamingHistogram().percentile(95) is None
+
+    def test_single_value_every_percentile(self):
+        hist = StreamingHistogram()
+        hist.add(0.003)
+        for q in (50, 95, 99):
+            estimate = hist.percentile(q)
+            assert estimate is not None and estimate >= 0.003
+
+    def test_percentiles_are_monotone_and_bound_observed_values(self):
+        hist = StreamingHistogram()
+        rng = random.Random(7)
+        values = [rng.random() * 0.1 for _ in range(500)]
+        for value in values:
+            hist.add(value)
+        p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+        assert p50 <= p95 <= p99
+        # Upper-edge estimates are conservative: never below the true rank
+        # value's bucket, never above the observed maximum.
+        assert p99 <= max(values)
+
+    def test_overflow_reports_observed_max(self):
+        hist = StreamingHistogram(bounds=(0.001, 0.01))
+        hist.add(123.0)
+        assert hist.percentile(99) == 123.0
+        assert hist.max_value == 123.0
+
+
+# ----------------------------------------------------------------------
+# SLO watchdog
+# ----------------------------------------------------------------------
+class TestWatchdog:
+    def test_op_is_validated(self):
+        with pytest.raises(ValueError):
+            SloRule("x", "p95_seconds", "==", 1.0)
+
+    def test_ceiling_and_floor_semantics(self):
+        ceiling = SloRule("lat", "p95_seconds", "<=", 0.1)
+        floor = SloRule("hits", "cache_hit_rate", ">=", 0.5)
+        assert ceiling.breached({"p95_seconds": 0.2})
+        assert not ceiling.breached({"p95_seconds": 0.1})
+        assert floor.breached({"cache_hit_rate": 0.4})
+        assert not floor.breached({"cache_hit_rate": 0.5})
+        # A window missing the metric never fires.
+        assert not ceiling.breached({})
+        assert not floor.breached({})
+
+    def test_default_rules_omit_unset_thresholds(self):
+        assert default_slo_rules() == []
+        rules = default_slo_rules(p95_seconds=0.1, crash_rate_ceiling=0.0)
+        assert [r.metric for r in rules] == ["p95_seconds", "crash_rate"]
+
+    def test_alerts_are_schemad_events_and_callbacks_fire(self):
+        watchdog = SloWatchdog(default_slo_rules(p95_seconds=0.001))
+        seen = []
+        watchdog.subscribe(seen.append)
+        fired = watchdog.evaluate({"index": 3, "p95_seconds": 0.5})
+        assert len(fired) == 1 and fired[0]["window"] == 3
+        assert seen == fired
+        assert watchdog.alerts == fired
+        assert validate_event(dict(fired[0], ts=0.0)) == []
+
+
+# ----------------------------------------------------------------------
+# Streaming aggregation
+# ----------------------------------------------------------------------
+def batch_request(index, *, status="ok", cache="miss", elapsed=0.001, embeddings=1):
+    return {
+        "event": "batch.request",
+        "index": index,
+        "tag": f"q{index}",
+        "status": status,
+        "cache": cache,
+        "elapsed_seconds": elapsed,
+        "recursive_calls": 10,
+        "embeddings": embeddings,
+    }
+
+
+class TestAggregator:
+    def test_windows_close_on_request_count(self):
+        agg = TelemetryAggregator(window_requests=2)
+        for index in range(5):
+            agg.emit(batch_request(index, cache="hit" if index % 2 else "miss"))
+        assert len(agg.windows) == 2  # fifth request still open
+        agg.flush()
+        assert len(agg.windows) == 3
+        assert [w["requests"] for w in agg.windows] == [2, 2, 1]
+        assert agg.windows[0]["cache_hit_rate"] == 0.5
+
+    def test_window_events_are_schema_valid_and_teed(self):
+        out = []
+        agg = TelemetryAggregator(window_requests=1, out=_ListSink(out))
+        agg.emit(batch_request(0))
+        assert [e["event"] for e in out] == ["telemetry.window"]
+        assert validate_event(dict(out[0], ts=0.0)) == []
+
+    def test_own_output_is_not_double_counted_on_replay(self):
+        # `repro top` feeds a recorded stream back through an aggregator;
+        # the stream contains the original run's telemetry.window events.
+        agg = TelemetryAggregator(window_requests=1)
+        agg.emit(batch_request(0))
+        replayed = TelemetryAggregator(window_requests=1)
+        for event in [batch_request(0)] + [dict(w, event="telemetry.window") for w in agg.windows]:
+            replayed.emit(event)
+        assert replayed.summary()["requests"] == 1
+
+    def test_worker_crashes_retries_and_resumes_roll_up(self):
+        agg = TelemetryAggregator(window_requests=1)
+        agg.emit({"event": "worker", "status": "crashed", "attempts": 3})
+        agg.emit({"event": "worker", "status": "ok", "attempts": 1})
+        agg.emit({"event": "checkpoint.resume", "depth": 1})
+        agg.emit(batch_request(0))
+        window = agg.windows[0]
+        assert window["worker_outcomes"] == 2
+        assert window["worker_crashes"] == 1
+        assert window["worker_retries"] == 2
+        assert window["crash_rate"] == 0.5
+        assert window["resumes"] == 1
+
+    def test_run_end_events_count_too(self):
+        agg = TelemetryAggregator(window_requests=1)
+        agg.emit({
+            "event": "run_end",
+            "solved": True,
+            "recursive_calls": 5,
+            "embeddings": 2,
+            "spans": {"search": 0.004},
+        })
+        window = agg.windows[0]
+        assert window["requests"] == 1 and window["errors"] == 0
+        assert window["p95_seconds"] > 0
+
+    def test_watchdog_alerts_fire_per_window(self):
+        agg = TelemetryAggregator(
+            window_requests=1,
+            watchdog=SloWatchdog(default_slo_rules(hit_rate_floor=0.9)),
+        )
+        agg.emit(batch_request(0, cache="miss"))
+        agg.emit(batch_request(1, cache="hit"))
+        assert [w["alerts"] for w in agg.windows] == [1, 0]
+        assert agg.summary()["alerts"] == 1
+
+    def test_history_bound_reports_dropped_windows(self):
+        agg = TelemetryAggregator(window_requests=1, history=2)
+        for index in range(5):
+            agg.emit(batch_request(index))
+        assert len(agg.windows) == 2
+        assert agg.export()["dropped_windows"] == 3
+        assert agg.summary()["windows"] == 5
+
+    def test_export_round_trips_through_validate_export(self, tmp_path):
+        agg = TelemetryAggregator(
+            window_requests=1,
+            watchdog=SloWatchdog(default_slo_rules(p95_seconds=1e-9)),
+        )
+        agg.emit(batch_request(0))
+        path = tmp_path / "telemetry.json"
+        agg.export_json(path)
+        assert validate_export(path) == []
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.obs.telemetry"
+        assert document["totals"]["requests"] == 1
+        assert len(document["alerts"]) == 1
+
+    def test_validate_export_rejects_drifted_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "schema": "repro.obs.telemetry",
+            "windows": [{"index": 0}],  # missing required 'requests'
+            "alerts": [],
+        }))
+        assert validate_export(path) != []
+
+
+# ----------------------------------------------------------------------
+# Propagation: session -> batch -> workers -> checkpoints
+# ----------------------------------------------------------------------
+class TestSessionTracing:
+    def test_every_event_is_stamped_with_deterministic_ids(self, instance):
+        query, data = instance
+        events, _results = session_events(query, data, runs=2)
+        assert events
+        assert {e["trace_id"] for e in events} == {"t000001", "t000002"}
+        for event in events:
+            assert event["span_id"] == "s0"
+        assert validate_event(events[0]) == []
+
+    def test_trace_ids_bit_identical_across_reruns(self, instance):
+        query, data = instance
+        first, _ = session_events(query, data, runs=3)
+        second, _ = session_events(query, data, runs=3)
+
+        def projection(events):
+            # Everything but the wall-clock measurements must replay
+            # bit-identically: same events, same order, same ids.
+            timings = ("ts", "seconds", "elapsed_seconds", "eta_seconds", "spans")
+            return [
+                {k: v for k, v in e.items() if k not in timings} for e in events
+            ]
+
+        assert projection(first) == projection(second)
+
+    def test_tracing_changes_no_results(self, instance):
+        query, data = instance
+        plain = DataGraphSession(data).run(MatchRequest(query, options=MatchOptions(limit=LIMIT)))
+        _events, traced = session_events(query, data)
+        assert traced[0].embeddings == plain.embeddings
+        assert traced[0].stats.recursive_calls == plain.stats.recursive_calls
+
+    def test_unobserved_sessions_emit_nothing(self, instance):
+        query, data = instance
+        session = DataGraphSession(data)
+        result = session.run(MatchRequest(query, options=MatchOptions(limit=LIMIT)))
+        assert result.solved  # and no sink ever existed to receive events
+
+
+class TestBatchTracing:
+    def test_duplicate_requests_share_a_trace_with_dup_spans(self, instance):
+        query, data = instance
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        session = DataGraphSession(data, observer=observer)
+        engine = BatchEngine(session)
+        results = list(
+            engine.run_iter([MatchRequest(query, options=MatchOptions(limit=LIMIT))] * 3)
+        )
+        assert len(results) == 3
+        requests = [e for e in events if e["event"] == "batch.request"]
+        assert len(requests) == 3
+        # Deduped followers ride the leader's trace as dup children.
+        assert {e["trace_id"] for e in requests} == {"t000001"}
+        assert sorted(e["span_id"] for e in requests) == ["s0", "s0.dup1", "s0.dup2"]
+
+    def test_distinct_queries_get_distinct_traces(self, instance):
+        query, data = instance
+        other = Graph(labels=["A", "A"], edges=[(0, 1)])
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        session = DataGraphSession(data, observer=observer)
+        engine = BatchEngine(session)
+        list(engine.run_iter([
+            MatchRequest(query, options=MatchOptions(limit=LIMIT)),
+            MatchRequest(other, options=MatchOptions(limit=LIMIT)),
+        ]))
+        requests = [e for e in events if e["event"] == "batch.request"]
+        assert [e["trace_id"] for e in requests] == ["t000001", "t000002"]
+
+    def test_trace_listing_reconstructs_the_batch(self, instance):
+        query, data = instance
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        session = DataGraphSession(data, observer=observer)
+        engine = BatchEngine(session)
+        list(engine.run_iter([MatchRequest(query, options=MatchOptions(limit=LIMIT))] * 2))
+        traces = collect_traces(events)
+        assert set(traces) == {"t000001"}
+        tree = render_trace_tree(events, "t000001")
+        assert "s0.dup1" in tree
+        assert "t000001" in render_trace_list(traces)
+
+
+class TestParallelTracing:
+    def test_worker_spans_survive_the_pipe(self, instance):
+        query, data = instance
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        observer.trace = TraceIdAllocator().allocate()
+        matcher = ParallelDAFMatcher(num_workers=2).with_observer(observer)
+        result = matcher.match(MatchRequest(query, options=MatchOptions(limit=LIMIT), data=data))
+        assert result.solved
+        workers = [e for e in events if e["event"] == "worker"]
+        assert sorted(e["span_id"] for e in workers) == ["s0.w0a0", "s0.w1a0"]
+        assert {e["trace_id"] for e in workers} == {"t000001"}
+        assert all(e["parent_span_id"] == "s0" for e in workers)
+
+    @pytest.mark.faults
+    def test_crash_retry_lineage_is_visible_in_spans(self, instance):
+        query, data = instance
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        observer.trace = TraceIdAllocator().allocate()
+        matcher = ParallelDAFMatcher(
+            num_workers=2, max_retries=2, backoff_base=0.01
+        ).with_observer(observer)
+        spec = FaultSpec(
+            site="worker.start", kind="exit", match={"slice_index": 0, "attempt": 0}
+        )
+        with inject(spec):
+            result = matcher.match(
+                MatchRequest(query, options=MatchOptions(limit=LIMIT), data=data)
+            )
+        assert result.solved and not result.partial_failure
+        spans = {e["span_id"] for e in events if e["event"] == "worker"}
+        # The retried slice appears under a new attempt span; the crash
+        # and the recovery are distinguishable from the ids alone.
+        assert "s0.w0a1" in spans
+        assert "s0.w1a0" in spans
+
+
+class TestCheckpointTracing:
+    def test_untraced_checkpoints_keep_prior_payload_bytes(self, instance):
+        query, data = instance
+        matcher = DAFMatcher()
+        options = MatchOptions(limit=LIMIT, budget=Budget(max_calls=10))
+        result = matcher.match(MatchRequest(query, options=options, data=data))
+        ckpt = result.checkpoint
+        assert ckpt is not None and ckpt.trace is None
+        payload = ckpt.to_dict()
+        assert "trace" not in payload  # bit-compatible with pre-trace payloads
+        assert SearchCheckpoint.from_dict(payload).to_dict() == payload
+
+    def test_traced_checkpoints_round_trip_bit_identically(self, instance):
+        query, data = instance
+        events, observer = [], None
+        observer = MetricsRegistry(sink=_ListSink(events))
+        observer.trace = TraceIdAllocator().allocate()
+        matcher = DAFMatcher()
+        matcher.observer = observer
+        options = MatchOptions(limit=LIMIT, budget=Budget(max_calls=10))
+        result = matcher.match(MatchRequest(query, options=options, data=data))
+        ckpt = result.checkpoint
+        assert ckpt.trace == {"trace_id": "t000001", "span_id": "s0"}
+        encoded = json.dumps(ckpt.to_dict(), sort_keys=True)
+        rebuilt = SearchCheckpoint.from_dict(json.loads(encoded))
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == encoded
+
+    def test_resume_adopts_the_lineage_and_counts(self, instance):
+        query, data = instance
+        matcher = DAFMatcher()
+        observer = MetricsRegistry(sink=_ListSink([]))
+        observer.trace = TraceIdAllocator().allocate()
+        matcher.observer = observer
+        options = MatchOptions(limit=LIMIT, budget=Budget(max_calls=10))
+        suspended = matcher.match(MatchRequest(query, options=options, data=data))
+        assert suspended.checkpoint is not None
+
+        events = []
+        resumed_matcher = DAFMatcher()
+        resumed_obs = MetricsRegistry(sink=_ListSink(events))
+        resumed_matcher.observer = resumed_obs
+        resume_options = MatchOptions(limit=LIMIT, resume_from=suspended.checkpoint)
+        result = resumed_matcher.match(
+            MatchRequest(query, options=resume_options, data=data)
+        )
+        assert result.solved
+        assert resumed_obs.resumes == 1
+        resume_events = [e for e in events if e["event"] == "checkpoint.resume"]
+        assert resume_events and resume_events[0]["trace_id"] == "t000001"
+        assert resume_events[0]["span_id"] == "s0.resume"
+        # Everything from the resume on stays inside the original trace
+        # (the prepare spans before it ran before the lineage was known).
+        start = events.index(resume_events[0])
+        assert all(e.get("trace_id") == "t000001" for e in events[start:])
+
+    def test_session_resume_reuses_the_original_trace(self, instance):
+        query, data = instance
+        events = []
+        observer = MetricsRegistry(sink=_ListSink(events))
+        session = DataGraphSession(data, observer=observer)
+        options = MatchOptions(limit=LIMIT, budget=Budget(max_calls=10))
+        suspended = session.run(MatchRequest(query, options=options))
+        assert suspended.checkpoint is not None
+        session.run(
+            MatchRequest(
+                query,
+                options=MatchOptions(limit=LIMIT, resume_from=suspended.checkpoint),
+            )
+        )
+        # The continuation did NOT burn a fresh trace id: it rejoined
+        # t000001 under a .resume span.
+        spans = {(e["trace_id"], e["span_id"]) for e in events}
+        assert ("t000001", "s0.resume") in spans
+        assert not any(trace == "t000002" for trace, _span in spans)
+
+
+# ----------------------------------------------------------------------
+# JSONL integrity under parallel dispatch
+# ----------------------------------------------------------------------
+class TestJsonlUnderParallelDispatch:
+    def test_stream_is_line_atomic_and_schema_valid(self, instance, tmp_path):
+        query, data = instance
+        path = tmp_path / "parallel.jsonl"
+        sink = JsonlSink(path)
+        observer = MetricsRegistry(sink=sink)
+        observer.trace = TraceIdAllocator().allocate()
+        matcher = ParallelDAFMatcher(num_workers=3).with_observer(observer)
+        result = matcher.match(
+            MatchRequest(query, options=MatchOptions(limit=LIMIT), data=data)
+        )
+        sink.close()
+        assert result.solved
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:  # every line parses alone => no interleaving
+            json.loads(line)
+        assert validate_jsonl(path) == []
+        events = read_events(path)
+        assert {e["trace_id"] for e in events if "trace_id" in e} == {"t000001"}
+
+    def test_aggregator_tee_keeps_the_stream_valid(self, instance, tmp_path):
+        query, data = instance
+        path = tmp_path / "teed.jsonl"
+        sink = JsonlSink(path)
+        aggregator = TelemetryAggregator(window_requests=1, out=sink)
+        observer = MetricsRegistry(sink=TeeSink(sink, aggregator))
+        session = DataGraphSession(data, observer=observer)
+        engine = BatchEngine(session)
+        list(engine.run_iter([MatchRequest(query, options=MatchOptions(limit=LIMIT))] * 2))
+        aggregator.close()
+        sink.close()
+        assert validate_jsonl(path) == []
+        kinds = {e["event"] for e in read_events(path)}
+        assert "telemetry.window" in kinds
+        assert "batch.request" in kinds
+        assert render_top(aggregator)  # renders without raising
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture()
+    def recorded(self, instance, tmp_path):
+        query, data = instance
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        aggregator = TelemetryAggregator(window_requests=1, out=sink)
+        observer = MetricsRegistry(sink=TeeSink(sink, aggregator))
+        session = DataGraphSession(data, observer=observer)
+        engine = BatchEngine(session)
+        list(engine.run_iter([MatchRequest(query, options=MatchOptions(limit=LIMIT))] * 2))
+        aggregator.close()
+        sink.close()
+        return path
+
+    def test_trace_show_lists_and_renders(self, recorded, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "show", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "t000001" in out
+        assert main(["trace", "show", str(recorded), "--trace", "t000001"]) == 0
+        tree = capsys.readouterr().out
+        assert "s0" in tree and "t000001" in tree
+
+    def test_trace_show_unknown_id_fails(self, recorded, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "show", str(recorded), "--trace", "t999999"]) == 1
+        capsys.readouterr()
+
+    def test_top_reports_windows_and_seeded_alert(self, recorded, capsys):
+        from repro.cli import main
+
+        assert main([
+            "top", str(recorded), "--window", "1", "--slo-p95", "0.0000001"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "window" in out
+        assert "ALERT" in out
+        assert "p95" in out
