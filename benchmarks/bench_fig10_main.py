@@ -6,11 +6,17 @@ where DAF's per-node overhead (weights + failing sets) shows.
 """
 
 from repro.bench import figure10
+from repro.bench.hotspots import paper_worked_example
+from repro.obs.explain import explain_analyze
 
 
 def test_fig10_cfl_da_daf(benchmark, profile, record_rows):
     rows = benchmark.pedantic(figure10, args=(profile,), rounds=1, iterations=1)
-    record_rows(rows, "Figure 10 — CFL-Match vs DA vs DAF", "fig10.txt")
+    # A forensic sidecar rides along with the figure: EXPLAIN ANALYZE of
+    # the §6 worked example under the full DAF configuration, written to
+    # results/fig10.explain.json and schema-checked in CI.
+    report = explain_analyze(*paper_worked_example())
+    record_rows(rows, "Figure 10 — CFL-Match vs DA vs DAF", "fig10.txt", explain=report)
     assert rows
 
     def totals(algorithm: str, key: str) -> float:

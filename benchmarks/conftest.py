@@ -92,15 +92,21 @@ def record_rows(manifest_writer):
 
     Pass ``metrics=<registry snapshot>`` to additionally write a
     ``<name>.metrics.json`` sidecar (prune counters + spans) next to the
-    table.  Either way the figure's rows join the session manifest via
-    the shared :class:`~repro.bench.ManifestWriter`.
+    table, and ``explain=<ExplainReport>`` to write a schema-validated
+    ``<name>.explain.json`` forensics sidecar (per-vertex planned vs
+    actual effort; see docs/explain.md).  Either way the figure's rows
+    join the session manifest via the shared
+    :class:`~repro.bench.ManifestWriter`.
     """
 
-    def _record(rows, title: str, filename: str, metrics=None) -> None:
+    def _record(rows, title: str, filename: str, metrics=None, explain=None) -> None:
         text = render_table(rows, title)
         print("\n" + text)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / filename).write_text(text, encoding="utf-8")
-        manifest_writer.add_figure(Path(filename).stem, rows, metrics=metrics, title=title)
+        stem = Path(filename).stem
+        if explain is not None:
+            explain.save(RESULTS_DIR / f"{stem}.explain.json")
+        manifest_writer.add_figure(stem, rows, metrics=metrics, title=title)
 
     return _record

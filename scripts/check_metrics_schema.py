@@ -5,7 +5,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_metrics_schema.py FILE [FILE ...]
 
-Two file kinds are recognized:
+Four file kinds are recognized:
 
 - **JSONL event streams** as produced by ``repro.obs.JsonlSink`` (the
   CLI's ``--metrics-out``, the benchmark harness's session sink, or any
@@ -19,7 +19,12 @@ Two file kinds are recognized:
   "repro.obs.telemetry"``, as written by ``repro serve-batch
   --telemetry-out``) — windows and alerts validated against the
   ``telemetry.window`` / ``telemetry.alert`` event schemas by
-  :func:`repro.obs.telemetry.validate_export`.
+  :func:`repro.obs.telemetry.validate_export`;
+- **explain reports** (JSON objects tagged ``"schema":
+  "repro.obs.explain"``, as written by ``repro explain analyze
+  --json``) — the flat summary re-validated as an ``explain.report``
+  event and the totals/spans/per-vertex rows checked by
+  :func:`repro.obs.schema.validate_explain_report`.
 
 See ``docs/observability.md`` for the event field tables and
 ``docs/benchmarks.md`` for the manifest format.
@@ -40,6 +45,7 @@ except ImportError:  # direct invocation without PYTHONPATH
     from repro.obs.schema import validate_jsonl
 
 from repro.bench.manifest import MANIFEST_SCHEMA, manifest_index, validate_manifest_file
+from repro.obs.schema import EXPLAIN_SCHEMA, validate_explain_report
 from repro.obs.telemetry import TELEMETRY_SCHEMA, validate_export
 
 
@@ -66,6 +72,11 @@ def is_telemetry_export(path: Path) -> bool:
     return _is_single_object_with_tag(path, TELEMETRY_SCHEMA)
 
 
+def is_explain_report(path: Path) -> bool:
+    """Explain-report detection: the ``repro.obs.explain`` tag."""
+    return _is_single_object_with_tag(path, EXPLAIN_SCHEMA)
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
@@ -83,6 +94,9 @@ def main(argv: list[str]) -> int:
         elif is_telemetry_export(path):
             errors = validate_export(path)
             kind = "telemetry"
+        elif is_explain_report(path):
+            errors = validate_explain_report(path)
+            kind = "explain"
         else:
             errors = validate_jsonl(path)
             kind = "events"

@@ -102,6 +102,21 @@ timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
     python -m pytest -q tests/test_obs.py -k ZeroOverhead
 "
 
+echo "==> explain smoke (cap: ${OBS_TIMEOUT}s)"
+# Post-run forensics round-trip (docs/explain.md): EXPLAIN ANALYZE a
+# seed query, validate the JSON report as the fourth schema-checked
+# file kind, and self-diff it — a report diffed against itself must
+# classify zero differences, so the --gate exit code is the assertion.
+timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
+    python -m repro explain analyze \"\$(ls '$OBS_TMP'/q/*.graph | head -1)\" \
+        '$OBS_TMP/yeast.graph' --limit 1000 \
+        --json '$OBS_TMP/explain.json' >/dev/null
+    python scripts/check_metrics_schema.py '$OBS_TMP/explain.json'
+    python -m repro explain diff '$OBS_TMP/explain.json' \
+        '$OBS_TMP/explain.json' --gate \
+        | grep -q '0 per-vertex difference(s), 0 regression(s)'
+"
+
 echo "==> perf gate: smoke bench vs BENCH_0.json (cap: ${BENCH_TIMEOUT}s)"
 # Re-run the smoke-profile benchmark, write a fresh manifest, validate
 # both against the manifest schema, then diff: deterministic counters

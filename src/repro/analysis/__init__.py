@@ -1,5 +1,15 @@
-"""Downstream analysis built on the matcher: motifs and automorphisms."""
+"""Downstream analysis built on the matcher: motifs, automorphisms, and
+the deterministic feature rows behind EXPLAIN ANALYZE (docs/explain.md)."""
 
+from .features import (
+    FEATURE_COLUMNS,
+    effort_features,
+    feature_row,
+    graph_features,
+    pair_features,
+    plan_features,
+    validate_feature_row,
+)
 from .motifs import (
     MotifCensus,
     MotifReport,
@@ -10,10 +20,17 @@ from .motifs import (
 )
 
 __all__ = [
+    "FEATURE_COLUMNS",
     "MotifCensus",
     "MotifReport",
     "automorphism_count",
     "automorphisms",
     "count_occurrences",
+    "effort_features",
+    "feature_row",
+    "graph_features",
     "occurrence_vertex_sets",
+    "pair_features",
+    "plan_features",
+    "validate_feature_row",
 ]

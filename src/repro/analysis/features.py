@@ -1,0 +1,180 @@
+"""Deterministic query/data/plan/effort feature extraction.
+
+*Deep Analysis on Subgraph Isomorphism* (PAPERS.md) shows no single
+algorithm or matching order dominates across workloads — an algorithm
+selector needs cheap, reproducible features of the (query, data) pair
+plus the post-run effort profile to learn from.  This module is that
+substrate: every feature is a pure function of graph structure or of
+deterministic counters (never wall-clock), so the same instance always
+yields the same row, bit for bit.
+
+Rows are flat ``name -> number`` dicts drawn from the
+:data:`FEATURE_COLUMNS` catalogue; :func:`validate_feature_row` gates
+drift.  :func:`repro.obs.explain.build_report` embeds one row in every
+EXPLAIN ANALYZE report (the ``features`` block — see docs/explain.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.filters import initial_candidate_count
+from ..graph.graph import Graph
+
+#: Catalogue of every feature a row may carry, with its meaning.  The
+#: docs table in docs/explain.md is generated from this dict; rows are
+#: validated against it (unknown keys are errors).
+FEATURE_COLUMNS: dict[str, str] = {
+    # -- query structure ------------------------------------------------
+    "q_vertices": "query vertex count |V(q)|",
+    "q_edges": "query edge count |E(q)|",
+    "q_labels": "distinct labels in the query",
+    "q_density": "2|E| / (|V| (|V|-1)), 0 for a single vertex",
+    "q_deg_mean": "mean query degree",
+    "q_deg_max": "maximum query degree",
+    "q_deg_var": "population variance of query degrees",
+    "q_label_freq_mean": "mean per-label vertex share in the query",
+    "q_label_freq_max": "largest per-label vertex share in the query",
+    # -- data structure -------------------------------------------------
+    "d_vertices": "data vertex count |V(G)|",
+    "d_edges": "data edge count |E(G)|",
+    "d_labels": "distinct labels in the data graph",
+    "d_density": "2|E| / (|V| (|V|-1)), 0 for a single vertex",
+    "d_deg_mean": "mean data degree",
+    "d_deg_max": "maximum data degree",
+    "d_deg_var": "population variance of data degrees",
+    "d_label_freq_mean": "mean per-label vertex share in the data graph",
+    "d_label_freq_max": "largest per-label vertex share in the data graph",
+    # -- pair: initial candidate cardinalities (C_ini, paper §3) --------
+    "cand_total": "sum over query vertices of |C_ini(u)|",
+    "cand_min": "smallest |C_ini(u)|",
+    "cand_max": "largest |C_ini(u)|",
+    "cand_mean": "mean |C_ini(u)|",
+    # -- plan: CS after DAG-graph DP (EXPLAIN static stage) -------------
+    "plan_cs_size": "total candidates in the refined CS",
+    "plan_cs_edges": "CS edge count",
+    "plan_filtering_rate": "fraction of C_ini removed by refinement",
+    "plan_negative": "1 if some C(u) emptied (no search needed)",
+    # -- effort: post-run deterministic counters (EXPLAIN ANALYZE) ------
+    "effort_calls": "recursive calls the search performed",
+    "effort_embeddings": "embeddings reported",
+    "effort_entered": "children_entered counter total",
+    "effort_examined": "candidates_examined counter total",
+    "effort_conflicts": "prune_conflict counter total",
+    "effort_empties": "prune_empty counter total",
+    "effort_fs_cuts": "failing-set backjumps (Lemma 6.1 cuts)",
+    "effort_fs_skipped": "sibling subtrees skipped by failing sets",
+    "effort_calls_per_embedding": "recursive calls per embedding found",
+}
+
+
+def _degree_stats(graph: Graph) -> tuple[float, int, float]:
+    degrees = [graph.degree(v) for v in graph.vertices()]
+    if not degrees:
+        return 0.0, 0, 0.0
+    mean = sum(degrees) / len(degrees)
+    variance = sum((d - mean) ** 2 for d in degrees) / len(degrees)
+    return mean, max(degrees), variance
+
+
+def _label_shares(graph: Graph) -> list[float]:
+    counts: dict[str, int] = {}
+    for v in graph.vertices():
+        label = graph.label(v)
+        counts[label] = counts.get(label, 0) + 1
+    n = graph.num_vertices
+    return [count / n for count in counts.values()] if n else []
+
+
+def graph_features(graph: Graph, prefix: str) -> dict[str, float]:
+    """Structure features of one graph under a ``q_``/``d_`` prefix."""
+    n = graph.num_vertices
+    mean, peak, variance = _degree_stats(graph)
+    shares = _label_shares(graph)
+    density = 2 * graph.num_edges / (n * (n - 1)) if n > 1 else 0.0
+    return {
+        f"{prefix}_vertices": n,
+        f"{prefix}_edges": graph.num_edges,
+        f"{prefix}_labels": len(shares),
+        f"{prefix}_density": density,
+        f"{prefix}_deg_mean": mean,
+        f"{prefix}_deg_max": peak,
+        f"{prefix}_deg_var": variance,
+        f"{prefix}_label_freq_mean": sum(shares) / len(shares) if shares else 0.0,
+        f"{prefix}_label_freq_max": max(shares) if shares else 0.0,
+    }
+
+
+def pair_features(query: Graph, data: Graph) -> dict[str, float]:
+    """Initial candidate cardinalities of the (query, data) pair."""
+    counts = [initial_candidate_count(query, data, u) for u in query.vertices()]
+    if not counts:
+        return {"cand_total": 0, "cand_min": 0, "cand_max": 0, "cand_mean": 0.0}
+    return {
+        "cand_total": sum(counts),
+        "cand_min": min(counts),
+        "cand_max": max(counts),
+        "cand_mean": sum(counts) / len(counts),
+    }
+
+
+def plan_features(plan) -> dict[str, float]:
+    """CS-stage features from a :class:`repro.obs.explain.QueryPlan`."""
+    return {
+        "plan_cs_size": plan.cs_size,
+        "plan_cs_edges": plan.cs_edges,
+        "plan_filtering_rate": plan.filtering_rate,
+        "plan_negative": 1 if plan.is_negative else 0,
+    }
+
+
+def effort_features(totals: dict, result=None) -> dict[str, float]:
+    """Post-run effort features from deterministic counters only."""
+    calls = result.stats.recursive_calls if result is not None else 0
+    embeddings = result.stats.embeddings_found if result is not None else 0
+    return {
+        "effort_calls": calls,
+        "effort_embeddings": embeddings,
+        "effort_entered": totals.get("children_entered", 0),
+        "effort_examined": totals.get("candidates_examined", 0),
+        "effort_conflicts": totals.get("prune_conflict", 0),
+        "effort_empties": totals.get("prune_empty", 0),
+        "effort_fs_cuts": totals.get("fs_cuts", 0),
+        "effort_fs_skipped": totals.get("prune_failing_set", 0),
+        "effort_calls_per_embedding": calls / embeddings if embeddings else float(calls),
+    }
+
+
+def feature_row(
+    query: Graph,
+    data: Graph,
+    plan=None,
+    totals: Optional[dict] = None,
+    result=None,
+) -> dict[str, float]:
+    """One flat feature row for a (query, data) instance.
+
+    Always carries the query/data/pair blocks; ``plan`` adds the CS
+    features and ``totals``/``result`` add the post-run effort block.
+    """
+    row = graph_features(query, "q")
+    row.update(graph_features(data, "d"))
+    row.update(pair_features(query, data))
+    if plan is not None:
+        row.update(plan_features(plan))
+    if totals is not None or result is not None:
+        row.update(effort_features(totals or {}, result))
+    return row
+
+
+def validate_feature_row(row: dict) -> list[str]:
+    """Check a row against :data:`FEATURE_COLUMNS`; returns errors."""
+    errors: list[str] = []
+    if not isinstance(row, dict):
+        return [f"feature row is not a dict: {type(row).__name__}"]
+    for name, value in row.items():
+        if name not in FEATURE_COLUMNS:
+            errors.append(f"unknown feature {name!r} (add it to FEATURE_COLUMNS)")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors.append(f"feature {name!r} must be numeric, got {value!r}")
+    return errors

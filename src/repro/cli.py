@@ -8,6 +8,9 @@ Commands
 ``generate``  materialize a registry dataset or a query workload
 ``bench``     run experiment drivers; manage run manifests
               (``run`` / ``compare`` / ``history`` / ``hotspots``)
+``explain``   post-run search forensics (docs/explain.md): static plans
+              (``plan``), instrumented runs joined with the plan
+              (``analyze``), and per-vertex report diffs (``diff``)
 ``serve-batch``  run a query batch through a persistent data-graph
               session with prepared-query caching (docs/serving.md)
 ``trace``     inspect request traces in a metrics JSONL stream
@@ -405,6 +408,108 @@ def cmd_bench_hotspots(args: argparse.Namespace) -> int:
     if collect_folded and payload["tracer"] is not None:
         payload["tracer"].write_folded(args.folded)
         print(f"folded stacks -> {args.folded}")
+    return 0
+
+
+def _explain_instance(args: argparse.Namespace) -> tuple[Graph, Graph]:
+    """The (query, data) pair an explain command operates on: the given
+    files, or the paper's §6 worked example when both are omitted."""
+    if args.query and args.data:
+        return _read_graph(args.query, args.format), _read_graph(args.data, args.format)
+    if args.query or args.data:
+        raise SystemExit("pass both QUERY and DATA files, or neither (§6 example)")
+    from .bench.hotspots import paper_worked_example
+
+    return paper_worked_example()
+
+
+def _explain_config(args: argparse.Namespace) -> MatchConfig:
+    return MatchConfig(
+        order=args.order,
+        use_failing_sets=not args.no_failing_sets,
+        collect_embeddings=False,
+    )
+
+
+def cmd_explain_plan(args: argparse.Namespace) -> int:
+    """``repro explain plan``: the static BuildDAG + BuildCS decisions."""
+    from .obs.explain import explain as build_plan
+
+    query, data = _explain_instance(args)
+    plan = build_plan(query, data, _explain_config(args))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as stream:
+            json.dump(plan.to_dict(), stream, indent=2)
+            stream.write("\n")
+    print(plan.render())
+    return 0
+
+
+def cmd_explain_analyze(args: argparse.Namespace) -> int:
+    """``repro explain analyze``: an instrumented run joined with its plan."""
+    from .obs.explain import explain_analyze
+
+    query, data = _explain_instance(args)
+    if args.algorithm == "daf":
+        matcher = DAFMatcher(_explain_config(args))
+    else:
+        try:
+            cls = next(
+                cls
+                for name, cls in ALL_BASELINES.items()
+                if name.lower() == args.algorithm
+            )
+        except StopIteration:
+            choices = ["daf", *(n.lower() for n in ALL_BASELINES)]
+            raise SystemExit(f"unknown algorithm {args.algorithm!r}; choices: {choices}")
+        matcher = cls()
+    sink = None
+    trace = None
+    if args.metrics_out:
+        from .obs import JsonlSink
+        from .obs.telemetry import TraceIdAllocator
+
+        sink = JsonlSink(args.metrics_out)
+        trace = TraceIdAllocator().allocate()
+    try:
+        report = explain_analyze(
+            query,
+            data,
+            matcher=matcher,
+            limit=args.limit,
+            time_limit=args.time_limit,
+            sink=sink,
+            trace=trace,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    if args.json:
+        report.save(args.json)
+    print(report.render())
+    return 0
+
+
+def cmd_explain_diff(args: argparse.Namespace) -> int:
+    """``repro explain diff``: classify per-vertex report differences."""
+    from .obs.explain import diff_reports, load_report
+
+    try:
+        base = load_report(args.base)
+        current = load_report(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"cannot load explain report: {exc}")
+    diff = diff_reports(base, current, ratio=args.ratio, min_delta=args.min_delta)
+    if args.format == "json":
+        json.dump(diff.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(diff.render())
+    if args.gate and diff.regressions:
+        print(
+            f"explain gate: {len(diff.regressions)} regression(s)", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -873,6 +978,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="write flamegraph.pl folded stacks here",
     )
     hotspots_p.set_defaults(func=cmd_bench_hotspots)
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="post-run search forensics: plans, instrumented runs, diffs "
+        "(docs/explain.md)",
+    )
+    explain_sub = explain_p.add_subparsers(dest="explain_command", required=True)
+
+    def _explain_instance_args(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "query", nargs="?", default=None, help="query graph file (else §6 example)"
+        )
+        parser.add_argument(
+            "data", nargs="?", default=None, help="data graph file (else §6 example)"
+        )
+        parser.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+        parser.add_argument("--order", default="path", choices=("path", "candidate"))
+        parser.add_argument(
+            "--no-failing-sets",
+            action="store_true",
+            help="disable failing-set pruning",
+        )
+        parser.add_argument(
+            "--json", default=None, metavar="PATH", help="also write JSON here"
+        )
+
+    plan_p = explain_sub.add_parser(
+        "plan", help="static plan: BuildDAG root/order + BuildCS candidate sizes"
+    )
+    _explain_instance_args(plan_p)
+    plan_p.set_defaults(func=cmd_explain_plan)
+
+    analyze_p = explain_sub.add_parser(
+        "analyze", help="instrumented run joined with the static plan"
+    )
+    _explain_instance_args(analyze_p)
+    analyze_p.add_argument(
+        "--algorithm",
+        default="daf",
+        help="daf (default) or a baseline name (ullmann, vf2, ...)",
+    )
+    analyze_p.add_argument("--limit", type=int, default=100_000, help="embedding cap")
+    analyze_p.add_argument(
+        "--time-limit", type=float, default=None, help="seconds before giving up"
+    )
+    analyze_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also stream run events (incl. explain.report) to this JSONL file",
+    )
+    analyze_p.set_defaults(func=cmd_explain_analyze)
+
+    diff_p = explain_sub.add_parser(
+        "diff", help="classify per-vertex differences between two reports"
+    )
+    diff_p.add_argument("base", help="baseline explain report (JSON)")
+    diff_p.add_argument("current", help="current explain report (JSON)")
+    diff_p.add_argument(
+        "--ratio",
+        type=float,
+        default=2.0,
+        help="entered-count blowup factor that flags a regression",
+    )
+    diff_p.add_argument(
+        "--min-delta",
+        type=int,
+        default=16,
+        help="absolute entered-count change below which differences are noise",
+    )
+    diff_p.add_argument("--format", default="text", choices=("text", "json"))
+    diff_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when the diff contains any regression",
+    )
+    diff_p.set_defaults(func=cmd_explain_diff)
 
     serve_p = sub.add_parser(
         "serve-batch",

@@ -4,7 +4,6 @@ from .backtrack import BacktrackEngine
 from .candidate_space import CandidateSpace, build_candidate_space, has_weak_embedding
 from .config import DA_CAND, DA_PATH, DAF_CAND, DAF_PATH, MatchConfig
 from .dag import build_dag, select_root
-from .explain import QueryPlan, explain
 from .trace import SearchTracer, TraceNode
 from .filters import (
     initial_candidate_count,
@@ -27,6 +26,21 @@ from .ordering import (
     count_paths_from,
     make_order,
 )
+
+# QueryPlan/explain moved to repro.obs.explain (the EXPLAIN ANALYZE
+# subsystem); re-export lazily so `from repro.core import explain` keeps
+# working without importing the obs stack — or the deprecated
+# repro/core/explain.py shim — during core's own import.
+_MOVED_TO_OBS = ("QueryPlan", "explain")
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_OBS:
+        import importlib
+
+        return getattr(importlib.import_module("repro.obs.explain"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BacktrackEngine",

@@ -1,125 +1,24 @@
-"""Query-plan diagnostics: explain what DAF will do before searching.
+"""Deprecated location: the EXPLAIN subsystem moved to ``repro.obs.explain``.
 
-``explain(query, data)`` runs the preprocessing pipeline (BuildDAG +
-BuildCS) and reports the decisions the paper's heuristics made — the
-chosen root and why, the DAG orientation, candidate-set sizes per
-refinement step, and the weight array summary driving the path-size
-order.  Useful for debugging slow queries and for teaching the algorithm.
+The static :class:`QueryPlan` / :func:`explain` pair grew an EXPLAIN
+ANALYZE layer (instrumented runs, report diffing, schema'd JSON output)
+that belongs with the observability stack, so the whole module lives at
+:mod:`repro.obs.explain` now.  ``from repro.core import explain`` keeps
+working without a warning (the package re-exports lazily); importing
+*this module* directly is what's deprecated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-from ..graph.graph import Graph
-from .candidate_space import build_candidate_space
-from .config import MatchConfig
-from .dag import build_dag, select_root
-from .filters import initial_candidate_count
-from .ordering import compute_weight_array
+from ..obs.explain import QueryPlan, explain
 
+warnings.warn(
+    "repro.core.explain moved to repro.obs.explain; import QueryPlan/explain "
+    "from repro.obs.explain (or from repro.core, which re-exports them)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-@dataclass
-class QueryPlan:
-    """A human-readable account of DAF's preprocessing decisions."""
-
-    root: int
-    root_scores: dict[int, float]
-    dag_edges: list[tuple[int, int]]
-    topological_order: tuple[int, ...]
-    candidate_sizes_initial: dict[int, int]
-    candidate_sizes_per_step: list[dict[int, int]]
-    cs_size: int
-    cs_edges: int
-    is_negative: bool
-    weight_summary: dict[int, tuple[int, int]] = field(default_factory=dict)
-
-    @property
-    def filtering_rate(self) -> float:
-        """Fraction of initial candidates removed by DAG-graph DP."""
-        initial = sum(self.candidate_sizes_initial.values())
-        if initial == 0:
-            return 0.0
-        return 1.0 - self.cs_size / initial
-
-    def render(self) -> str:
-        """Multi-line text report."""
-        lines = [
-            f"root: u{self.root} "
-            f"(score |C_ini|/deg = {self.root_scores[self.root]:.3f}, the minimum)",
-            f"DAG edges ({len(self.dag_edges)}): "
-            + ", ".join(f"u{p}->u{c}" for p, c in self.dag_edges),
-            f"matching follows topological orders of: {self.topological_order}",
-            "candidate sets:",
-        ]
-        for u in sorted(self.candidate_sizes_initial):
-            trail = " -> ".join(
-                str(step[u]) for step in self.candidate_sizes_per_step
-            )
-            lines.append(
-                f"  C(u{u}): {self.candidate_sizes_initial[u]} initial -> {trail}"
-            )
-        lines.append(
-            f"CS: {self.cs_size} candidates, {self.cs_edges} edges "
-            f"({100 * self.filtering_rate:.1f}% filtered)"
-        )
-        if self.is_negative:
-            lines.append("NEGATIVE: some candidate set is empty; no search needed")
-        elif self.weight_summary:
-            lines.append("path-size weights (min, max) per vertex:")
-            for u, (low, high) in sorted(self.weight_summary.items()):
-                lines.append(f"  W(u{u}): {low}..{high}")
-        return "\n".join(lines)
-
-
-def explain(query: Graph, data: Graph, config: MatchConfig | None = None) -> QueryPlan:
-    """Build the preprocessing structures and report every decision."""
-    cfg = config if config is not None else MatchConfig()
-    root_scores = {}
-    for u in query.vertices():
-        degree = query.degree(u)
-        count = initial_candidate_count(query, data, u)
-        root_scores[u] = count / degree if degree else float(count)
-    root = select_root(query, data)
-    dag = build_dag(query, data, root=root)
-
-    initial_sizes = {
-        u: initial_candidate_count(query, data, u) for u in query.vertices()
-    }
-    per_step: list[dict[int, int]] = []
-    for steps in range(1, cfg.refinement_steps + 1):
-        cs_step = build_candidate_space(
-            query,
-            data,
-            dag,
-            refinement_steps=steps,
-            use_local_filters=cfg.use_local_filters,
-        )
-        per_step.append({u: len(cs_step.candidates[u]) for u in query.vertices()})
-    cs = build_candidate_space(
-        query,
-        data,
-        dag,
-        refinement_steps=cfg.refinement_steps,
-        refine_to_fixpoint=cfg.refine_to_fixpoint,
-        use_local_filters=cfg.use_local_filters,
-    )
-    weight_summary = {}
-    if not cs.is_empty():
-        weights = compute_weight_array(cs)
-        for u in query.vertices():
-            row = weights[u]
-            if row:
-                weight_summary[u] = (min(row), max(row))
-    return QueryPlan(
-        root=root,
-        root_scores=root_scores,
-        dag_edges=sorted(dag.edges()),
-        topological_order=dag.topological_order(),
-        candidate_sizes_initial=initial_sizes,
-        candidate_sizes_per_step=per_step,
-        cs_size=cs.size,
-        cs_edges=cs.num_edges,
-        is_negative=cs.is_empty(),
-        weight_summary=weight_summary,
-    )
+__all__ = ["QueryPlan", "explain"]

@@ -72,9 +72,15 @@ class DAFMatcher(Matcher):
     """
 
     #: Beyond the shared surface, DAF honors a multi-dimension resource
-    #: ``budget``, the enumerate-only ``count_only`` fast path, and
-    #: resuming a suspended search from a checkpoint (``resume_from``).
-    supported_options = Matcher.supported_options | {"budget", "count_only", "resume_from"}
+    #: ``budget``, the enumerate-only ``count_only`` fast path, resuming
+    #: a suspended search from a checkpoint (``resume_from``), and the
+    #: EXPLAIN ANALYZE capture path (``explain`` — docs/explain.md).
+    supported_options = Matcher.supported_options | {
+        "budget",
+        "count_only",
+        "resume_from",
+        "explain",
+    }
 
     def __init__(self, config: Optional[MatchConfig] = None, observer=None) -> None:
         self.config = config if config is not None else MatchConfig()
@@ -318,6 +324,7 @@ class DAFMatcher(Matcher):
         budget: Optional[Budget] = None,
         count_only: bool = False,
         resume_from=None,
+        explain: bool = False,
     ) -> MatchResult:
         """Algorithm 1: find up to ``limit`` embeddings of query in data.
 
@@ -327,6 +334,10 @@ class DAFMatcher(Matcher):
         matches without materializing embedding tuples (the engine's
         ``collect_embeddings=False`` path).  ``resume_from`` continues a
         previously checkpointed search over the same query/data/config.
+        ``explain`` captures an EXPLAIN ANALYZE report in
+        ``result.explain``: the run executes under a dedicated metrics
+        registry and the static plan is joined with its per-vertex
+        actuals (``repro.obs.explain``, docs/explain.md).
         """
         if count_only and self.config.collect_embeddings:
             import dataclasses
@@ -336,6 +347,20 @@ class DAFMatcher(Matcher):
                 observer=self.observer,
             )
             return counting._match_impl(
+                query,
+                data,
+                limit=limit,
+                time_limit=time_limit,
+                on_embedding=on_embedding,
+                budget=budget,
+                resume_from=resume_from,
+                explain=explain,
+            )
+        if explain:
+            from ..obs.explain import run_with_explain
+
+            return run_with_explain(
+                self,
                 query,
                 data,
                 limit=limit,

@@ -193,7 +193,10 @@ class MatchResult:
     - ``checkpoint``: when the search was cut short at a resumable point
       (budget breach, Ctrl-C), a
       :class:`repro.resilience.checkpoint.SearchCheckpoint` that resumes
-      it — pass back via ``MatchOptions(resume_from=...)``.
+      it — pass back via ``MatchOptions(resume_from=...)``;
+    - ``explain``: when the request ran with ``MatchOptions(explain=True)``,
+      the :class:`repro.obs.explain.ExplainReport` joining the static
+      plan with this run's per-vertex actuals (see ``docs/explain.md``).
     """
 
     embeddings: list[Embedding] = field(default_factory=list)
@@ -205,6 +208,7 @@ class MatchResult:
     partial_failure: bool = False
     degradations: list[str] = field(default_factory=list)
     checkpoint: Optional[Any] = None
+    explain: Optional[Any] = None
 
     @property
     def solved(self) -> bool:
@@ -333,6 +337,13 @@ class MatchOptions:
         the *same* query/data/config; the search continues from it
         instead of starting over, with final embeddings and counters
         identical to an uninterrupted run.
+    explain:
+        Capture an EXPLAIN ANALYZE forensics report for this invocation:
+        the run executes under a dedicated metrics registry and the
+        result carries a :class:`repro.obs.explain.ExplainReport` in
+        ``result.explain`` (static plan joined with per-vertex actuals,
+        phase spans and failing-set accounting — ``docs/explain.md``).
+        Off by default, preserving the zero-overhead contract.
     """
 
     limit: Optional[int] = None
@@ -341,6 +352,7 @@ class MatchOptions:
     count_only: bool = False
     budget: Optional[Any] = None
     resume_from: Optional[Any] = None
+    explain: bool = False
 
     @property
     def resolved_limit(self) -> int:
@@ -472,6 +484,8 @@ class Matcher(ABC):
             extras["budget"] = options.budget
         if "resume_from" in self.supported_options and options.resume_from is not None:
             extras["resume_from"] = options.resume_from
+        if "explain" in self.supported_options and options.explain:
+            extras["explain"] = True
         return self._match_impl(
             request.query,
             request.data,

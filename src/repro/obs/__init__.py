@@ -58,15 +58,40 @@ from .telemetry import (
     render_trace_tree,
 )
 
+# The EXPLAIN / EXPLAIN ANALYZE layer (repro.obs.explain) imports the
+# core matcher, which is still initializing when this package loads
+# during `import repro`; expose its surface lazily instead of eagerly.
+_EXPLAIN_NAMES = (
+    "ExplainDiff",
+    "ExplainReport",
+    "QueryPlan",
+    "diff_reports",
+    "explain_analyze",
+    "load_report",
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPLAIN_NAMES or name == "explain":
+        import importlib
+
+        module = importlib.import_module("repro.obs.explain")
+        return module if name == "explain" else getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "COUNTERS",
     "EVENT_SCHEMAS",
     "EventSink",
+    "ExplainDiff",
+    "ExplainReport",
     "JsonlSink",
     "MemorySink",
     "MetricsRegistry",
     "PHASES",
     "ProgressReporter",
+    "QueryPlan",
     "SamplingTracer",
     "SloRule",
     "SloWatchdog",
@@ -79,7 +104,10 @@ __all__ = [
     "TraceRecord",
     "VERTEX_COUNTERS",
     "default_slo_rules",
+    "diff_reports",
+    "explain_analyze",
     "hotspot_rows",
+    "load_report",
     "render_hotspots",
     "render_snapshot",
     "render_top",

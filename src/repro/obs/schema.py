@@ -220,7 +220,33 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "elapsed_seconds": _number,
         },
     ),
+    # EXPLAIN ANALYZE events (repro.obs.explain): the flat summary of one
+    # per-request forensics report, mirrored into the JSONL stream so
+    # `repro trace show` can cross-link the full document via trace_id.
+    "explain.report": (
+        {
+            "algorithm": _str,
+            "query_vertices": _int,
+            "recursive_calls": _int,
+            "embeddings": _int,
+        },
+        {
+            "data_vertices": _int,
+            "cs_size": _int,
+            "cs_edges": _int,
+            "filtering_rate": _number,
+            "fs_cuts": _int,
+            "fs_skipped": _int,
+            "solved": _bool,
+            "negative": _bool,
+        },
+    ),
 }
+
+#: Tag identifying a saved EXPLAIN ANALYZE report document (the
+#: ``"schema"`` key of the JSON object `ExplainReport.save` writes);
+#: ``scripts/check_metrics_schema.py`` dispatches on it.
+EXPLAIN_SCHEMA = "repro.obs.explain"
 
 
 def validate_event(event: object) -> list[str]:
@@ -290,3 +316,85 @@ def validate_jsonl(path) -> list[str]:
     """Validate a metrics JSONL file; returns a list of errors (empty = ok)."""
     with open(path, "r", encoding="utf-8") as stream:
         return validate_lines(stream)
+
+
+#: Per-vertex fields an explain-report row may carry beyond ``vertex``
+#: and ``label`` (the VERTEX_COUNTERS dims plus the planned/rank joins).
+_EXPLAIN_ROW_FIELDS: dict[str, Callable] = {
+    "entered": _int,
+    "conflict": _int,
+    "empty": _int,
+    "fs_pruned": _int,
+    "planned_initial": _int,
+    "planned_candidates": _int,
+    "planned_rank": _int,
+    "effort_rank": _int,
+    "effort_share": _number,
+}
+
+
+def validate_explain_report(source) -> list[str]:
+    """Validate a saved EXPLAIN ANALYZE report document.
+
+    ``source`` is a path to a ``.explain.json`` file or an already-parsed
+    dict.  The flat summary is re-validated as an ``explain.report``
+    event; the structured parts (per-vertex rows, totals, spans) are
+    checked against the shapes ``repro.obs.explain.ExplainReport``
+    writes.  Returns human-readable errors (empty = valid).
+    """
+    if isinstance(source, dict):
+        document = source
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as stream:
+                document = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable explain report: {exc}"]
+    if not isinstance(document, dict):
+        return [f"explain report is not an object: {type(document).__name__}"]
+    errors: list[str] = []
+    if document.get("schema") != EXPLAIN_SCHEMA:
+        errors.append(
+            f"explain report: 'schema' must be {EXPLAIN_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    required, optional = EVENT_SCHEMAS["explain.report"]
+    event = {"event": "explain.report"}
+    for name in list(required) + list(optional):
+        if name in document:
+            event[name] = document[name]
+    errors.extend(validate_event(event))
+    if not _counter_map(document.get("totals", {})):
+        errors.append("explain report: 'totals' must map counter -> int")
+    if not _span_map(document.get("spans", {})):
+        errors.append("explain report: 'spans' must map phase -> seconds")
+    rows = document.get("vertices")
+    if not isinstance(rows, list):
+        errors.append("explain report: 'vertices' must be a list of rows")
+        rows = []
+    for position, row in enumerate(rows):
+        if not isinstance(row, dict) or not _int(row.get("vertex")):
+            errors.append(
+                f"explain report: vertices[{position}] needs an int 'vertex'"
+            )
+            continue
+        for name, value in row.items():
+            if name in ("vertex", "label"):
+                continue
+            check = _EXPLAIN_ROW_FIELDS.get(name)
+            if check is None:
+                errors.append(
+                    f"explain report: vertices[{position}] has unknown "
+                    f"field {name!r}"
+                )
+            elif not check(value):
+                errors.append(
+                    f"explain report: vertices[{position}].{name} has "
+                    f"invalid value {value!r}"
+                )
+    features = document.get("features", {})
+    if not isinstance(features, dict) or not all(
+        _str(k) and _number(v) for k, v in features.items()
+    ):
+        errors.append("explain report: 'features' must map name -> number")
+    return errors

@@ -407,10 +407,11 @@ class BatchEngine:
     def _group(self, requests: list[MatchRequest], skip=frozenset()) -> list[_Group]:
         """Group requests by (isomorphism class, options).
 
-        Requests carrying per-request callbacks or budgets are never
-        merged (a follower cannot share the leader's callback stream or
-        its budget accounting).  Indices in ``skip`` (journal replays)
-        are excluded entirely.
+        Requests carrying per-request callbacks, budgets or explain
+        captures are never merged (a follower cannot share the leader's
+        callback stream, its budget accounting, or its per-request
+        forensics report).  Indices in ``skip`` (journal replays) are
+        excluded entirely.
         """
         groups: list[_Group] = []
         by_key: dict[tuple, list[int]] = {}
@@ -418,7 +419,11 @@ class BatchEngine:
             if index in skip:
                 continue
             options = request.options
-            if options.on_embedding is not None or options.budget is not None:
+            if (
+                options.on_embedding is not None
+                or options.budget is not None
+                or options.explain
+            ):
                 groups.append(_Group(leader=index))
                 continue
             key = (
@@ -575,14 +580,15 @@ class BatchEngine:
                 not isinstance(matcher, DAFMatcher)
                 or options.on_embedding is not None
                 or options.budget is not None
+                or options.explain
                 or (
                     journal is not None
                     and journal.load_checkpoint(group.leader) is not None
                 )
             ):
-                # Callbacks, per-request budgets and checkpoint resumes
-                # cannot cross a fork; run these inline (still
-                # cache-aware via the session).
+                # Callbacks, per-request budgets, explain captures and
+                # checkpoint resumes cannot cross a fork; run these
+                # inline (still cache-aware via the session).
                 yield from self._run_group(requests, group, budget, journal)
                 continue
             observer = session.observer

@@ -182,7 +182,7 @@ class DataGraphSession:
 
     # ------------------------------------------------------------------
     def _lookup_or_prepare(
-        self, matcher: DAFMatcher, query: Graph, budget
+        self, matcher: DAFMatcher, query: Graph, budget, observer=None
     ) -> tuple[PreparedQuery, Optional[tuple[int, ...]], float, str]:
         """Cache lookup, falling back to a full BuildDAG + BuildCS.
 
@@ -190,7 +190,11 @@ class DataGraphSession:
         ``pi`` is ``None`` when no coordinate translation is needed
         (miss, or hit under the identity).  May raise
         :class:`~repro.resilience.BudgetExceeded` from the build.
+        ``observer`` overrides the session registry for the build itself
+        (the explain path routes it to a per-request registry); the
+        ``cache_lookup`` span always lands on the session registry.
         """
+        build_observer = observer if observer is not None else self.observer
         start = time.perf_counter()
         found = self.cache.lookup(query)
         if self.observer is not None:
@@ -204,8 +208,8 @@ class DataGraphSession:
             # are *not* recorded, which is how the bench measures the
             # amortization.
             return entry.prepared, pi, time.perf_counter() - start, "hit"
-        if self.observer is not None:
-            prepared = matcher.prepare(query, self.data, budget=budget, observer=self.observer)
+        if build_observer is not None:
+            prepared = matcher.prepare(query, self.data, budget=budget, observer=build_observer)
         else:
             prepared = matcher.prepare(query, self.data, budget=budget)
         self.cache.insert(query, prepared)
@@ -221,9 +225,22 @@ class DataGraphSession:
         if unsupported:
             raise UnsupportedOptionError(matcher, unsupported)
         budget = options.budget
+        explain_registry = None
+        if options.explain:
+            # The report's per-vertex actuals must equal the registry
+            # totals for exactly this request, so the run is observed by
+            # a dedicated registry sharing the session sink/trace rather
+            # than the session-wide accumulating one.
+            from ..obs.metrics import MetricsRegistry
+
+            explain_registry = MetricsRegistry(
+                sink=getattr(self.observer, "sink", None)
+            )
+            if self.observer is not None and self.observer.trace is not None:
+                explain_registry.trace = self.observer.trace
         try:
             prepared, pi, preprocess, _state = self._lookup_or_prepare(
-                matcher, request.query, budget
+                matcher, request.query, budget, observer=explain_registry
             )
         except BudgetExceeded as exc:
             result = MatchResult()
@@ -262,12 +279,28 @@ class DataGraphSession:
             time_limit=remaining,
             on_embedding=on_embedding,
             budget=budget,
-            observer=self.observer,
+            observer=explain_registry if explain_registry is not None else self.observer,
             resume_from=options.resume_from,
         )
         result.stats.preprocess_seconds = preprocess
         if pi is not None and result.embeddings:
             result.embeddings = [_remap(e, pi) for e in result.embeddings]
+        if explain_registry is not None:
+            # A cache hit replays the *cached* query's prepared structure,
+            # so the per-vertex dims come back in its coordinates; pi
+            # translates them like the embeddings above.
+            from ..obs.explain import attach_report, explain as build_plan
+
+            plan = build_plan(request.query, self.data, matcher.config)
+            attach_report(
+                result,
+                algorithm=matcher.name,
+                query=request.query,
+                data=self.data,
+                plan=plan,
+                registry=explain_registry,
+                pi=pi,
+            )
         return result
 
     def __repr__(self) -> str:

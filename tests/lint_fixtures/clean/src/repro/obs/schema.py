@@ -3,4 +3,5 @@
 EVENT_SCHEMAS = {
     "ping": ({"x": int}, {"y": int}),
     "telemetry.window": ({"index": int}, {"resumes": int}),
+    "explain.report": ({"algorithm": str}, {"fs_cuts": int}),
 }
