@@ -5,7 +5,7 @@ Usage::
 
     PYTHONPATH=src python scripts/check_metrics_schema.py FILE [FILE ...]
 
-Four file kinds are recognized:
+Five file kinds are recognized:
 
 - **JSONL event streams** as produced by ``repro.obs.JsonlSink`` (the
   CLI's ``--metrics-out``, the benchmark harness's session sink, or any
@@ -24,7 +24,10 @@ Four file kinds are recognized:
   "repro.obs.explain"``, as written by ``repro explain analyze
   --json``) — the flat summary re-validated as an ``explain.report``
   event and the totals/spans/per-vertex rows checked by
-  :func:`repro.obs.schema.validate_explain_report`.
+  :func:`repro.obs.schema.validate_explain_report`;
+- **lint reports** (JSON objects tagged ``"schema": "repro.lint"``, as
+  written by ``repro lint --format json``) — findings array and run
+  summary checked by :func:`repro.lint.validate_lint_report`.
 
 See ``docs/observability.md`` for the event field tables and
 ``docs/benchmarks.md`` for the manifest format.
@@ -45,6 +48,7 @@ except ImportError:  # direct invocation without PYTHONPATH
     from repro.obs.schema import validate_jsonl
 
 from repro.bench.manifest import MANIFEST_SCHEMA, manifest_index, validate_manifest_file
+from repro.lint import LINT_SCHEMA, validate_lint_report
 from repro.obs.schema import EXPLAIN_SCHEMA, validate_explain_report
 from repro.obs.telemetry import TELEMETRY_SCHEMA, validate_export
 
@@ -77,6 +81,23 @@ def is_explain_report(path: Path) -> bool:
     return _is_single_object_with_tag(path, EXPLAIN_SCHEMA)
 
 
+def is_lint_report(path: Path) -> bool:
+    """Lint-report detection: the ``repro.lint`` tag (the baseline file's
+    ``repro.lint.baseline`` tag does not match — the closing quote is
+    part of the probe)."""
+    return _is_single_object_with_tag(path, LINT_SCHEMA)
+
+
+def validate_lint_report_file(path: Path) -> list[str]:
+    import json
+
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable lint report: {exc}"]
+    return validate_lint_report(payload)
+
+
 def main(argv: list[str]) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
@@ -97,6 +118,9 @@ def main(argv: list[str]) -> int:
         elif is_explain_report(path):
             errors = validate_explain_report(path)
             kind = "explain"
+        elif is_lint_report(path):
+            errors = validate_lint_report_file(path)
+            kind = "lint"
         else:
             errors = validate_jsonl(path)
             kind = "events"

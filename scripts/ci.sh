@@ -21,9 +21,21 @@ CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-300}"
 
 echo "==> static analysis (cap: ${LINT_TIMEOUT}s)"
 # AST invariant checkers (docs/static-analysis.md): schema drift,
-# unseeded randomness, budget polls, Matcher protocol, CLI docs.
+# unseeded randomness, budget polls, Matcher protocol, CLI docs, plus
+# the flow-aware checks.  Baseline-aware: findings grandfathered in
+# .lint-baseline.json are suppressed, stale entries fail the build.
 timeout --kill-after=30 "$LINT_TIMEOUT" \
-    python -m repro lint --format text
+    python -m repro lint --format text --jobs 2 \
+    --baseline .lint-baseline.json
+
+echo "==> static analysis, strict flow checks (cap: ${LINT_TIMEOUT}s)"
+# The flow checkers guard the bug classes that silently corrupt a
+# reproduction's numbers (unmetered search, nondeterministic
+# comparisons, fork corruption, schema drift at emit sites); they run
+# again with no baseline so they can never be grandfathered away.
+timeout --kill-after=30 "$LINT_TIMEOUT" \
+    python -m repro lint --format text \
+    --select FRK001,SCH002,DET002,BUD002
 
 echo "==> tier-1 suite (cap: ${TIER1_TIMEOUT}s)"
 timeout --kill-after=30 "$TIER1_TIMEOUT" \

@@ -774,7 +774,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """``repro lint``: run the static invariant checkers, exit 1 on findings."""
-    from .lint import UnknownCheckError, catalog, render_json, render_text, run_lint
+    from pathlib import Path
+
+    from .lint import (
+        BaselineError,
+        UnknownCheckError,
+        catalog,
+        render_json,
+        render_text,
+        run_lint_report,
+    )
 
     if args.list:
         for check_id, description in catalog():
@@ -782,17 +791,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     split = lambda v: [s for s in v.split(",") if s.strip()] if v else None  # noqa: E731
     try:
-        findings = run_lint(
-            root=args.root, select=split(args.select), ignore=split(args.ignore)
+        report = run_lint_report(
+            root=args.root,
+            select=split(args.select),
+            ignore=split(args.ignore),
+            jobs=args.jobs,
+            baseline=Path(args.baseline) if args.baseline else None,
+            update_baseline=args.update_baseline,
         )
-    except (FileNotFoundError, UnknownCheckError) as exc:
+    except (FileNotFoundError, UnknownCheckError, BaselineError) as exc:
         print(str(exc), file=sys.stderr)
         raise SystemExit(2)
+    if args.metrics_out:
+        from .obs import JsonlSink
+
+        sink = JsonlSink(args.metrics_out)
+        try:
+            sink.emit(
+                {
+                    "event": "lint.run",
+                    "files": report.files,
+                    "findings": len(report.findings),
+                    "elapsed_seconds": round(report.elapsed_seconds, 3),
+                    "checkers": list(report.checkers),
+                    "by_check": dict(report.by_check),
+                    "baseline_suppressed": report.baseline_suppressed,
+                    "stale_baseline": report.stale_baseline,
+                    "jobs": report.jobs,
+                }
+            )
+        finally:
+            sink.close()
     if args.format == "json":
-        print(render_json(findings))
+        print(render_json(report))
     else:
-        print(render_text(findings))
-    return 1 if findings else 0
+        print(render_text(report.findings))
+        if report.baseline_suppressed:
+            print(f"repro lint: {report.baseline_suppressed} baseline-suppressed")
+    return 1 if report.findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1239,6 +1275,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument(
         "--list", action="store_true", help="print the check catalog and exit"
+    )
+    lint_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan per-file checker passes out over N worker processes",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="suppress findings accepted in this baseline file; stale entries fail",
+    )
+    lint_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to accept exactly the current findings",
+    )
+    lint_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append one lint.run event as JSONL",
     )
     lint_p.set_defaults(func=cmd_lint)
 

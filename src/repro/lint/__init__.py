@@ -14,27 +14,50 @@ the source level with a pure-stdlib (:mod:`ast`) analysis framework:
 - ``python -m repro lint`` — the CLI front end, wired as a gating step
   in ``scripts/ci.sh``.
 
-See docs/static-analysis.md for the check catalogue (SCH001, DET001,
-BUD001, IFC001, CLI001), the suppression syntax, and a guide to adding
-a checker.
+Flow-aware checkers (SCH002, DET002, BUD002, FRK001) build on the
+:mod:`repro.lint.flow` framework — per-function control-flow graphs, a
+project-wide call graph, and a worklist dataflow/taint solver — all
+cached on the shared :class:`LintContext`.
+
+See docs/static-analysis.md for the check catalogue, the suppression
+syntax (inline ``# lint: ignore[ID]`` and the fingerprint baseline),
+and a guide to adding a checker.
 """
 
-from .base import ALL_CHECKERS, Checker, register
+from .base import ALL_CHECKERS, Checker, MapReduceChecker, register
+from .baseline import Baseline, BaselineEntry, BaselineError, fingerprint
 from .context import LintContext, ParsedModule, find_repo_root
-from .engine import UnknownCheckError, catalog, run_lint
-from .findings import Finding, render_json, render_text
+from .engine import LintReport, UnknownCheckError, catalog, run_lint, run_lint_report
+from .findings import (
+    LINT_SCHEMA,
+    Finding,
+    render_json,
+    render_text,
+    report_document,
+    validate_lint_report,
+)
 
 __all__ = [
     "ALL_CHECKERS",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
     "Checker",
     "Finding",
+    "LINT_SCHEMA",
     "LintContext",
+    "LintReport",
+    "MapReduceChecker",
     "ParsedModule",
     "UnknownCheckError",
     "catalog",
     "find_repo_root",
+    "fingerprint",
     "register",
     "render_json",
     "render_text",
+    "report_document",
     "run_lint",
+    "run_lint_report",
+    "validate_lint_report",
 ]

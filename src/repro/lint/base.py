@@ -30,6 +30,9 @@ class Checker(ABC):
     id: str = ""
     #: One-line summary shown by ``repro lint --list`` and in docs.
     description: str = ""
+    #: Whether the engine may fan this checker's per-module scans out to
+    #: worker processes (``--jobs``).  Map/reduce checkers set this.
+    parallel: bool = False
 
     @abstractmethod
     def check(self, ctx: LintContext) -> Iterable[Finding]:
@@ -40,6 +43,45 @@ class Checker(ABC):
         return Finding(
             path=path, line=line, check_id=self.id, severity=severity, message=message
         )
+
+
+class MapReduceChecker(Checker):
+    """A checker whose work decomposes per module plus a global pass.
+
+    Subclasses implement :meth:`scan_module` (pure per-module work whose
+    findings and *facts* are picklable, so the engine can fan modules out
+    to worker processes under ``--jobs``) and optionally :meth:`reduce`
+    (a global pass over the collected facts, run in the parent — dead
+    sweeps, cross-module tallies).  :meth:`setup` runs once per process
+    before the first scan for shared-state initialization.
+
+    The serial :meth:`check` path composes the same three hooks, so both
+    execution modes produce identical findings by construction.
+    """
+
+    parallel = True
+
+    def setup(self, ctx: LintContext) -> None:
+        """Once-per-process initialization (anchor extraction, graphs)."""
+
+    @abstractmethod
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        """Findings anchored to ``module`` plus a picklable fact object
+        (or ``None``) for :meth:`reduce`."""
+
+    def reduce(self, ctx: LintContext, facts: list[object]) -> Iterable[Finding]:
+        """Global findings from the per-module facts, given in sorted
+        module order.  Default: none."""
+        return ()
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        self.setup(ctx)
+        facts: list[object] = []
+        for module in ctx.modules():
+            module_findings, fact = self.scan_module(ctx, module)
+            yield from module_findings
+            facts.append(fact)
+        yield from self.reduce(ctx, facts)
 
 
 def register(cls: Type[Checker]) -> Type[Checker]:

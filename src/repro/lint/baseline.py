@@ -1,0 +1,195 @@
+"""Baseline suppression: accepted findings, fingerprinted stably.
+
+A baseline file lets a new checker land *gating-on* with existing
+findings grandfathered instead of blocking the merge.  Each entry names
+the checker id, the file, a content fingerprint, and a human-written
+``reason`` — the justification is part of the record, reviewed like
+code.
+
+Fingerprints are line-number independent on purpose: a baseline full of
+line numbers would go stale on every unrelated edit above the finding.
+The fingerprint hashes ``check_id : path : normalized-message``, where
+normalization strips digit runs (line references inside messages, path
+counters) so the same finding re-reported a few lines lower still
+matches.  The trade-off is deliberate: two *identical* findings in one
+file share a fingerprint and are suppressed together — acceptable for a
+grandfather list, which should be shrinking anyway.
+
+Stale entries — entries matching no current finding of a checker that
+actually ran — are reported as errors (check id ``BASELINE``): a fixed
+finding must leave the baseline the same week it leaves the code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .findings import Finding
+
+#: Tag identifying a baseline document (schema'd, versioned).
+BASELINE_SCHEMA = "repro.lint.baseline"
+BASELINE_VERSION = 1
+
+#: Check id used for baseline bookkeeping errors (stale entries,
+#: unreadable files).  Not a registered checker: it has no scan phase.
+BASELINE_CHECK_ID = "BASELINE"
+
+_DIGITS = re.compile(r"\d+")
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable content fingerprint of one finding (no line numbers)."""
+    normalized = _DIGITS.sub("#", finding.message)
+    payload = f"{finding.check_id}:{finding.path}:{normalized}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    check: str
+    path: str
+    fingerprint: str
+    reason: str = ""
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be parsed."""
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a run's findings."""
+
+    active: list[Finding]  # findings NOT suppressed (including stale errors)
+    suppressed: int  # findings matched by baseline entries
+    stale: int  # entries that matched nothing
+
+
+class Baseline:
+    """An ordered set of accepted-finding entries."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    # -- I/O -------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+            raise BaselineError(
+                f"{path} is not a lint baseline (missing schema tag "
+                f"{BASELINE_SCHEMA!r})"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"{path}: malformed entry {raw!r}")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        check=raw["check"],
+                        path=raw["path"],
+                        fingerprint=raw["fingerprint"],
+                        reason=raw.get("reason", ""),
+                    )
+                )
+            except KeyError as exc:
+                raise BaselineError(f"{path}: entry missing field {exc}") from exc
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "check": entry.check,
+                    "path": entry.path,
+                    "fingerprint": entry.fingerprint,
+                    "reason": entry.reason,
+                }
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.check, e.fingerprint)
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- application -----------------------------------------------------
+    def apply(
+        self,
+        findings: list[Finding],
+        ran_ids: set[str],
+        baseline_relpath: str,
+    ) -> BaselineResult:
+        """Split findings into suppressed/active and flag stale entries.
+
+        An entry is *stale* only when its checker is among ``ran_ids``
+        (a ``--select`` run must not misread out-of-scope entries as
+        fixed) and no current finding matches its fingerprint.
+        """
+        matched: dict[BaselineEntry, int] = {entry: 0 for entry in self.entries}
+        by_key: dict[tuple[str, str, str], BaselineEntry] = {
+            (entry.check, entry.path, entry.fingerprint): entry
+            for entry in self.entries
+        }
+        active: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            entry = by_key.get((finding.check_id, finding.path, fingerprint(finding)))
+            if entry is not None:
+                matched[entry] += 1
+                suppressed += 1
+            else:
+                active.append(finding)
+        stale = 0
+        for entry in self.entries:
+            if entry.check not in ran_ids or matched[entry]:
+                continue
+            stale += 1
+            active.append(
+                Finding(
+                    path=baseline_relpath,
+                    line=0,
+                    check_id=BASELINE_CHECK_ID,
+                    severity="error",
+                    message=(
+                        f"stale baseline entry: {entry.check} at {entry.path} "
+                        f"(fingerprint {entry.fingerprint}) matches no current "
+                        "finding — remove the entry (or re-run with "
+                        "--update-baseline)"
+                    ),
+                )
+            )
+        return BaselineResult(active=sorted(active), suppressed=suppressed, stale=stale)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], previous: Optional["Baseline"] = None
+    ) -> "Baseline":
+        """A baseline accepting exactly ``findings``, preserving the
+        ``reason`` of entries carried over from ``previous``."""
+        reasons: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                reasons[(entry.check, entry.path, entry.fingerprint)] = entry.reason
+        entries: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in findings:
+            key = (finding.check_id, finding.path, fingerprint(finding))
+            entries[key] = BaselineEntry(
+                check=key[0],
+                path=key[1],
+                fingerprint=key[2],
+                reason=reasons.get(key, "TODO: justify this accepted finding"),
+            )
+        return cls(entries.values())

@@ -27,7 +27,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from ..base import Checker, register
+from ..base import MapReduceChecker, register
 from ..context import LintContext
 from ..findings import Finding
 from ..context import call_name, iter_functions, own_body_walk
@@ -69,64 +69,66 @@ def _has_budget_tick(func: ast.FunctionDef) -> bool:
 
 
 @register
-class BudgetCoverageChecker(Checker):
+class BudgetCoverageChecker(MapReduceChecker):
     id = "BUD001"
     description = (
         "every backtracking recursion cycle that counts search steps must "
         "poll the Deadline/Budget via a zero-argument .tick() in each member"
     )
 
-    def check(self, ctx: LintContext) -> Iterable[Finding]:
-        for module in ctx.modules():
-            if not module.relpath.startswith(_SCOPE):
-                continue
-            functions = dict(iter_functions(module.tree))
-            if not functions:
-                continue
-            # Name-based call graph restricted to names defined here.
-            short_names = {qual.rsplit(".", 1)[-1]: qual for qual in functions}
-            edges: dict[str, set[str]] = {qual: set() for qual in functions}
-            for qual, func in functions.items():
-                for node in own_body_walk(func):
-                    if isinstance(node, ast.Call):
-                        name = call_name(node)
-                        if name in short_names:
-                            edges[qual].add(short_names[name])
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        return list(self._scan(module)), None
 
-            reachable = {qual: self._reachable(qual, edges) for qual in functions}
-            in_cycle = {qual for qual in functions if qual in reachable[qual]}
+    def _scan(self, module) -> Iterable[Finding]:
+        if not module.relpath.startswith(_SCOPE):
+            return
+        functions = dict(iter_functions(module.tree))
+        if not functions:
+            return
+        # Name-based call graph restricted to names defined here.
+        short_names = {qual.rsplit(".", 1)[-1]: qual for qual in functions}
+        edges: dict[str, set[str]] = {qual: set() for qual in functions}
+        for qual, func in functions.items():
+            for node in own_body_walk(func):
+                if isinstance(node, ast.Call):
+                    name = call_name(node)
+                    if name in short_names:
+                        edges[qual].add(short_names[name])
 
-            flagged: set[str] = set()
-            for qual in sorted(in_cycle):
-                cycle = {
-                    other
-                    for other in in_cycle
-                    if other in reachable[qual] and qual in reachable[other]
-                }
-                if not any(_increments_cost_counter(functions[o]) for o in cycle):
-                    continue  # helper recursion (tree walks, renderers)
-                for member in sorted(cycle):
-                    if member in flagged or _has_budget_tick(functions[member]):
-                        continue
-                    flagged.add(member)
+        reachable = {qual: self._reachable(qual, edges) for qual in functions}
+        in_cycle = {qual for qual in functions if qual in reachable[qual]}
+
+        flagged: set[str] = set()
+        for qual in sorted(in_cycle):
+            cycle = {
+                other
+                for other in in_cycle
+                if other in reachable[qual] and qual in reachable[other]
+            }
+            if not any(_increments_cost_counter(functions[o]) for o in cycle):
+                continue  # helper recursion (tree walks, renderers)
+            for member in sorted(cycle):
+                if member in flagged or _has_budget_tick(functions[member]):
+                    continue
+                flagged.add(member)
+                yield self.finding(
+                    module.relpath,
+                    functions[member].lineno,
+                    f"recursive backtracking function {member!r} never polls "
+                    "its budget: add a deadline.tick() on the recursion path",
+                )
+        # Iterative form: counting a search step without metering it.
+        for qual, func in sorted(functions.items()):
+            if qual in flagged or qual in in_cycle:
+                continue
+            if _increments_cost_counter(func) and not _has_budget_tick(func):
+                if self._counts_recursive_calls(func):
                     yield self.finding(
                         module.relpath,
-                        functions[member].lineno,
-                        f"recursive backtracking function {member!r} never polls "
-                        "its budget: add a deadline.tick() on the recursion path",
+                        func.lineno,
+                        f"function {qual!r} increments recursive_calls but "
+                        "never polls a budget: add a deadline.tick()",
                     )
-            # Iterative form: counting a search step without metering it.
-            for qual, func in sorted(functions.items()):
-                if qual in flagged or qual in in_cycle:
-                    continue
-                if _increments_cost_counter(func) and not _has_budget_tick(func):
-                    if self._counts_recursive_calls(func):
-                        yield self.finding(
-                            module.relpath,
-                            func.lineno,
-                            f"function {qual!r} increments recursive_calls but "
-                            "never polls a budget: add a deadline.tick()",
-                        )
 
     @staticmethod
     def _counts_recursive_calls(func: ast.FunctionDef) -> bool:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from ..base import Checker, register
+from ..base import MapReduceChecker, register
 from ..context import LintContext
 from ..findings import Finding
 
@@ -64,25 +64,26 @@ def _is_bare_set_expr(node: ast.AST) -> bool:
 
 
 @register
-class DeterminismChecker(Checker):
+class DeterminismChecker(MapReduceChecker):
     id = "DET001"
     description = (
         "no global-RNG calls, no clock reads stored into SearchStats "
         "counters, no bare-set iteration in result-producing packages"
     )
 
-    def check(self, ctx: LintContext) -> Iterable[Finding]:
-        for module in ctx.modules():
-            order_sensitive = module.relpath.startswith(_ORDER_SENSITIVE_PREFIXES)
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.Call):
-                    yield from self._check_global_rng(module, node)
-                elif isinstance(node, ast.ImportFrom):
-                    yield from self._check_rng_import(module, node)
-                elif isinstance(node, (ast.Assign, ast.AugAssign)):
-                    yield from self._check_clock_into_counter(module, node)
-                elif order_sensitive and isinstance(node, (ast.For, ast.comprehension)):
-                    yield from self._check_set_iteration(module, node)
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        findings: list[Finding] = []
+        order_sensitive = module.relpath.startswith(_ORDER_SENSITIVE_PREFIXES)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_global_rng(module, node))
+            elif isinstance(node, ast.ImportFrom):
+                findings.extend(self._check_rng_import(module, node))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                findings.extend(self._check_clock_into_counter(module, node))
+            elif order_sensitive and isinstance(node, (ast.For, ast.comprehension)):
+                findings.extend(self._check_set_iteration(module, node))
+        return findings, None
 
     # -- global RNG -----------------------------------------------------
     def _check_global_rng(self, module, node: ast.Call):

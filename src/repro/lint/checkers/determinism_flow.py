@@ -1,0 +1,231 @@
+"""DET002 — nondeterminism taint must not *flow* into comparable state.
+
+DET001 catches the syntactic leaks (a clock read stored into a counter
+in the same statement).  This checker follows the value: a
+nondeterministic source assigned to a local, laundered through
+arithmetic or a container, and *then* stored where bit-for-bit
+reproducibility is assumed is the same bug with one hop of indirection.
+
+Sources (each tagged with its origin line for the finding message):
+
+- wall-clock reads (``time.time()`` & friends, per DET001's list);
+- OS entropy: ``os.urandom``, ``uuid.uuid1``/``uuid4``, ``secrets.*``;
+- ``id(obj)`` — CPython addresses differ run to run;
+- ``hash(obj)`` — salted for strings/bytes under PYTHONHASHSEED;
+- iteration order of syntactically-evident sets.
+
+Sinks:
+
+- stores into deterministic ``SearchStats`` counter fields
+  (``recursive_calls``, ``embeddings_found``, ``candidates_total``,
+  ``filter_iterations``);
+- stores into ``trace_id`` / ``span_id`` fields or variables (trace
+  identity is replay-diffed across runs);
+- arguments to ``SearchCheckpoint(...)`` — resumed runs must replay to
+  the exact fault-free answer;
+- arguments to ``canonical_*``/``*_fingerprint`` hash helpers.
+
+Sanitizers: ``len()`` (a cardinality is order- and address-free) erases
+all taint; ``sorted()``/``min()``/``max()``/``sum()`` erase *set-order*
+taint only — they are order-insensitive but keep clock/entropy values
+what they are.  Same-line clock-into-counter stores are DET001's
+finding and are not re-reported here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..base import MapReduceChecker, register
+from ..context import LintContext, iter_functions
+from ..findings import Finding
+from ..flow.dataflow import Env, Source, TaintDomain, describe_taint, solve, transfer_element
+from .determinism import _COUNTER_FIELDS, _is_bare_set_expr, _is_clock_call
+
+#: Field/variable names that carry trace identity.
+_TRACE_ID_NAMES = frozenset({"trace_id", "span_id", "parent_span_id"})
+
+#: Call names whose every argument is a determinism-sensitive sink.
+_HASH_SINK_PREFIXES = ("canonical_",)
+_HASH_SINK_SUFFIXES = ("_fingerprint",)
+
+_ENTROPY_CALLS = frozenset({"urandom", "uuid1", "uuid4", "token_bytes", "token_hex"})
+
+#: Full sanitizers erase all taint; order sanitizers erase set-order only.
+_FULL_SANITIZERS = frozenset({"len"})
+_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "frozenset", "set"})
+
+
+def _unwrap_materialize(expr: ast.AST) -> ast.AST:
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("tuple", "list")
+        and expr.args
+    ):
+        return expr.args[0]
+    return expr
+
+
+class _NondetDomain(TaintDomain):
+    """Taint facts: frozensets of Source(label, line, description)."""
+
+    def bind_attr_store(self, env: Env, name: str, fact) -> None:
+        # Sinks here *are* attribute fields; a store into one exempt
+        # field (stats.preprocess_seconds = clock) must not taint the
+        # object's other fields.  The store itself is checked as a sink.
+        return
+
+    def call_source(self, call: ast.Call, env: Env) -> Optional[Source]:
+        if _is_clock_call(call):
+            return Source("clock", call.lineno, "wall-clock read")
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _ENTROPY_CALLS:
+            return Source("entropy", call.lineno, f"OS entropy via {name}()")
+        if name == "id" and isinstance(func, ast.Name) and call.args:
+            return Source("object-id", call.lineno, "id() of an object")
+        if name == "hash" and isinstance(func, ast.Name) and call.args:
+            return Source("hash", call.lineno, "salted builtin hash()")
+        return None
+
+    def call_fact(self, call: ast.Call, env: Env) -> Optional[object]:
+        name = call.func.id if isinstance(call.func, ast.Name) else None
+        if name in _FULL_SANITIZERS:
+            for arg in call.args:
+                self.eval(arg, env)
+            return None
+        fact = super().call_fact(call, env)
+        if name in _ORDER_SANITIZERS and fact:
+            fact = frozenset(s for s in fact if s.label != "set-order") or None
+        return fact
+
+    def iterate_fact(self, iter_fact, iter_expr: ast.AST, env: Env):
+        if _is_bare_set_expr(_unwrap_materialize(iter_expr)):
+            source = Source("set-order", iter_expr.lineno, "bare-set iteration order")
+            return self.join2(iter_fact, frozenset((source,)))
+        return iter_fact
+
+    def comp_fact(self, expr: ast.AST, env: Env) -> Optional[object]:
+        fact = super().comp_fact(expr, env)
+        for gen in expr.generators:  # type: ignore[attr-defined]
+            if _is_bare_set_expr(_unwrap_materialize(gen.iter)):
+                source = Source("set-order", gen.iter.lineno, "bare-set iteration order")
+                fact = self.join2(fact, frozenset((source,)))
+        return fact
+
+
+@register
+class DeterminismFlowChecker(MapReduceChecker):
+    id = "DET002"
+    description = (
+        "clock/entropy/id()/hash()/set-order taint must not flow into "
+        "SearchStats counters, trace ids, canonical hashes, or checkpoints"
+    )
+
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        findings: list[Finding] = []
+        for qualname, func in iter_functions(module.tree):
+            findings.extend(self._check_function(ctx, module, qualname, func))
+        return findings, None
+
+    def _check_function(self, ctx, module, qualname: str, func):
+        domain = _NondetDomain()
+        solution = solve(ctx.cfg(func), domain)
+        for _block, element, env in solution.iter_elements():
+            node = element.node
+            if element.role != "stmt":
+                continue
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_store(module, domain, node, env)
+            for call in ast.walk(node):
+                if isinstance(call, ast.Call):
+                    yield from self._check_call_sink(module, domain, call, env)
+
+    # -- stores ----------------------------------------------------------
+    def _check_store(self, module, domain, node, env):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        fact = domain.eval(value, env)
+        if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Attribute):
+            # x.field += v: the stored value includes the old field; only
+            # the increment can introduce new taint, which `fact` is.
+            pass
+        if not fact:
+            return
+        for target in targets:
+            sink = self._sink_name(target)
+            if sink is None:
+                continue
+            relevant = self._relevant(fact, node.lineno)
+            if not relevant:
+                continue
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                f"nondeterministic value flows into {sink}: tainted by "
+                f"{describe_taint(relevant)}",
+            )
+
+    @staticmethod
+    def _sink_name(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Attribute):
+            if target.attr in _COUNTER_FIELDS:
+                return f"deterministic counter field .{target.attr}"
+            if target.attr in _TRACE_ID_NAMES:
+                return f"trace identity field .{target.attr}"
+        elif isinstance(target, ast.Name) and target.id in _TRACE_ID_NAMES:
+            return f"trace identity variable {target.id!r}"
+        return None
+
+    @staticmethod
+    def _relevant(fact, sink_line: int):
+        """Drop same-line clock sources — that exact shape (a clock read
+        stored into a counter in one statement) is DET001's finding."""
+        kept = frozenset(
+            s for s in fact if not (s.label == "clock" and s.lineno == sink_line)
+        )
+        return kept or None
+
+    # -- call sinks ------------------------------------------------------
+    def _check_call_sink(self, module, domain, call: ast.Call, env):
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is None:
+            return
+        is_checkpoint = name == "SearchCheckpoint"
+        is_hash = name.startswith(_HASH_SINK_PREFIXES) or name.endswith(
+            _HASH_SINK_SUFFIXES
+        )
+        if not (is_checkpoint or is_hash):
+            return
+        what = (
+            "a SearchCheckpoint payload"
+            if is_checkpoint
+            else f"canonical hash helper {name}()"
+        )
+        for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+            fact = domain.eval(arg, env)
+            if not fact:
+                continue
+            relevant = self._relevant(fact, call.lineno)
+            if not relevant:
+                continue
+            yield self.finding(
+                module.relpath,
+                call.lineno,
+                f"nondeterministic value flows into {what}: tainted by "
+                f"{describe_taint(relevant)}",
+            )
+            break  # one finding per call site is enough

@@ -1,0 +1,245 @@
+"""FRK001 — nothing unpicklable or parent-bound crosses the fork boundary.
+
+The parallel layer (``extensions/parallel.py``, ``service/batch.py``)
+moves work between processes two ways: pre-fork module globals readable
+by the child, and pickled traffic — ``Process(...)`` arguments and
+everything written to a ``Pipe`` with ``.send(...)``.  Four value
+classes must never enter the pickled channel:
+
+- **lambdas** (unpicklable; also silently capture parent state);
+- **open sinks** — ``open()`` file handles and stream-holding event
+  sinks (``JsonlSink``): the child would inherit a dangling fd or write
+  interleaved garbage into the parent's stream;
+- **locks** — ``threading.Lock``/``RLock``/``Condition``/``Event``/
+  ``Semaphore`` state is meaningless in another process;
+- **generator state** — generator expressions and calls to generator
+  functions cannot be pickled mid-iteration.
+
+Taint is tracked flow-sensitively per function (assigning a lambda to a
+local and sending the local later is the same bug), with provenance in
+the finding message.  Additionally, *worker-side* code — any function
+reachable (same module) from a ``Process(target=...)`` entry point —
+must treat parent globals as read-only: a ``global`` rebind or a store
+into a module-level dict only mutates the child's copy-on-write copy,
+which is the classic silently-lost-update fork bug.
+
+Scope: modules that import :mod:`multiprocessing` (so repo-shaped
+fixture trees are checked identically).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..base import MapReduceChecker, register
+from ..context import LintContext, call_name, own_body_walk
+from ..findings import Finding
+from ..flow.callgraph import CallGraph, FunctionInfo
+from ..flow.dataflow import Env, Source, TaintDomain, describe_taint, solve
+
+_LOCK_NAMES = frozenset(
+    {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore", "Barrier"}
+)
+_STREAM_SINK_NAMES = frozenset({"JsonlSink"})
+
+#: Pool-style methods whose function+argument payloads are pickled.
+_POOL_METHODS = frozenset({"apply", "apply_async", "map", "starmap", "imap", "submit"})
+
+
+def _imports_multiprocessing(tree: ast.Module) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "multiprocessing" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").split(".")[0] == "multiprocessing":
+                return True
+    return False
+
+
+class _ForkTaintDomain(TaintDomain):
+    def __init__(self, info: Optional[FunctionInfo], graph: Optional[CallGraph]) -> None:
+        self._info = info
+        self._graph = graph
+
+    def call_source(self, call: ast.Call, env: Env) -> Optional[Source]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return Source("open-file", call.lineno, "open() file handle")
+            if func.id in _STREAM_SINK_NAMES:
+                return Source("open-sink", call.lineno, f"stream-holding {func.id}")
+            if func.id in _LOCK_NAMES:
+                return Source("lock", call.lineno, f"{func.id}() synchronization primitive")
+        elif isinstance(func, ast.Attribute):
+            if func.attr in _LOCK_NAMES:
+                return Source("lock", call.lineno, f"{func.attr}() synchronization primitive")
+            if func.attr in _STREAM_SINK_NAMES:
+                return Source("open-sink", call.lineno, f"stream-holding {func.attr}")
+        # Calling a local generator function yields pickling-hostile
+        # generator state.
+        if self._info is not None and self._graph is not None:
+            callee = self._graph.resolve_call(self._info, call)
+            if callee is not None and callee.is_generator:
+                return Source(
+                    "generator", call.lineno, f"generator state from {callee.name}()"
+                )
+        return None
+
+    def lambda_fact(self, expr: ast.Lambda, env: Env):
+        return frozenset((Source("lambda", expr.lineno, "lambda"),))
+
+    def comp_fact(self, expr: ast.AST, env: Env):
+        fact = super().comp_fact(expr, env)
+        if isinstance(expr, ast.GeneratorExp):
+            source = Source("generator", expr.lineno, "generator expression")
+            fact = self.join2(fact, frozenset((source,)))
+        return fact
+
+
+@register
+class ForkSafetyChecker(MapReduceChecker):
+    id = "FRK001"
+    description = (
+        "no lambdas, open sinks, locks, or generator state across the "
+        "multiprocessing pickle boundary; workers never mutate parent globals"
+    )
+
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        return list(self._scan(ctx, module)), None
+
+    def _scan(self, ctx: LintContext, module) -> Iterable[Finding]:
+        if not _imports_multiprocessing(module.tree):
+            return
+        graph = ctx.call_graph()
+        module_globals = self._module_level_names(module.tree)
+        worker_roots: list[str] = []
+        for info in graph.module_functions(module.relpath):
+            yield from self._check_pickle_taint(ctx, module, graph, info)
+            worker_roots.extend(self._worker_targets(info.node))
+        yield from self._check_worker_globals(
+            module, graph, worker_roots, module_globals
+        )
+
+    # -- pickled-channel taint ------------------------------------------
+    def _check_pickle_taint(self, ctx, module, graph, info: FunctionInfo):
+        domain = _ForkTaintDomain(info, graph)
+        solution = solve(ctx.cfg(info.node), domain)
+        for _block, element, env in solution.iter_elements():
+            for call in ast.walk(element.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                yield from self._check_boundary_call(module, domain, call, env)
+
+    def _check_boundary_call(self, module, domain, call: ast.Call, env):
+        func = call.func
+        payloads: list[tuple[str, ast.AST]] = []
+        if isinstance(func, ast.Attribute) and func.attr == "send":
+            for arg in call.args:
+                payloads.append(("pipe .send() payload", arg))
+        elif call_name(call) == "Process":
+            for keyword in call.keywords:
+                if keyword.arg in ("target", "args", "kwargs"):
+                    payloads.append((f"Process {keyword.arg}=", keyword.value))
+        elif isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            for arg in call.args:
+                payloads.append((f"pool .{func.attr}() argument", arg))
+        for what, expr in payloads:
+            fact = domain.eval(expr, env)
+            if not fact:
+                continue
+            yield self.finding(
+                module.relpath,
+                call.lineno,
+                f"unpicklable value crosses the fork boundary via {what}: "
+                f"{describe_taint(fact)}",
+            )
+            break  # one finding per boundary call
+
+    # -- worker-side global mutation ------------------------------------
+    @staticmethod
+    def _worker_targets(func: ast.AST) -> list[str]:
+        """Names passed as ``Process(target=...)`` inside ``func``."""
+        roots = []
+        for node in own_body_walk(func):
+            if isinstance(node, ast.Call) and call_name(node) == "Process":
+                for keyword in node.keywords:
+                    if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                        roots.append(keyword.value.id)
+        return roots
+
+    @staticmethod
+    def _module_level_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+        return names
+
+    def _check_worker_globals(self, module, graph, roots, module_globals):
+        if not roots:
+            return
+        # Worker-reachable set: the target functions plus every
+        # same-module function they (transitively) call.
+        worker_keys: set = set()
+        stack = [
+            (module.relpath, root)
+            for root in roots
+            if (module.relpath, root) in graph.functions
+        ]
+        edges = graph.edges()
+        while stack:
+            key = stack.pop()
+            if key in worker_keys:
+                continue
+            worker_keys.add(key)
+            for callee in edges.get(key, ()):
+                if callee[0] == module.relpath:
+                    stack.append(callee)
+        for key in sorted(worker_keys):
+            info = graph.functions[key]
+            declared_global = {
+                name
+                for node in own_body_walk(info.node)
+                if isinstance(node, ast.Global)
+                for name in node.names
+            }
+            for node in own_body_walk(info.node):
+                targets: list[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    yield from self._flag_global_store(
+                        module, info, node, target, declared_global, module_globals
+                    )
+
+    def _flag_global_store(
+        self, module, info, stmt, target, declared_global, module_globals
+    ):
+        if isinstance(target, ast.Name) and target.id in declared_global:
+            yield self.finding(
+                module.relpath,
+                stmt.lineno,
+                f"worker-side function {info.qualname!r} rebinds module global "
+                f"{target.id!r}: the write only lands in the forked child's "
+                "copy — return results over the pipe instead",
+            )
+        elif (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Name)
+            and target.value.id in module_globals
+        ):
+            yield self.finding(
+                module.relpath,
+                stmt.lineno,
+                f"worker-side function {info.qualname!r} mutates module-level "
+                f"container {target.value.id!r}: parent globals are read-only "
+                "after fork — return results over the pipe instead",
+            )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from ..base import Checker, register
+from ..base import MapReduceChecker, register
 from ..context import LintContext
 from ..findings import Finding
 
@@ -46,19 +46,59 @@ _IMPLICIT_FIELDS = frozenset({"event", "ts", "trace_id", "span_id", "parent_span
 
 
 @register
-class SchemaEmissionChecker(Checker):
+class SchemaEmissionChecker(MapReduceChecker):
     id = "SCH001"
     description = (
         "event literals, counter increments and phase names must match the "
         "repro.obs schema/catalogues, with no dead schema entries"
     )
 
-    def check(self, ctx: LintContext) -> Iterable[Finding]:
-        schemas = ctx.event_schemas()
-        counters = ctx.counters()
-        vertex_counters = ctx.vertex_counters()
-        phases = ctx.phases()
-        if schemas is None or counters is None or phases is None:
+    def setup(self, ctx: LintContext) -> None:
+        self._schemas = ctx.event_schemas()
+        self._counters = ctx.counters()
+        self._vertex_counters = ctx.vertex_counters() or {}
+        self._phases = ctx.phases()
+        self._anchors_ok = not (
+            self._schemas is None or self._counters is None or self._phases is None
+        )
+
+    def scan_module(self, ctx: LintContext, module) -> tuple[list[Finding], object]:
+        """Per-module pass: literal/increment/phase checks, plus the
+        ``seen_*`` name sets as picklable facts for the dead sweep."""
+        if not self._anchors_ok:
+            return [], None
+        seen_events: set[str] = set()
+        seen_counters: set[str] = set()
+        seen_vertex: set[str] = set()
+        seen_phases: set[str] = set()
+        findings: list[Finding] = []
+        in_obs = module.relpath.startswith("src/repro/obs/")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                findings.extend(
+                    self._check_event_literal(module, node, self._schemas, seen_events)
+                )
+            elif isinstance(node, ast.AugAssign):
+                findings.extend(
+                    self._check_counter_increment(
+                        module,
+                        node,
+                        self._counters,
+                        self._vertex_counters,
+                        seen_counters if not in_obs else set(),
+                        seen_vertex if not in_obs else set(),
+                    )
+                )
+            elif isinstance(node, ast.Call):
+                findings.extend(
+                    self._check_phase_name(module, node, self._phases, seen_phases)
+                )
+        return findings, (seen_events, seen_counters, seen_vertex, seen_phases)
+
+    def reduce(self, ctx: LintContext, facts: list[object]) -> Iterable[Finding]:
+        """Dead-definition sweep: every declared event/counter/phase
+        needs at least one source-level use site across all modules."""
+        if not self._anchors_ok:
             yield self.finding(
                 "src/repro/obs/schema.py",
                 0,
@@ -66,32 +106,22 @@ class SchemaEmissionChecker(Checker):
                 "from repro.obs.schema or COUNTERS/PHASES from repro.obs.metrics",
             )
             return
-        vertex_counters = vertex_counters or {}
-
         seen_events: set[str] = set()
         seen_counters: set[str] = set()
         seen_vertex: set[str] = set()
         seen_phases: set[str] = set()
-
-        for module in ctx.modules():
-            in_obs = module.relpath.startswith("src/repro/obs/")
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.Dict):
-                    yield from self._check_event_literal(module, node, schemas, seen_events)
-                elif isinstance(node, ast.AugAssign):
-                    yield from self._check_counter_increment(
-                        module,
-                        node,
-                        counters,
-                        vertex_counters,
-                        seen_counters if not in_obs else set(),
-                        seen_vertex if not in_obs else set(),
-                    )
-                elif isinstance(node, ast.Call):
-                    yield from self._check_phase_name(module, node, phases, seen_phases)
-
-        # Dead-definition sweep: every declared event/counter/phase needs
-        # at least one source-level use site.
+        for fact in facts:
+            if fact is None:
+                continue
+            events, counters, vertex, phases = fact
+            seen_events |= events
+            seen_counters |= counters
+            seen_vertex |= vertex
+            seen_phases |= phases
+        schemas = self._schemas
+        counters = self._counters
+        vertex_counters = self._vertex_counters
+        phases = self._phases
         for event, (lineno, _required, _optional) in sorted(schemas.items()):
             if event not in seen_events:
                 yield self.finding(

@@ -69,6 +69,8 @@ class LintContext:
             raise FileNotFoundError(f"{self.root} has no src/repro package")
         self._modules: Optional[list[ParsedModule]] = None
         self._by_relpath: dict[str, ParsedModule] = {}
+        self._cfgs: dict[int, object] = {}
+        self._call_graph: Optional[object] = None
 
     # -- module access --------------------------------------------------
     def modules(self) -> list[ParsedModule]:
@@ -99,6 +101,27 @@ class LintContext:
             tree=ast.parse(source, filename=str(path)),
             lines=source.splitlines(),
         )
+
+    # -- flow graphs ----------------------------------------------------
+    def cfg(self, func: ast.AST):
+        """The (cached) control-flow graph of one function node.  Keyed
+        by node identity: AST trees live in the module cache, so the id
+        is stable for the duration of the run."""
+        from .flow.cfg import build_cfg
+
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            cached = build_cfg(func)
+            self._cfgs[id(func)] = cached
+        return cached
+
+    def call_graph(self):
+        """The (cached) project-wide call graph for this root."""
+        from .flow.callgraph import CallGraph
+
+        if self._call_graph is None:
+            self._call_graph = CallGraph(self)
+        return self._call_graph
 
     # -- suppressions ---------------------------------------------------
     def is_suppressed(self, module: ParsedModule, line: int, check_id: str) -> bool:

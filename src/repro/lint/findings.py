@@ -57,6 +57,87 @@ def render_text(findings: list[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: list[Finding]) -> str:
-    """The ``--format json`` report: a stable, machine-readable array."""
-    return json.dumps([asdict(finding) for finding in findings], indent=2)
+#: Tag + version of the ``--format json`` report document, so downstream
+#: tooling (scripts/check_metrics_schema.py) can route files by content.
+LINT_SCHEMA = "repro.lint"
+LINT_VERSION = 1
+
+
+def report_document(report) -> dict:
+    """The ``--format json`` payload for a :class:`LintReport`: a tagged,
+    versioned document — findings plus the run summary, machine-checkable
+    by :func:`validate_lint_report`."""
+    return {
+        "schema": LINT_SCHEMA,
+        "version": LINT_VERSION,
+        "findings": [asdict(finding) for finding in report.findings],
+        "summary": {
+            "files": report.files,
+            "findings": len(report.findings),
+            "checkers": list(report.checkers),
+            "by_check": dict(report.by_check),
+            "baseline_suppressed": report.baseline_suppressed,
+            "stale_baseline": report.stale_baseline,
+            "elapsed_seconds": report.elapsed_seconds,
+            "jobs": report.jobs,
+        },
+    }
+
+
+def validate_lint_report(payload: object) -> list[str]:
+    """Structural problems with a ``--format json`` document ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"lint report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema") != LINT_SCHEMA:
+        problems.append(f"schema tag is {payload.get('schema')!r}, want {LINT_SCHEMA!r}")
+    if payload.get("version") != LINT_VERSION:
+        problems.append(f"version is {payload.get('version')!r}, want {LINT_VERSION}")
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        problems.append("findings must be an array")
+        findings = []
+    for position, raw in enumerate(findings):
+        if not isinstance(raw, dict):
+            problems.append(f"findings[{position}] is not an object")
+            continue
+        for field_name, kind in (
+            ("path", str),
+            ("line", int),
+            ("check_id", str),
+            ("severity", str),
+            ("message", str),
+        ):
+            if not isinstance(raw.get(field_name), kind):
+                problems.append(
+                    f"findings[{position}].{field_name} must be {kind.__name__}"
+                )
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary must be an object")
+    else:
+        for field_name, kind in (
+            ("files", int),
+            ("findings", int),
+            ("checkers", list),
+            ("by_check", dict),
+            ("baseline_suppressed", int),
+            ("stale_baseline", int),
+            ("elapsed_seconds", (int, float)),
+            ("jobs", int),
+        ):
+            if not isinstance(summary.get(field_name), kind):
+                want = kind.__name__ if isinstance(kind, type) else "number"
+                problems.append(f"summary.{field_name} must be {want}")
+        if isinstance(summary.get("findings"), int) and isinstance(findings, list):
+            if summary["findings"] != len(findings):
+                problems.append(
+                    f"summary.findings={summary['findings']} but the array has "
+                    f"{len(findings)}"
+                )
+    return problems
+
+
+def render_json(report) -> str:
+    """The ``--format json`` report, rendered (see :func:`report_document`)."""
+    return json.dumps(report_document(report), indent=2)

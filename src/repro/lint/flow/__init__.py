@@ -1,0 +1,54 @@
+"""Flow analysis for the lint engine: CFGs, call graph, dataflow.
+
+Three layers, each pure-stdlib over :mod:`ast`:
+
+* :mod:`.cfg` — per-function control-flow graphs with loop records and
+  short-circuit-aware "guaranteed evaluation" queries;
+* :mod:`.callgraph` — a project-wide, name-resolved call graph with
+  recursion-cycle (SCC) detection;
+* :mod:`.dataflow` — a forward worklist solver over checker-defined
+  fact lattices, with a shared may-taint domain.
+
+Checkers obtain cached instances through
+:meth:`repro.lint.context.LintContext` accessors (``ctx.cfg(func)`` and
+``ctx.call_graph()``) so one lint run builds each graph at most once.
+"""
+
+from .callgraph import CallGraph, FunctionInfo
+from .cfg import (
+    CFG,
+    Block,
+    Element,
+    Loop,
+    build_cfg,
+    element_guaranteed_exprs,
+    guaranteed_subexprs,
+)
+from .dataflow import (
+    Domain,
+    Solution,
+    Source,
+    TaintDomain,
+    describe_taint,
+    solve,
+    transfer_element,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "CallGraph",
+    "Domain",
+    "Element",
+    "FunctionInfo",
+    "Loop",
+    "Solution",
+    "Source",
+    "TaintDomain",
+    "build_cfg",
+    "describe_taint",
+    "element_guaranteed_exprs",
+    "guaranteed_subexprs",
+    "solve",
+    "transfer_element",
+]

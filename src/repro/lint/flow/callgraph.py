@@ -1,0 +1,375 @@
+"""A project-wide call graph resolved statically from the module cache.
+
+Functions are keyed by ``(relpath, qualname)``.  Call resolution is
+deliberately conservative and name-based — no type inference, just the
+handful of binding forms this codebase actually uses:
+
+* ``f(...)``                  -> a module-level function ``f`` in the same
+  module, an enclosing-scope nested function, or a ``from m import f``
+  import target;
+* ``self.m(...)`` / ``cls.m(...)`` -> method ``m`` of the enclosing class;
+* ``self.attr.m(...)``        -> method ``m`` of ``ClassName`` when
+  ``__init__`` contains ``self.attr = ClassName(...)`` (same module or
+  imported);
+* ``mod.f(...)``              -> function ``f`` of an imported module alias.
+
+:meth:`CallGraph.resolve_unique` additionally resolves a bare method
+name project-wide when exactly one function in the repository bears it.
+That fallback is reserved for *positive* evidence (e.g. "this helper
+returns a schema-valid event"), never for negative verdicts — a wrong
+unique match can only make a checker quieter, not noisier.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..context import LintContext, ParsedModule
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+Key = tuple[str, str]  # (relpath, qualname)
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition and its resolution context."""
+
+    key: Key
+    module: ParsedModule
+    qualname: str
+    node: FuncDef
+    class_name: Optional[str] = None
+    is_generator: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class _ModuleScope:
+    """Per-module name-resolution tables."""
+
+    functions: dict[str, Key] = field(default_factory=dict)  # top-level name -> key
+    methods: dict[str, dict[str, Key]] = field(default_factory=dict)  # class -> name -> key
+    # import alias -> dotted module ("repro.obs.metrics") for `import x` /
+    # `from pkg import mod`; symbol alias -> (dotted module, symbol) for
+    # `from m import f`.
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    symbol_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    # self.attr -> class name, from `self.attr = ClassName(...)` in __init__.
+    attr_types: dict[str, dict[str, str]] = field(default_factory=dict)  # class -> attr -> type
+
+
+class CallGraph:
+    """Function table + edges for one :class:`LintContext`."""
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.functions: dict[Key, FunctionInfo] = {}
+        self._scopes: dict[str, _ModuleScope] = {}
+        self._by_name: dict[str, list[Key]] = {}
+        self._relpath_by_dotted: dict[str, str] = {}
+        for module in ctx.modules():
+            self._relpath_by_dotted[module.name] = module.relpath
+        for module in ctx.modules():
+            self._index_module(module)
+        self._edges: Optional[dict[Key, tuple[Key, ...]]] = None
+
+    # -- indexing --------------------------------------------------------
+    def _index_module(self, module: ParsedModule) -> None:
+        scope = _ModuleScope()
+        self._scopes[module.relpath] = scope
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    scope.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(stmt, ast.ImportFrom) and stmt.names[0].name != "*":
+                base = self._absolute_module(module, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    target = alias.asname or alias.name
+                    dotted = f"{base}.{alias.name}"
+                    if dotted in self._relpath_by_dotted:
+                        scope.module_aliases[target] = dotted
+                    else:
+                        scope.symbol_imports[target] = (base, alias.name)
+        self._walk_defs(module, scope, module.tree, prefix="", class_name=None)
+
+    def _absolute_module(self, module: ParsedModule, stmt: ast.ImportFrom) -> Optional[str]:
+        if stmt.level == 0:
+            return stmt.module
+        parts = module.name.split(".")
+        # For a package __init__, `.` refers to the package itself.
+        is_package = module.relpath.endswith("__init__.py")
+        drop = stmt.level - (1 if is_package else 0)
+        if drop > len(parts):
+            return None
+        base = parts[: len(parts) - drop] if drop else parts
+        if stmt.module:
+            base = base + stmt.module.split(".")
+        return ".".join(base) if base else None
+
+    def _walk_defs(
+        self,
+        module: ParsedModule,
+        scope: _ModuleScope,
+        node: ast.AST,
+        prefix: str,
+        class_name: Optional[str],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                key = (module.relpath, qualname)
+                info = FunctionInfo(
+                    key=key,
+                    module=module,
+                    qualname=qualname,
+                    node=child,
+                    class_name=class_name,
+                    is_generator=_is_generator(child),
+                )
+                self.functions[key] = info
+                self._by_name.setdefault(child.name, []).append(key)
+                if class_name is None and not prefix.count("."):
+                    scope.functions[child.name] = key
+                elif class_name is not None and prefix == f"{class_name}.":
+                    scope.methods.setdefault(class_name, {})[child.name] = key
+                    if child.name == "__init__":
+                        self._index_attr_types(scope, class_name, child)
+                self._walk_defs(module, scope, child, f"{qualname}.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                self._walk_defs(
+                    module, scope, child, f"{prefix}{child.name}.", child.name
+                )
+            else:
+                self._walk_defs(module, scope, child, prefix, class_name)
+
+    def _index_attr_types(
+        self, scope: _ModuleScope, class_name: str, init: FuncDef
+    ) -> None:
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign) or not isinstance(stmt.value, ast.Call):
+                continue
+            ctor = stmt.value.func
+            type_name = None
+            if isinstance(ctor, ast.Name):
+                type_name = ctor.id
+            elif isinstance(ctor, ast.Attribute):
+                type_name = ctor.attr
+            if type_name is None or not type_name[:1].isupper():
+                continue
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    scope.attr_types.setdefault(class_name, {})[target.attr] = type_name
+
+    # -- resolution ------------------------------------------------------
+    def lookup(self, key: Key) -> Optional[FunctionInfo]:
+        return self.functions.get(key)
+
+    def module_functions(self, relpath: str) -> list[FunctionInfo]:
+        return [info for key, info in sorted(self.functions.items()) if key[0] == relpath]
+
+    def resolve_call(self, caller: FunctionInfo, call: ast.Call) -> Optional[FunctionInfo]:
+        """The callee of ``call`` made inside ``caller``, or ``None``."""
+        scope = self._scopes[caller.key[0]]
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(caller, scope, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(caller, scope, func)
+        return None
+
+    def _resolve_name(
+        self, caller: FunctionInfo, scope: _ModuleScope, name: str
+    ) -> Optional[FunctionInfo]:
+        # Enclosing nested function (closure sibling or own nested def).
+        parts = caller.qualname.split(".")
+        for depth in range(len(parts), 0, -1):
+            nested = (caller.key[0], ".".join(parts[:depth] + [name]))
+            if nested in self.functions:
+                return self.functions[nested]
+        if name in scope.functions:
+            return self.functions[scope.functions[name]]
+        if name in scope.symbol_imports:
+            dotted, symbol = scope.symbol_imports[name]
+            return self._module_symbol(dotted, symbol)
+        # A class method called unqualified inside its own class body is
+        # not a form this codebase uses; stop here.
+        return None
+
+    def _resolve_attribute(
+        self, caller: FunctionInfo, scope: _ModuleScope, func: ast.Attribute
+    ) -> Optional[FunctionInfo]:
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in ("self", "cls") and caller.class_name is not None:
+                methods = scope.methods.get(caller.class_name, {})
+                if func.attr in methods:
+                    return self.functions[methods[func.attr]]
+                return None
+            if value.id in scope.module_aliases:
+                return self._module_symbol(scope.module_aliases[value.id], func.attr)
+            if value.id in scope.symbol_imports:
+                # `from m import ClassName` then ClassName.method(...)
+                dotted, symbol = scope.symbol_imports[value.id]
+                return self._class_method(dotted, symbol, func.attr)
+            return None
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and caller.class_name is not None
+        ):
+            # self.attr.m(...) via a typed __init__ assignment.
+            attr_types = scope.attr_types.get(caller.class_name, {})
+            type_name = attr_types.get(value.attr)
+            if type_name is None:
+                return None
+            return self._class_method_anywhere(caller.key[0], scope, type_name, func.attr)
+        return None
+
+    def _module_symbol(self, dotted: str, symbol: str) -> Optional[FunctionInfo]:
+        relpath = self._relpath_by_dotted.get(dotted)
+        if relpath is None:
+            return None
+        scope = self._scopes.get(relpath)
+        if scope is None:
+            return None
+        if symbol in scope.functions:
+            return self.functions[scope.functions[symbol]]
+        return None
+
+    def _class_method(self, dotted: str, class_name: str, method: str) -> Optional[FunctionInfo]:
+        relpath = self._relpath_by_dotted.get(dotted)
+        if relpath is None:
+            return None
+        scope = self._scopes.get(relpath)
+        if scope is None:
+            return None
+        key = scope.methods.get(class_name, {}).get(method)
+        return self.functions[key] if key else None
+
+    def _class_method_anywhere(
+        self, relpath: str, scope: _ModuleScope, class_name: str, method: str
+    ) -> Optional[FunctionInfo]:
+        key = scope.methods.get(class_name, {}).get(method)
+        if key is not None:
+            return self.functions[key]
+        # The class may be imported: follow the symbol import.
+        if class_name in scope.symbol_imports:
+            dotted, symbol = scope.symbol_imports[class_name]
+            return self._class_method(dotted, symbol, method)
+        return None
+
+    def resolve_unique(self, name: str) -> Optional[FunctionInfo]:
+        """Project-wide unique-name resolution (positive evidence only)."""
+        keys = self._by_name.get(name, [])
+        if len(keys) == 1:
+            return self.functions[keys[0]]
+        return None
+
+    # -- edges / cycles --------------------------------------------------
+    def edges(self) -> dict[Key, tuple[Key, ...]]:
+        """Resolved call edges for every function, sorted per caller."""
+        if self._edges is None:
+            out: dict[Key, tuple[Key, ...]] = {}
+            from ..context import own_body_walk
+
+            for key in sorted(self.functions):
+                caller = self.functions[key]
+                seen: set[Key] = set()
+                # Own-body walk: a nested def's calls belong to the
+                # nested function's row, not the parent's.
+                for node in own_body_walk(caller.node):
+                    if isinstance(node, ast.Call):
+                        callee = self.resolve_call(caller, node)
+                        if callee is not None:
+                            seen.add(callee.key)
+                out[key] = tuple(sorted(seen))
+            self._edges = out
+        return self._edges
+
+    def sccs(self) -> list[frozenset[Key]]:
+        """Strongly connected components of the call graph (iterative
+        Tarjan), including self-recursive singletons."""
+        edges = self.edges()
+        index: dict[Key, int] = {}
+        low: dict[Key, int] = {}
+        on_stack: set[Key] = set()
+        stack: list[Key] = []
+        components: list[frozenset[Key]] = []
+        counter = [0]
+
+        for root in sorted(self.functions):
+            if root in index:
+                continue
+            work: list[tuple[Key, int]] = [(root, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                succs = edges.get(node, ())
+                for offset in range(child_index, len(succs)):
+                    succ = succs[offset]
+                    if succ not in index:
+                        work[-1] = (node, offset + 1)
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    is_cycle = len(component) > 1 or node in edges.get(node, ())
+                    if is_cycle:
+                        components.append(frozenset(component))
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return components
+
+    def recursive_components(self) -> dict[Key, frozenset[Key]]:
+        """Map each function inside a recursion cycle to its component."""
+        out: dict[Key, frozenset[Key]] = {}
+        for component in self.sccs():
+            for key in component:
+                out[key] = component
+        return out
+
+
+def _is_generator(func: FuncDef) -> bool:
+    """A yield in the function's *own* body (nested defs get their own
+    walk; a yield inside a nested function does not count)."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

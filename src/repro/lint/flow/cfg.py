@@ -1,0 +1,424 @@
+"""Intraprocedural control-flow graphs over :mod:`ast` functions.
+
+A :class:`CFG` decomposes one function body into basic blocks of
+straight-line *elements* connected by control edges.  Branches, loops
+(with explicit back-edge bookkeeping in :class:`Loop` records), ``try``
+/ ``except`` / ``finally``, ``with``, ``break`` / ``continue`` /
+``return`` / ``raise`` are all modeled; nested function and class
+definitions are opaque single elements (their bodies are separate CFGs).
+
+Exception modeling is a deliberate over-approximation: every block
+created inside a ``try`` body gets an edge to each handler entry, and a
+``finally`` suite flows both to the normal continuation and to the
+function exit (covering the re-raise/return pass-through).  For the
+analyses built on top — may-taint (:mod:`.dataflow`) and must-pass
+path checks (BUD002) — extra edges only ever make the verdict more
+conservative.
+
+Boolean short-circuit lives at the *element* level, not the edge level:
+:func:`guaranteed_subexprs` enumerates the sub-expressions an element is
+certain to evaluate, so ``cond and obj.tick()`` never counts as a
+guaranteed budget poll while ``obj.tick()`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Element roles: how the transfer functions should read ``node``.
+#: ``stmt``   — a simple statement, evaluated wholesale;
+#: ``test``   — an ``If``/``While`` whose *test expression only* runs here;
+#: ``for``    — a ``For`` whose iterable is evaluated and target bound;
+#: ``with``   — a ``With`` whose context managers are entered here;
+#: ``except`` — an ``ExceptHandler`` binding its exception name.
+ROLES = ("stmt", "test", "for", "with", "except")
+
+
+@dataclass
+class Element:
+    """One unit of straight-line execution inside a basic block."""
+
+    node: ast.AST
+    role: str = "stmt"
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class Block:
+    """A basic block: elements executed in order, then a branch."""
+
+    index: int
+    elements: list[Element] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def first_line(self) -> int:
+        for element in self.elements:
+            if element.lineno:
+                return element.lineno
+        return 0
+
+
+@dataclass
+class Loop:
+    """One syntactic loop: its header block, body blocks, back edges."""
+
+    node: Union[ast.For, ast.While, ast.AsyncFor]
+    header: int
+    body: set[int] = field(default_factory=set)
+    back_sources: set[int] = field(default_factory=set)
+    after: int = -1
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        builder = _Builder(func)
+        self.func = func
+        self.blocks: list[Block] = builder.blocks
+        self.entry: int = builder.entry
+        self.exit: int = builder.exit
+        self.loops: list[Loop] = builder.loops
+
+    def block(self, index: int) -> Block:
+        return self.blocks[index]
+
+    def elements(self) -> Iterator[tuple[Block, Element]]:
+        """Every (block, element) pair in block order — a deterministic
+        walk for checkers that scan elements with their solved facts."""
+        for block in self.blocks:
+            for element in block.elements:
+                yield block, element
+
+    def reachable(self) -> set[int]:
+        """Block indices reachable from the entry."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+class _Builder:
+    """Single-pass recursive CFG construction."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.blocks: list[Block] = []
+        entry = self._new_block()
+        self.entry = entry.index
+        self.exit = self._new_block().index
+        self.loops: list[Loop] = []
+        # (header index, after index, Loop record) innermost-last.
+        self._loop_stack: list[tuple[int, int, Loop]] = []
+        # Handler entry blocks of every enclosing try, innermost-last.
+        self._handler_stack: list[list[int]] = []
+        self._current: Optional[Block] = entry
+        self._build_body(func.body)
+        if self._current is not None:
+            self._edge(self._current.index, self.exit)
+        self._wire_preds()
+        self._record_loop_members()
+
+    # -- plumbing -------------------------------------------------------
+    def _new_block(self) -> Block:
+        block = Block(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        succs = self.blocks[src].succs
+        if dst not in succs:
+            succs.append(dst)
+
+    def _start_block(self, *preds: int) -> Block:
+        block = self._new_block()
+        for pred in preds:
+            self._edge(pred, block.index)
+        return block
+
+    def _append(self, node: ast.AST, role: str = "stmt") -> None:
+        if self._current is None:
+            # Unreachable code after a terminator still gets a block so
+            # every statement is represented (with no predecessors).
+            self._current = self._new_block()
+        self._current.elements.append(Element(node, role))
+        # Any element inside a try body may raise into each handler.
+        for handlers in self._handler_stack:
+            for handler in handlers:
+                self._edge(self._current.index, handler)
+
+    def _terminate(self, *targets: int) -> None:
+        assert self._current is not None
+        for target in targets:
+            self._edge(self._current.index, target)
+        self._current = None
+
+    # -- statement dispatch ---------------------------------------------
+    def _build_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.If,)):
+            self._build_if(stmt)
+        elif isinstance(stmt, (ast.While,)):
+            self._build_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._build_for(stmt)
+        elif isinstance(stmt, (ast.Try,)):
+            self._build_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._append(stmt, role="with")
+            self._build_body(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            self._append(stmt)
+            self._terminate(self.exit)
+        elif isinstance(stmt, ast.Raise):
+            self._append(stmt)
+            targets = [self.exit]
+            if self._handler_stack:
+                targets = list(self._handler_stack[-1])
+            self._terminate(*targets)
+        elif isinstance(stmt, ast.Break):
+            self._append(stmt)
+            if self._loop_stack:
+                self._terminate(self._loop_stack[-1][1])
+            else:  # malformed source; keep the CFG well-formed
+                self._terminate(self.exit)
+        elif isinstance(stmt, ast.Continue):
+            self._append(stmt)
+            if self._loop_stack:
+                header = self._loop_stack[-1][0]
+                self._loop_stack[-1][2].back_sources.add(self._current_index())
+                self._terminate(header)
+            else:
+                self._terminate(self.exit)
+        else:
+            # Simple statements — including nested FunctionDef/ClassDef,
+            # which are opaque name bindings at this level.
+            self._append(stmt)
+
+    def _current_index(self) -> int:
+        assert self._current is not None
+        return self._current.index
+
+    # -- structured statements ------------------------------------------
+    def _build_if(self, stmt: ast.If) -> None:
+        self._append(stmt, role="test")
+        cond = self._current_index()
+        self._current = None
+        then_block = self._start_block(cond)
+        self._current = then_block
+        self._build_body(stmt.body)
+        then_end = self._current
+        else_end: Optional[Block] = None
+        if stmt.orelse:
+            self._current = self._start_block(cond)
+            self._build_body(stmt.orelse)
+            else_end = self._current
+        join = self._new_block()
+        if then_end is not None:
+            self._edge(then_end.index, join.index)
+        if stmt.orelse:
+            if else_end is not None:
+                self._edge(else_end.index, join.index)
+        else:
+            self._edge(cond, join.index)  # false edge falls through
+        self._current = join
+
+    def _build_while(self, stmt: ast.While) -> None:
+        assert self._current is not None
+        header = self._start_block(self._current_index())
+        self._current = header
+        self._append(stmt, role="test")
+        after = self._new_block()
+        loop = Loop(node=stmt, header=header.index, after=after.index)
+        self.loops.append(loop)
+        body = self._start_block(header.index)
+        self._loop_stack.append((header.index, after.index, loop))
+        self._current = body
+        self._build_body(stmt.body)
+        if self._current is not None:
+            loop.back_sources.add(self._current_index())
+            self._edge(self._current_index(), header.index)
+        self._loop_stack.pop()
+        if stmt.orelse:
+            self._current = self._start_block(header.index)
+            self._build_body(stmt.orelse)
+            if self._current is not None:
+                self._edge(self._current_index(), after.index)
+        else:
+            self._edge(header.index, after.index)
+        self._current = after
+
+    def _build_for(self, stmt: Union[ast.For, ast.AsyncFor]) -> None:
+        assert self._current is not None
+        header = self._start_block(self._current_index())
+        self._current = header
+        self._append(stmt, role="for")
+        after = self._new_block()
+        loop = Loop(node=stmt, header=header.index, after=after.index)
+        self.loops.append(loop)
+        body = self._start_block(header.index)
+        self._loop_stack.append((header.index, after.index, loop))
+        self._current = body
+        self._build_body(stmt.body)
+        if self._current is not None:
+            loop.back_sources.add(self._current_index())
+            self._edge(self._current_index(), header.index)
+        self._loop_stack.pop()
+        if stmt.orelse:
+            self._current = self._start_block(header.index)
+            self._build_body(stmt.orelse)
+            if self._current is not None:
+                self._edge(self._current_index(), after.index)
+        else:
+            self._edge(header.index, after.index)
+        self._current = after
+
+    def _build_try(self, stmt: ast.Try) -> None:
+        assert self._current is not None
+        before = self._current_index()
+        handler_entries: list[int] = []
+        handler_blocks: list[Block] = []
+        for handler in stmt.handlers:
+            block = self._new_block()
+            block.elements.append(Element(handler, role="except"))
+            handler_entries.append(block.index)
+            handler_blocks.append(block)
+        # Entering the try at all can raise before the first statement
+        # completes (conservative, keeps handlers reachable even for an
+        # empty-ish body).
+        for entry in handler_entries:
+            self._edge(before, entry)
+        if handler_entries:
+            self._handler_stack.append(handler_entries)
+        body = self._start_block(before)
+        self._current = body
+        self._build_body(stmt.body)
+        body_end = self._current
+        if handler_entries:
+            self._handler_stack.pop()
+        # else-suite runs after a body that completed without raising.
+        if stmt.orelse and body_end is not None:
+            self._current = body_end
+            self._build_body(stmt.orelse)
+            body_end = self._current
+        handler_ends: list[Block] = []
+        for handler, block in zip(stmt.handlers, handler_blocks):
+            self._current = block
+            self._build_body(handler.body)
+            if self._current is not None:
+                handler_ends.append(self._current)
+        if stmt.finalbody:
+            final = self._new_block()
+            if body_end is not None:
+                self._edge(body_end.index, final.index)
+            for end in handler_ends:
+                self._edge(end.index, final.index)
+            # A raise that no handler catches (or a bare try/finally)
+            # still runs the finally suite on its way out.
+            for entry in handler_entries or [body.index]:
+                self._edge(entry, final.index)
+            self._current = final
+            self._build_body(stmt.finalbody)
+            if self._current is not None:
+                # The finally suite continues normally *and* forwards
+                # pending returns/raises to the function exit.
+                self._edge(self._current_index(), self.exit)
+                after = self._start_block(self._current_index())
+            else:
+                after = self._new_block()
+            self._current = after
+        else:
+            after = self._new_block()
+            if body_end is not None:
+                self._edge(body_end.index, after.index)
+            for end in handler_ends:
+                self._edge(end.index, after.index)
+            self._current = after
+
+    # -- post-passes ----------------------------------------------------
+    def _wire_preds(self) -> None:
+        for block in self.blocks:
+            for succ in block.succs:
+                preds = self.blocks[succ].preds
+                if block.index not in preds:
+                    preds.append(block.index)
+
+    def _record_loop_members(self) -> None:
+        """Body membership per loop: blocks on a path header -> header
+        (found by walking back from the back-edge sources)."""
+        for loop in self.loops:
+            members: set[int] = set()
+            stack = list(loop.back_sources)
+            while stack:
+                index = stack.pop()
+                if index in members or index == loop.header:
+                    continue
+                members.add(index)
+                stack.extend(self.blocks[index].preds)
+            loop.body = members
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build (and return) the CFG of one function definition."""
+    return CFG(func)
+
+
+def guaranteed_subexprs(node: ast.AST) -> Iterator[ast.AST]:
+    """Sub-expressions *certain* to evaluate when ``node`` does.
+
+    Skips the conditionally-evaluated regions: every operand of a
+    boolean ``and``/``or`` after the first, both arms of a ternary
+    ``IfExp``, comprehension element/condition expressions (they run
+    zero or more times), and lambda bodies (they run when called, not
+    here).  Used for must-style checks: a ``.tick()`` under a
+    short-circuit is not a guaranteed budget poll.
+    """
+    yield node
+    if isinstance(node, ast.BoolOp):
+        yield from guaranteed_subexprs(node.values[0])
+        return
+    if isinstance(node, ast.IfExp):
+        yield from guaranteed_subexprs(node.test)
+        return
+    if isinstance(node, ast.Lambda):
+        return
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        if node.generators:
+            yield from guaranteed_subexprs(node.generators[0].iter)
+        return
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from guaranteed_subexprs(child)
+
+
+def element_guaranteed_exprs(element: Element) -> Iterator[ast.AST]:
+    """The guaranteed sub-expressions of one CFG element, respecting its
+    role (an ``If`` element only evaluates its test here, a ``For``
+    element only its iterable, ...)."""
+    node = element.node
+    if element.role == "test":
+        yield from guaranteed_subexprs(node.test)  # type: ignore[attr-defined]
+    elif element.role == "for":
+        yield from guaranteed_subexprs(node.iter)  # type: ignore[attr-defined]
+    elif element.role == "with":
+        for item in node.items:  # type: ignore[attr-defined]
+            yield from guaranteed_subexprs(item.context_expr)
+    elif element.role == "except":
+        return
+    else:
+        yield from guaranteed_subexprs(node)

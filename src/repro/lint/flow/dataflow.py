@@ -1,0 +1,355 @@
+"""Forward dataflow over :class:`~repro.lint.flow.cfg.CFG` graphs.
+
+The solver propagates *environments* — mappings from local variable
+names to checker-defined facts — through a function's CFG with a
+standard worklist iteration until fixpoint.  A :class:`Domain` supplies
+the lattice: how two facts join at a control merge, what fact an
+expression evaluates to, and how calls act as sources or sanitizers.
+
+Environments join by key union (a fact survives a merge with a branch
+that never bound the variable).  For may-style taint this is exactly
+right; for evidence domains (SCH002) it is the optimistic choice that
+keeps ``if obs: event = ... / if obs: obs.emit(event)`` quiet.
+Termination holds because every domain here draws facts from a finite
+set (source sites in the function / evidence tags), so environments
+only grow toward a finite ceiling.
+
+:class:`TaintDomain` is the shared may-taint instantiation: facts are
+frozen sets of :class:`Source` records (label, line, description), and
+subclasses override :meth:`TaintDomain.call_source` /
+:meth:`TaintDomain.expr_source` / :meth:`TaintDomain.is_sanitizer` to
+describe their sources and sanitizers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .cfg import CFG, Block, Element
+
+Env = dict  # var name -> fact
+
+
+class Domain:
+    """Fact lattice + transfer hooks.  Facts must be hashable; ``None``
+    is bottom ("no fact") and is never stored in an environment."""
+
+    # -- lattice --------------------------------------------------------
+    def join(self, a: object, b: object) -> Optional[object]:
+        raise NotImplementedError
+
+    def join2(self, a: Optional[object], b: Optional[object]) -> Optional[object]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a == b:
+            return a
+        return self.join(a, b)
+
+    def join_env(self, into: Env, other: Env) -> bool:
+        changed = False
+        for name, fact in other.items():
+            merged = self.join2(into.get(name), fact)
+            if merged is not None and merged != into.get(name):
+                into[name] = merged
+                changed = True
+        return changed
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, expr: Optional[ast.AST], env: Env) -> Optional[object]:
+        """Fact of ``expr`` under ``env``.  Conservative structural
+        recursion; hook points for calls and literal expressions."""
+        if expr is None or isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.NamedExpr):
+            fact = self.eval(expr.value, env)
+            if isinstance(expr.target, ast.Name):
+                self.bind(env, expr.target.id, fact)
+            return fact
+        if isinstance(expr, ast.Call):
+            return self.call_fact(expr, env)
+        if isinstance(expr, ast.Attribute):
+            return self.attribute_fact(expr, env)
+        if isinstance(expr, ast.Subscript):
+            return self.join2(self.eval(expr.value, env), self.eval(expr.slice, env))
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test, env)
+            return self.join2(self.eval(expr.body, env), self.eval(expr.orelse, env))
+        if isinstance(expr, (ast.Lambda,)):
+            return self.lambda_fact(expr, env)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return self.comp_fact(expr, env)
+        if isinstance(expr, ast.Dict):
+            return self.dict_fact(expr, env)
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            return self.sequence_fact(expr, env)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value, env)
+        # BoolOp / BinOp / Compare / UnaryOp / JoinedStr / anything else:
+        # join the facts of all child expressions.
+        fact: Optional[object] = None
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                fact = self.join2(fact, self.eval(child, env))
+        return fact
+
+    def call_fact(self, call: ast.Call, env: Env) -> Optional[object]:
+        fact: Optional[object] = None
+        if isinstance(call.func, ast.Attribute):
+            fact = self.join2(fact, self.eval(call.func.value, env))
+        for arg in call.args:
+            fact = self.join2(fact, self.eval(arg, env))
+        for keyword in call.keywords:
+            fact = self.join2(fact, self.eval(keyword.value, env))
+        return fact
+
+    def attribute_fact(self, expr: ast.Attribute, env: Env) -> Optional[object]:
+        return self.eval(expr.value, env)
+
+    def lambda_fact(self, expr: ast.Lambda, env: Env) -> Optional[object]:
+        return None
+
+    def comp_fact(self, expr: ast.AST, env: Env) -> Optional[object]:
+        fact: Optional[object] = None
+        for gen in expr.generators:  # type: ignore[attr-defined]
+            fact = self.join2(fact, self.eval(gen.iter, env))
+        return fact
+
+    def dict_fact(self, expr: ast.Dict, env: Env) -> Optional[object]:
+        fact: Optional[object] = None
+        for key, value in zip(expr.keys, expr.values):
+            fact = self.join2(fact, self.eval(key, env))
+            fact = self.join2(fact, self.eval(value, env))
+        return fact
+
+    def sequence_fact(self, expr: ast.AST, env: Env) -> Optional[object]:
+        fact: Optional[object] = None
+        for elt in expr.elts:  # type: ignore[attr-defined]
+            fact = self.join2(fact, self.eval(elt, env))
+        return fact
+
+    def iterate_fact(
+        self, iter_fact: Optional[object], iter_expr: ast.AST, env: Env
+    ) -> Optional[object]:
+        """Fact bound to a ``for`` target given the iterable's fact."""
+        return iter_fact
+
+    # -- binding --------------------------------------------------------
+    def bind(self, env: Env, name: str, fact: Optional[object]) -> None:
+        if fact is None:
+            env.pop(name, None)
+        else:
+            env[name] = fact
+
+    def bind_weak(self, env: Env, name: str, fact: Optional[object]) -> None:
+        """Mutation through a subscript: merge, never kill — a container
+        holding one tainted element is a tainted container."""
+        merged = self.join2(env.get(name), fact)
+        if merged is not None:
+            env[name] = merged
+
+    def bind_attr_store(self, env: Env, name: str, fact: Optional[object]) -> None:
+        """Mutation through an attribute (``obj.field = v``).  Default:
+        taint the object like a container.  Domains whose sinks are
+        themselves attribute fields (DET002) override this to a no-op —
+        otherwise one exempt store (``stats.preprocess_seconds = clock``)
+        would launder taint onto every other field of the object."""
+        self.bind_weak(env, name, fact)
+
+    def initial_env(self, cfg: CFG) -> Env:
+        return {}
+
+
+def _assign_target(domain: Domain, target: ast.AST, fact: Optional[object], env: Env) -> None:
+    if isinstance(target, ast.Name):
+        domain.bind(env, target.id, fact)
+    elif isinstance(target, ast.Starred):
+        _assign_target(domain, target.value, fact, env)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _assign_target(domain, elt, fact, env)
+    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+        root = target
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name):
+            if isinstance(target, ast.Attribute):
+                domain.bind_attr_store(env, root.id, fact)
+            else:
+                domain.bind_weak(env, root.id, fact)
+
+
+def transfer_element(domain: Domain, element: Element, env: Env) -> None:
+    """Apply one element's effect to ``env`` in place."""
+    node = element.node
+    if element.role == "test":
+        domain.eval(node.test, env)  # type: ignore[attr-defined]
+        return
+    if element.role == "for":
+        iter_fact = domain.eval(node.iter, env)  # type: ignore[attr-defined]
+        bound = domain.iterate_fact(iter_fact, node.iter, env)  # type: ignore[attr-defined]
+        _assign_target(domain, node.target, bound, env)  # type: ignore[attr-defined]
+        return
+    if element.role == "with":
+        for item in node.items:  # type: ignore[attr-defined]
+            fact = domain.eval(item.context_expr, env)
+            if item.optional_vars is not None:
+                _assign_target(domain, item.optional_vars, fact, env)
+        return
+    if element.role == "except":
+        if node.name:  # type: ignore[attr-defined]
+            env.pop(node.name, None)  # type: ignore[attr-defined]
+        return
+    if isinstance(node, ast.Assign):
+        fact = domain.eval(node.value, env)
+        for target in node.targets:
+            _assign_target(domain, target, fact, env)
+    elif isinstance(node, ast.AnnAssign):
+        if node.value is not None:
+            fact = domain.eval(node.value, env)
+            _assign_target(domain, node.target, fact, env)
+    elif isinstance(node, ast.AugAssign):
+        fact = domain.join2(
+            domain.eval(node.value, env),
+            env.get(node.target.id) if isinstance(node.target, ast.Name) else None,
+        )
+        _assign_target(domain, node.target, fact, env)
+    elif isinstance(node, ast.Expr):
+        domain.eval(node.value, env)
+    elif isinstance(node, (ast.Return,)):
+        if node.value is not None:
+            domain.eval(node.value, env)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                env.pop(target.id, None)
+    elif isinstance(node, (ast.Raise, ast.Assert)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                domain.eval(child, env)
+    # Import / Global / Nonlocal / Pass / nested defs: no env effect.
+
+
+class Solution:
+    """Solved block-entry environments plus replay helpers."""
+
+    def __init__(self, cfg: CFG, domain: Domain, entry_envs: list[Env]) -> None:
+        self.cfg = cfg
+        self.domain = domain
+        self.entry_envs = entry_envs
+
+    def iter_elements(self) -> Iterator[tuple[Block, Element, Env]]:
+        """Yield every element with the environment *before* it runs,
+        re-applying transfers within each block (deterministic order)."""
+        for block in self.cfg.blocks:
+            env = dict(self.entry_envs[block.index])
+            for element in block.elements:
+                yield block, element, dict(env)
+                transfer_element(self.domain, element, env)
+
+    def env_after(self, block: Block) -> Env:
+        env = dict(self.entry_envs[block.index])
+        for element in block.elements:
+            transfer_element(self.domain, element, env)
+        return env
+
+
+def solve(cfg: CFG, domain: Domain, max_passes: int = 64) -> Solution:
+    """Worklist iteration to fixpoint.  ``max_passes`` bounds total
+    block visits per block as a belt-and-braces guard against a domain
+    with an unbounded lattice; real domains converge in a few passes."""
+    envs: list[Env] = [dict() for _ in cfg.blocks]
+    envs[cfg.entry] = domain.initial_env(cfg)
+    visits = [0] * len(cfg.blocks)
+    # Seed every block (entry first): a block must be processed at least
+    # once even when its entry environment never changes from {} — its
+    # *exit* environment still has to reach its successors.
+    work = [cfg.entry] + [b.index for b in cfg.blocks if b.index != cfg.entry]
+    queued = set(work)
+    while work:
+        index = work.pop(0)
+        queued.discard(index)
+        if visits[index] >= max_passes:
+            continue
+        visits[index] += 1
+        block = cfg.blocks[index]
+        env = dict(envs[index])
+        for element in block.elements:
+            transfer_element(domain, element, env)
+        for succ in block.succs:
+            if domain.join_env(envs[succ], env) and succ not in queued:
+                work.append(succ)
+                queued.add(succ)
+    return Solution(cfg, domain, envs)
+
+
+# ---------------------------------------------------------------------------
+# Shared may-taint instantiation
+
+
+@dataclass(frozen=True, order=True)
+class Source:
+    """One taint origin: a short label, where it was introduced, and a
+    human-readable description used in finding messages."""
+
+    label: str
+    lineno: int
+    text: str
+
+
+Taint = frozenset  # of Source
+
+
+class TaintDomain(Domain):
+    """May-taint: facts are frozen sets of :class:`Source`, joined by
+    union; calls and literal expressions can introduce taint, sanitizer
+    calls erase it."""
+
+    def join(self, a: object, b: object) -> object:
+        return a | b  # type: ignore[operator]
+
+    # Subclass hooks -----------------------------------------------------
+    def call_source(self, call: ast.Call, env: Env) -> Optional[Source]:
+        """A Source if this call introduces taint, else None."""
+        return None
+
+    def expr_source(self, expr: ast.AST, env: Env) -> Optional[Source]:
+        """A Source if this non-call expression introduces taint."""
+        return None
+
+    def is_sanitizer(self, call: ast.Call) -> bool:
+        return False
+
+    # Wiring -------------------------------------------------------------
+    def call_fact(self, call: ast.Call, env: Env) -> Optional[object]:
+        if self.is_sanitizer(call):
+            for arg in call.args:
+                self.eval(arg, env)
+            return None
+        source = self.call_source(call, env)
+        base = super().call_fact(call, env)
+        if source is not None:
+            return self.join2(base, frozenset((source,)))
+        return base
+
+    def eval(self, expr: Optional[ast.AST], env: Env) -> Optional[object]:
+        fact = super().eval(expr, env)
+        if expr is not None and not isinstance(expr, ast.Call):
+            source = self.expr_source(expr, env)
+            if source is not None:
+                fact = self.join2(fact, frozenset((source,)))
+        return fact
+
+
+def describe_taint(fact: object, limit: int = 2) -> str:
+    """Render a taint fact's provenance for a finding message."""
+    sources = sorted(fact)  # type: ignore[arg-type]
+    parts = [f"{source.text} (line {source.lineno})" for source in sources[:limit]]
+    if len(sources) > limit:
+        parts.append(f"+{len(sources) - limit} more")
+    return ", ".join(parts)

@@ -39,6 +39,10 @@ def _int_array(value: object) -> bool:
     return isinstance(value, list) and all(_int(v) for v in value)
 
 
+def _str_array(value: object) -> bool:
+    return isinstance(value, list) and all(_str(v) for v in value)
+
+
 def _counter_map(value: object) -> bool:
     return isinstance(value, dict) and all(
         _str(k) and _int(v) for k, v in value.items()
@@ -218,6 +222,19 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "fired": _int,
             "resumed": _bool,
             "elapsed_seconds": _number,
+        },
+    ),
+    # Lint-run events (repro.lint via the CLI): one lint.run per
+    # ``repro lint --metrics-out`` invocation, so CI dashboards can trend
+    # finding counts and lint wall time alongside search metrics.
+    "lint.run": (
+        {"files": _int, "findings": _int, "elapsed_seconds": _number},
+        {
+            "checkers": _str_array,
+            "by_check": _counter_map,
+            "baseline_suppressed": _int,
+            "stale_baseline": _int,
+            "jobs": _int,
         },
     ),
     # EXPLAIN ANALYZE events (repro.obs.explain): the flat summary of one

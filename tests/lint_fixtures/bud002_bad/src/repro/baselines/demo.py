@@ -1,0 +1,38 @@
+"""A baseline whose budget polls exist but do not cover every path."""
+
+import time
+
+
+class Matcher:  # stand-in base so the fixture tree is import-free
+    pass
+
+
+class DemoMatcher(Matcher):
+    name = "Demo"
+
+    supported_options = frozenset({"limit", "time_limit", "on_embedding", "count_only"})
+
+    def _match_impl(self, query, data, limit=100, time_limit=None, on_embedding=None, count_only=False):
+        stats = Stats()
+        deadline = Deadline(time_limit)
+        frontier = [0]
+        while frontier:
+            depth = frontier.pop()
+            stats.recursive_calls += 1
+            if not count_only:
+                stats.embeddings_found += 1
+            if depth % 64 == 0:
+                deadline.tick()
+            if depth < limit:
+                frontier.append(depth + 1)
+        start = time.perf_counter()
+        self._explore(limit, stats, deadline)
+        stats.search_seconds = time.perf_counter() - start
+        return stats
+
+    def _explore(self, depth, stats, deadline):
+        stats.recursive_calls += 1
+        if depth % 64 == 0:
+            deadline.tick()
+        if depth > 0:
+            self._explore(depth - 1, stats, deadline)

@@ -28,3 +28,9 @@ class DemoMatcher(Matcher):
         extend(0)
         stats.search_seconds = time.perf_counter() - start
         return stats
+
+    def _drain(self, stats, deadline, frontier):
+        while frontier:
+            stats.recursive_calls += 1
+            deadline.tick()
+            frontier.pop()

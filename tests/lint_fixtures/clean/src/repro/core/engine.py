@@ -1,5 +1,6 @@
 """A well-behaved emission site: every schema entry is exercised."""
 
+import json
 import random
 
 
@@ -21,3 +22,19 @@ def shuffled(xs):
     # would flag this line.
     random.shuffle(xs)  # lint: ignore[DET001]
     return xs
+
+
+def relay(sink, payload):
+    # Forwarded parameters are the caller's responsibility (SCH002).
+    sink.emit(dict(payload))
+
+
+def replay(sink, line):
+    event = json.loads(line)
+    sink.emit(event)
+
+
+def emit_row(sink, row):
+    payload = {"x": row}
+    validate_event(payload)  # noqa: F821 — stand-in for repro.obs.schema
+    sink.emit(payload)

@@ -1,0 +1,28 @@
+"""Nondeterminism laundered through locals before reaching sinks."""
+
+import os
+import time
+
+
+def taint_counter(stats):
+    t = time.perf_counter()
+    elapsed = t * 1000.0
+    stats.recursive_calls = elapsed
+    return stats
+
+
+def snapshot(xs):
+    stamp = time.time()
+    wiggle = stamp + 1.0
+    return SearchCheckpoint(cursor=wiggle, depth=len(xs))  # noqa: F821
+
+
+def digest(xs):
+    nonce = id(xs)
+    return canonical_hash(nonce)  # noqa: F821
+
+
+def tag(record):
+    trace_id = os.urandom(4)
+    record.trace_id = trace_id
+    return record

@@ -1,0 +1,32 @@
+"""Every fork-boundary mistake FRK001 knows about, one per line."""
+
+import multiprocessing
+import threading
+
+RESULTS = {}
+
+
+def produce(n):
+    for i in range(n):
+        yield i
+
+
+def worker(conn, n):
+    fn = lambda x: x + 1  # noqa: E731
+    conn.send(fn)
+    handle = open("out.txt", "w")
+    conn.send(handle)
+    RESULTS[n] = 1
+    handle.close()
+    conn.close()
+
+
+def launch(n):
+    parent, child = multiprocessing.Pipe()
+    lock = threading.Lock()
+    proc = multiprocessing.Process(target=worker, args=(child, lock))
+    proc.start()
+    gen = produce(3)
+    parent.send(gen)
+    proc.join()
+    return parent.recv()

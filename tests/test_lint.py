@@ -83,6 +83,40 @@ BAD_FIXTURES = {
             ("src/repro/cli.py", 5),  # undocumented --mystery-flag
         },
     ),
+    "sch002_bad": (
+        "SCH002",
+        {
+            ("src/repro/core/relay.py", 12),  # emit of a non-evident payload
+            ("src/repro/core/relay.py", 17),  # post-construction field not in schema
+        },
+    ),
+    "det002_bad": (
+        "DET002",
+        {
+            ("src/repro/core/stamping.py", 10),  # clock -> local -> counter field
+            ("src/repro/core/stamping.py", 17),  # clock -> local -> SearchCheckpoint
+            ("src/repro/core/stamping.py", 22),  # id() -> local -> canonical hash
+            ("src/repro/core/stamping.py", 26),  # entropy -> trace id variable
+            ("src/repro/core/stamping.py", 27),  # entropy -> trace id field
+        },
+    ),
+    "bud002_bad": (
+        "BUD002",
+        {
+            ("src/repro/baselines/demo.py", 19),  # conditional tick in cost loop
+            ("src/repro/baselines/demo.py", 33),  # tick-free path to recursive call
+        },
+    ),
+    "frk001_bad": (
+        "FRK001",
+        {
+            ("src/repro/core/workers.py", 16),  # lambda over the pipe
+            ("src/repro/core/workers.py", 18),  # open() handle over the pipe
+            ("src/repro/core/workers.py", 19),  # worker mutates parent global
+            ("src/repro/core/workers.py", 27),  # lock in Process args=
+            ("src/repro/core/workers.py", 30),  # generator state over the pipe
+        },
+    ),
 }
 
 
@@ -164,8 +198,12 @@ class TestEngine:
     def test_catalog_lists_all_checkers_in_order(self):
         assert [check_id for check_id, _ in catalog()] == [
             "SCH001",
+            "SCH002",
             "DET001",
+            "DET002",
             "BUD001",
+            "BUD002",
+            "FRK001",
             "IFC001",
             "IFC002",
             "CLI001",
@@ -190,9 +228,15 @@ class TestFindings:
         assert render_text([]) == "repro lint: no findings"
 
     def test_render_json_round_trips(self):
+        from repro.lint import LintReport, validate_lint_report
+
         f = Finding("src/x.py", 3, "DET001", "error", "boom")
-        payload = json.loads(render_json([f]))
-        assert payload == [
+        report = LintReport(
+            findings=[f], files=5, checkers=["DET001"], by_check={"DET001": 1}
+        )
+        payload = json.loads(render_json(report))
+        assert payload["schema"] == "repro.lint"
+        assert payload["findings"] == [
             {
                 "path": "src/x.py",
                 "line": 3,
@@ -201,6 +245,10 @@ class TestFindings:
                 "message": "boom",
             }
         ]
+        assert payload["summary"]["by_check"] == {"DET001": 1}
+        assert validate_lint_report(payload) == []
+        payload["summary"]["findings"] = 7  # desync the tally
+        assert validate_lint_report(payload) != []
 
 
 class TestCLI:
@@ -218,7 +266,9 @@ class TestCLI:
     def test_lint_json_format(self, capsys):
         assert main(["lint", "--root", str(FIXTURES / "cli001_bad"), "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload[0]["check_id"] == "CLI001"
+        assert payload["schema"] == "repro.lint"
+        assert payload["findings"][0]["check_id"] == "CLI001"
+        assert payload["summary"]["by_check"] == {"CLI001": 1}
 
     def test_lint_select_and_ignore(self, capsys):
         bad = str(FIXTURES / "cli001_bad")
@@ -242,3 +292,17 @@ class TestWholeRepo:
         """The CI gate: every invariant holds across src/repro."""
         findings = run_lint(root=REPO_ROOT)
         assert findings == [], "\n" + render_text(findings)
+
+    def test_repo_is_clean_under_strict_flow_select(self):
+        """The second CI step: the flow checkers alone, no baseline."""
+        findings = run_lint(
+            root=REPO_ROOT, select=["FRK001", "SCH002", "DET002", "BUD002"]
+        )
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_committed_baseline_is_empty(self):
+        """The checked-in baseline grandfathers nothing: new debt must
+        either be fixed or added with an explicit reason in review."""
+        payload = json.loads((REPO_ROOT / ".lint-baseline.json").read_text())
+        assert payload["schema"] == "repro.lint.baseline"
+        assert payload["entries"] == []
