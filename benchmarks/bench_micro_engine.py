@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro import DAFMatcher, MatchConfig
+from repro import DAFMatcher, MatchConfig, MatchOptions, MatchRequest
 from repro.core import build_candidate_space, build_dag, compute_weight_array
 from repro.datasets import load
 from repro.graph import star_graph
@@ -90,8 +90,10 @@ def test_micro_leaf_counting_vs_enumeration(benchmark):
     query = star_graph("H", ["L"] * 3)
     counting = DAFMatcher(MatchConfig(collect_embeddings=False))
 
+    request = MatchRequest(query, data, options=MatchOptions(limit=10**9))
+
     def run():
-        return counting.match(query, data, limit=10**9).count
+        return counting.match(request).count
 
     count = benchmark(run)
     assert count == 150 * 149 * 148

@@ -13,7 +13,7 @@ Run:  python examples/knowledge_graph_queries.py
 
 import json
 
-from repro import DAFMatcher, MatchConfig
+from repro import DAFMatcher, MatchConfig, MatchOptions, MatchRequest
 from repro.core import explain
 from repro.datasets import load
 from repro.graph import Graph
@@ -49,7 +49,9 @@ def main() -> None:
 
     matcher = DAFMatcher(MatchConfig(collect_embeddings=False))
     for name, pattern in patterns.items():
-        result = matcher.match(pattern, data, limit=1000, time_limit=10.0)
+        result = matcher.match(
+            MatchRequest(pattern, data, options=MatchOptions(limit=1000, time_limit=10.0))
+        )
         payload = {
             "pattern": name,
             "matches": result.count,

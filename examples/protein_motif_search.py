@@ -12,7 +12,7 @@ Run:  python examples/protein_motif_search.py
 
 import time
 
-from repro import DAFMatcher, MatchConfig
+from repro import DAFMatcher, MatchConfig, MatchOptions, MatchRequest
 from repro.baselines import VF2Matcher
 from repro.datasets import load
 from repro.graph import Graph
@@ -54,11 +54,15 @@ def main() -> None:
     print("-" * len(header))
     for name, motif in make_motifs(data).items():
         start = time.perf_counter()
-        daf_result = daf.match(motif, data, limit=limit, time_limit=10.0)
+        daf_result = daf.match(
+            MatchRequest(motif, data, options=MatchOptions(limit=limit, time_limit=10.0))
+        )
         daf_ms = 1000 * (time.perf_counter() - start)
 
         start = time.perf_counter()
-        vf2_result = vf2.match(motif, data, limit=limit, time_limit=10.0)
+        vf2_result = vf2.match(
+            MatchRequest(motif, data, options=MatchOptions(limit=limit, time_limit=10.0))
+        )
         vf2_ms = 1000 * (time.perf_counter() - start)
 
         assert daf_result.count == vf2_result.count, "matchers disagree!"

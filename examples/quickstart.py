@@ -3,7 +3,15 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import DAFMatcher, MatchConfig, count_embeddings, find_embeddings, has_embedding
+from repro import (
+    DAFMatcher,
+    MatchConfig,
+    MatchOptions,
+    MatchRequest,
+    count_embeddings,
+    find_embeddings,
+    has_embedding,
+)
 from repro.graph import Graph
 
 
@@ -42,7 +50,7 @@ def main() -> None:
             refinement_steps=3,  # DAG-graph DP passes (§4)
         )
     )
-    result = matcher.match(query, data, limit=1000)
+    result = matcher.match(MatchRequest(query, data, options=MatchOptions(limit=1000)))
     print(f"\n{matcher.name}: {result.count} embeddings, "
           f"{result.stats.recursive_calls} recursive calls, "
           f"CS size {result.stats.candidates_total}")

@@ -11,7 +11,7 @@ parallel DAF (Appendix A.4).
 Run:  python examples/social_network_analysis.py
 """
 
-from repro import DAFMatcher, MatchConfig
+from repro import DAFMatcher, MatchConfig, MatchOptions, MatchRequest
 from repro.datasets import load
 from repro.extensions import ParallelDAFMatcher
 from repro.graph import Graph
@@ -31,7 +31,9 @@ def main() -> None:
         edges=[(0, 1), (0, 2), (1, 3), (2, 4)],
     )
     matcher = DAFMatcher()
-    result = matcher.match(broker, data, limit=5, time_limit=10.0)
+    result = matcher.match(
+        MatchRequest(broker, data, options=MatchOptions(limit=5, time_limit=10.0))
+    )
     print(f"broker pattern: first {result.count} of many; "
           f"{result.stats.recursive_calls} recursive calls")
     for embedding in result.embeddings:
@@ -44,19 +46,23 @@ def main() -> None:
     def on_match(embedding):
         print("   found", embedding)
 
-    matcher.match(diamond, data, limit=3, on_embedding=on_match)
+    matcher.match(
+        MatchRequest(diamond, data, options=MatchOptions(limit=3, on_embedding=on_match))
+    )
 
     # --- Negative query: a label that does not exist is rejected during
     #     preprocessing with zero search (Appendix A.3).
     ghost = Graph(labels=[a, "no-such-community"], edges=[(0, 1)])
-    negative = matcher.match(ghost, data)
+    negative = matcher.match(MatchRequest(ghost, data))
     print(f"\nnegative query: {negative.count} embeddings, "
           f"{negative.stats.recursive_calls} search calls "
           f"(CS size {negative.stats.candidates_total} -> proven impossible)")
 
     # --- Parallel DAF: partition the root candidates across workers.
     parallel = ParallelDAFMatcher(num_workers=2, config=MatchConfig(collect_embeddings=False))
-    par_result = parallel.match(broker, data, limit=1000, time_limit=20.0)
+    par_result = parallel.match(
+        MatchRequest(broker, data, options=MatchOptions(limit=1000, time_limit=20.0))
+    )
     print(f"\nparallel ({parallel.name}): {par_result.count} embeddings, "
           f"{par_result.stats.recursive_calls} total recursive calls across workers")
 

@@ -93,6 +93,46 @@ assert telemetry[\"requests\"] > 0 and telemetry[\"errors\"] == 0, telemetry
 EOF
 "
 
+echo "==> dynamic smoke (cap: ${OBS_TIMEOUT}s)"
+# Dynamic graphs and continuous queries (docs/serving.md): a scripted
+# delta sequence through `repro update` must stream the exact
+# appeared/disappeared embedding sets, pass --cross-validate (the
+# incremental candidate space is compared bit-for-bit against a cold
+# rebuild after every batch), and emit a schema-valid metrics sidecar.
+timeout --kill-after=30 "$OBS_TIMEOUT" sh -ec "
+    python - '$OBS_TMP' <<'EOF'
+import json, sys
+from pathlib import Path
+from repro.graph import Graph
+from repro.graph.io import write_cfl
+tmp = Path(sys.argv[1])
+write_cfl(Graph(labels=['A', 'B', 'B'], edges=[(0, 1)]), tmp / 'dyn_data.graph')
+write_cfl(Graph(labels=['A', 'B'], edges=[(0, 1)]), tmp / 'dyn_query.graph')
+lines = [
+    json.dumps({'op': 'insert-edge', 'u': 0, 'v': 2}),
+    json.dumps([{'op': 'delete-edge', 'u': 0, 'v': 1}]),
+]
+(tmp / 'dyn_updates.jsonl').write_text('\n'.join(lines) + '\n')
+EOF
+    python -m repro update '$OBS_TMP/dyn_data.graph' '$OBS_TMP/dyn_updates.jsonl' \
+        --queries '$OBS_TMP/dyn_query.graph' --cross-validate \
+        --metrics-out '$OBS_TMP/dyn_metrics.jsonl' > '$OBS_TMP/dyn.json'
+    python scripts/check_metrics_schema.py '$OBS_TMP/dyn_metrics.jsonl'
+    python - '$OBS_TMP/dyn.json' <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload[\"graph_version\"] == 2, payload
+assert payload[\"cross_validated\"], payload
+batches = payload[\"batches\"]
+first = [(e[\"kind\"], tuple(e[\"embedding\"])) for e in batches[0][\"events\"]]
+second = [(e[\"kind\"], tuple(e[\"embedding\"])) for e in batches[1][\"events\"]]
+assert first == [('appeared', (0, 2))], first
+assert second == [('disappeared', (0, 1))], second
+assert payload[\"standing\"][\"dyn_query.graph\"] == [[0, 2]], payload[\"standing\"]
+assert all(b[\"cache_invalidated\"] == 0 for b in batches), batches
+EOF
+"
+
 echo "==> telemetry smoke (cap: ${OBS_TIMEOUT}s)"
 # End-to-end observability round-trip (docs/observability.md): a traced
 # batch run must yield (a) a trace listing and a renderable span tree

@@ -42,6 +42,7 @@ from .core.matcher import (
 from .graph.graph import Graph, GraphError
 from .interfaces import (
     DEFAULT_LIMIT,
+    Delta,
     Embedding,
     Matcher,
     MatchOptions,
@@ -49,6 +50,8 @@ from .interfaces import (
     MatchResult,
     SearchStats,
     UnsupportedOptionError,
+    UpdateBatch,
+    UpdateError,
     WorkerOutcome,
     is_embedding,
 )
@@ -63,7 +66,14 @@ from .obs import (
 )
 from .resilience import Budget, BudgetExceeded
 from .resilience.resilient import ResilientMatcher
-from .service import BatchEngine, BatchItem, BatchResult, DataGraphSession, PreparedQueryCache
+from .service import (
+    BatchEngine,
+    BatchItem,
+    BatchResult,
+    DataGraphSession,
+    PreparedQueryCache,
+    StandingQuery,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +90,7 @@ __all__ = [
     "DAF_PATH",
     "DEFAULT_LIMIT",
     "DataGraphSession",
+    "Delta",
     "Embedding",
     "Graph",
     "GraphError",
@@ -97,9 +108,12 @@ __all__ = [
     "ResilientMatcher",
     "SamplingTracer",
     "SearchStats",
+    "StandingQuery",
     "TelemetryAggregator",
     "TraceContext",
     "UnsupportedOptionError",
+    "UpdateBatch",
+    "UpdateError",
     "WorkerOutcome",
     "__version__",
     "count_embeddings",

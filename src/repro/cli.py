@@ -11,6 +11,9 @@ Commands
 ``explain``   post-run search forensics (docs/explain.md): static plans
               (``plan``), instrumented runs joined with the plan
               (``analyze``), and per-vertex report diffs (``diff``)
+``update``    apply delta batches to a data graph through a session:
+              versioned mutation, incremental candidate-space refresh,
+              standing-query diffs (docs/serving.md)
 ``serve-batch``  run a query batch through a persistent data-graph
               session with prepared-query caching (docs/serving.md)
 ``trace``     inspect request traces in a metrics JSONL stream
@@ -58,6 +61,38 @@ def _write_graph(graph: Graph, path: str, fmt: str) -> None:
         write_edge_list(graph, path)
     else:
         raise SystemExit(f"unknown graph format {fmt!r}")
+
+
+def _read_update_batches(path: str):
+    """Parse an updates file: JSONL where each non-empty, non-``#`` line
+    is one :class:`~repro.interfaces.UpdateBatch` — either a single delta
+    object (``{"op": "insert-edge", "u": 0, "v": 2}``) or an array of
+    delta objects applied atomically."""
+    from .interfaces import UpdateBatch, UpdateError
+
+    batches = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {exc}")
+            if isinstance(payload, dict):
+                payload = [payload]
+            if not isinstance(payload, list):
+                raise SystemExit(
+                    f"{path}:{lineno}: expected a delta object or an array of them"
+                )
+            try:
+                batches.append(UpdateBatch.from_dicts(payload, tag=lineno))
+            except (UpdateError, ValueError) as exc:
+                raise SystemExit(f"{path}:{lineno}: {exc}")
+    if not batches:
+        raise SystemExit(f"{path}: no update batches")
+    return batches
 
 
 def _build_matcher(args: argparse.Namespace):
@@ -513,6 +548,81 @@ def cmd_explain_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_update(args: argparse.Namespace) -> int:
+    """``repro update``: apply delta batches to a graph through a session."""
+    from .interfaces import UpdateError
+    from .service import DataGraphSession
+
+    data = _read_graph(args.data, args.format)
+    batches = _read_update_batches(args.updates)
+    observer, sink = None, None
+    if args.metrics_out:
+        from .obs import JsonlSink, MetricsRegistry
+
+        sink = JsonlSink(args.metrics_out)
+        observer = MetricsRegistry(sink=sink)
+    session = DataGraphSession(data, cache_size=args.cache_size, observer=observer)
+
+    subscriptions = []
+    options = MatchOptions(time_limit=args.time_limit)
+    for spec in args.queries or []:
+        query_path = Path(spec)
+        query = _read_graph(str(query_path), args.format)
+        standing = session.subscribe(MatchRequest(query, options=options, tag=query_path.name))
+        subscriptions.append((query_path.name, standing))
+
+    applied = []
+    try:
+        for batch in batches:
+            result = session.apply(batch, cross_validate=args.cross_validate)
+            record = {
+                "batch": batch.tag,  # the updates-file line number
+                "graph_version": result.graph_version,
+                "deltas": result.deltas,
+                "cache_refreshed": result.cache_refreshed,
+                "cache_invalidated": result.cache_invalidated,
+                "appeared": result.appeared,
+                "disappeared": result.disappeared,
+                "seconds": round(result.seconds, 6),
+            }
+            if result.added_vertices:
+                record["added_vertices"] = list(result.added_vertices)
+            if subscriptions:
+                record["events"] = [
+                    {
+                        "query": name,
+                        "kind": event.kind,
+                        "embedding": list(event.embedding),
+                    }
+                    for name, standing in subscriptions
+                    for event in standing.drain()
+                ]
+            applied.append(record)
+    except UpdateError as exc:
+        if sink is not None:
+            sink.close()
+        raise SystemExit(f"update failed: {exc}")
+    if sink is not None:
+        sink.close()
+
+    if args.out:
+        _write_graph(session.data, args.out, args.format)
+    payload = {
+        "graph_version": session.graph_version,
+        "batches": applied,
+        "cache": session.cache.stats(),
+        "cross_validated": bool(args.cross_validate),
+    }
+    if subscriptions:
+        payload["standing"] = {
+            name: sorted(list(emb) for emb in standing.embeddings)
+            for name, standing in subscriptions
+        }
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     """``repro serve-batch``: batch queries through a persistent session."""
     from .service import BatchEngine, BatchJournal, DataGraphSession
@@ -522,6 +632,10 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     if args.telemetry_out and not args.metrics_out:
         raise SystemExit("--telemetry-out requires --metrics-out (it summarizes that stream)")
     journal = BatchJournal(args.journal) if args.journal else None
+    if args.updates and args.journal:
+        raise SystemExit("--updates and --journal are mutually exclusive "
+                         "(a journal replays against one graph version)")
+    update_batches = _read_update_batches(args.updates) if args.updates else []
     data = _read_graph(args.data, args.format)
     query_paths: list = []
     for spec in args.queries:
@@ -573,6 +687,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         per_round.append(
             {
                 "round": round_index,
+                "graph_version": session.graph_version,
                 "completed": batch.completed,
                 "failed": batch.failed,
                 "cache_hits": batch.cache_hits,
@@ -605,6 +720,16 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
             results.append(entry)
         if interrupted:
             break
+        if update_batches and round_index < args.rounds - 1:
+            # Mutate between rounds: the next round's batch runs against
+            # the new graph version through the rebased cache.
+            update = session.apply(update_batches.pop(0))
+            per_round[-1]["applied"] = {
+                "graph_version": update.graph_version,
+                "deltas": update.deltas,
+                "cache_refreshed": update.cache_refreshed,
+                "cache_invalidated": update.cache_invalidated,
+            }
     if aggregator is not None:
         aggregator.close()  # close the final (possibly partial) window
     if sink is not None:
@@ -1092,6 +1217,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff_p.set_defaults(func=cmd_explain_diff)
 
+    update_p = sub.add_parser(
+        "update",
+        help="apply delta batches to a data graph through a session "
+        "(docs/serving.md)",
+    )
+    update_p.add_argument("data", help="data graph file")
+    update_p.add_argument(
+        "updates",
+        help="JSONL updates file: one batch per line, each a delta object "
+        'like {"op": "insert-edge", "u": 0, "v": 2} or an array of them',
+    )
+    update_p.add_argument("--format", default="cfl", choices=("cfl", "edgelist"))
+    update_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the post-update graph here (tombstoned vertices are "
+        "kept as isolated '__tombstone__' placeholders so ids stay stable)",
+    )
+    update_p.add_argument(
+        "--queries",
+        nargs="*",
+        default=None,
+        metavar="FILE",
+        help="query graph files to register as standing queries; their "
+        "appeared/disappeared events are reported per batch",
+    )
+    update_p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="seconds per standing-query enumeration",
+    )
+    update_p.add_argument(
+        "--cross-validate",
+        action="store_true",
+        help="rebuild every refreshed candidate space from cold and fail "
+        "on any divergence from the incremental result",
+    )
+    update_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="prepared-query LRU capacity in entries (default 64)",
+    )
+    update_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="append update.batch and embedding.appeared/disappeared "
+        "events as JSONL",
+    )
+    update_p.set_defaults(func=cmd_update)
+
     serve_p = sub.add_parser(
         "serve-batch",
         help="run a query batch through a persistent session (docs/serving.md)",
@@ -1148,6 +1327,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the aggregated telemetry windows/alerts as a JSON "
         "document (validated by scripts/check_metrics_schema.py); "
         "requires --metrics-out",
+    )
+    serve_p.add_argument(
+        "--updates",
+        default=None,
+        metavar="FILE",
+        help="JSONL updates file (same format as `repro update`); one "
+        "batch is applied between consecutive rounds, so later rounds "
+        "run against mutated graph versions through the rebased cache",
     )
     serve_p.add_argument(
         "--journal",

@@ -57,6 +57,14 @@ class CandidateSpace:
         vertices replaced by indices.
     refinement_steps:
         DP passes actually performed (for stats / Fig. 9-style analysis).
+    trail:
+        Optional refinement trail recorded when ``keep_trail=True``:
+        ``trail[0]`` is a per-query-vertex snapshot of the candidate sets
+        after C_ini (and before any DP pass), ``trail[k]`` the snapshot
+        after pass ``k``.  The incremental maintenance layer
+        (:mod:`repro.core.cs_delta`) replays this trail against a mutated
+        data graph to refresh only delta-affected candidates while
+        staying bit-identical to a cold rebuild.
     """
 
     query: Graph
@@ -66,6 +74,7 @@ class CandidateSpace:
     candidate_index: list[dict[int, int]]
     down: list[dict[int, list[tuple[int, ...]]]]
     refinement_steps: int
+    trail: Optional[list[list[set[int]]]] = None
 
     @property
     def size(self) -> int:
@@ -181,6 +190,7 @@ def build_candidate_space(
     initial_sets: Optional[list[set[int]]] = None,
     budget: Optional[Budget] = None,
     observer=None,
+    keep_trail: bool = False,
 ) -> CandidateSpace:
     """BuildCS(q, q_D, G): construct the optimized CS (paper §4).
 
@@ -212,6 +222,11 @@ def build_candidate_space(
         for C_ini/MND/NLF, ``prune_cs_edge`` for DP removals), times the
         refinement loop as the ``cs_refine`` span, and records the final
         per-vertex candidate histogram.
+    keep_trail:
+        Record per-pass candidate-set snapshots on the returned CS (the
+        ``trail`` attribute) so the serving layer can refresh it
+        incrementally after data-graph mutations.  Costs one extra set
+        copy per pass; off by default.
     """
     if dag.query is not query:
         raise ValueError("the DAG must orient exactly this query graph")
@@ -229,6 +244,12 @@ def build_candidate_space(
             budget.note_memory(sum(len(c) for c in cand) * CANDIDATE_BYTES)
             budget.poll()
 
+    trail: Optional[list[list[set[int]]]] = [] if keep_trail else None
+
+    def _snapshot() -> None:
+        if trail is not None:
+            trail.append([set(c) for c in cand])
+
     directions: tuple[AnyDAG, AnyDAG] = (dag.reverse(), dag)
     steps_done = 0
     bound = False
@@ -238,6 +259,7 @@ def build_candidate_space(
         bound = True
     try:
         _checkpoint(0)
+        _snapshot()
         refine_start = time.perf_counter() if observer is not None else 0.0
         if refine_to_fixpoint:
             for step in range(max_fixpoint_steps):
@@ -251,6 +273,7 @@ def build_candidate_space(
                 )
                 steps_done += 1
                 _checkpoint(steps_done)
+                _snapshot()
                 if not changed and step > 0:
                     break
         else:
@@ -265,6 +288,7 @@ def build_candidate_space(
                 )
                 steps_done += 1
                 _checkpoint(steps_done)
+                _snapshot()
     finally:
         if bound:
             FAULTS.unbind_budget(budget)
@@ -312,6 +336,7 @@ def build_candidate_space(
         candidate_index=candidate_index,
         down=down,
         refinement_steps=steps_done,
+        trail=trail,
     )
 
 

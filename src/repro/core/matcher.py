@@ -96,8 +96,13 @@ class DAFMatcher(Matcher):
         data: Graph,
         budget: Optional[Budget] = None,
         observer=None,
+        keep_trail: bool = False,
     ) -> PreparedQuery:
         """Run BuildDAG + BuildCS (Algorithm 1 lines 1-2).
+
+        ``keep_trail=True`` asks BuildCS to record its per-pass
+        refinement snapshots (``cs.trail``) so the serving layer can
+        refresh the CS incrementally after data-graph mutations.
 
         With a ``budget``, CS construction is governed too: an oversized
         or overlong build raises
@@ -141,6 +146,7 @@ class DAFMatcher(Matcher):
             initial_sets=initial_sets,
             budget=budget,
             observer=obs,
+            keep_trail=keep_trail,
         )
         if obs is not None:
             obs.record_span("cs_construct", time.perf_counter() - cs_start)

@@ -267,7 +267,9 @@ class DirectedDAFMatcher:
         return result
 
     def count(self, query: DirectedGraph, data: DirectedGraph, **kwargs) -> int:
-        return self.match(query, data, **kwargs).count
+        # Not the deprecated interfaces.Matcher shim: positional match()
+        # is this subsystem's own (DirectedGraph) surface.
+        return self.match(query, data, **kwargs).count  # lint: ignore[IFC003]
 
 
 class DirectedBruteForce:

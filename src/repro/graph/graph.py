@@ -256,6 +256,20 @@ class Graph:
             self._index = GraphIndex(self)
         return self._index
 
+    def adopt_index(self, index) -> None:
+        """Attach a pre-built :class:`GraphIndex` to this frozen graph.
+
+        Used by the dynamic serving layer, which refreshes the previous
+        graph's index incrementally after a delta batch instead of paying
+        a full :meth:`ensure_index` build on the replacement graph.  The
+        caller is responsible for the index actually describing this
+        graph; an index for a different vertex count is rejected.
+        """
+        self._require_frozen()
+        if index is not None and len(index._nlf) != self.num_vertices:
+            raise GraphError("index does not describe this graph (vertex count differs)")
+        self._index = index
+
     @property
     def cached_index(self):
         """The built :class:`GraphIndex`, or ``None`` if ``ensure_index``

@@ -117,3 +117,71 @@ class GraphIndex:
             f"GraphIndex(labels={len(self._buckets)}, "
             f"vertices={len(self._nlf)}, built in {self.build_seconds * 1e3:.1f}ms)"
         )
+
+
+def refresh_index(
+    old_graph: "Graph", old_index: GraphIndex, new_graph: "Graph", footprint
+) -> GraphIndex:
+    """Incrementally rebuild a :class:`GraphIndex` after a delta batch.
+
+    ``footprint`` is the :class:`repro.graph.mutate.DeltaFootprint` of the
+    batch that turned ``old_graph`` into ``new_graph``.  Only the slices
+    the batch could have perturbed are recomputed; everything else is
+    shared with ``old_index`` by reference:
+
+    - a label bucket is rebuilt iff some dirty vertex carries that label
+      in the old or new graph (bucket contents depend only on the label's
+      membership and its members' degrees, and a degree can only change
+      at an ``edge_touched`` vertex — whose label is then dirty);
+    - NLF/MND entries are recomputed for dirty vertices and their new-
+      graph neighborhoods (a vertex that lost a neighbor entirely is
+      itself ``edge_touched``).
+
+    The result is content-identical to ``GraphIndex(new_graph)``.
+    """
+    start = time.perf_counter()
+    degrees = new_graph.degrees
+    labels = new_graph.labels
+
+    dirty = footprint.dirty
+    dirty_labels = {labels[v] for v in dirty}
+    old_vertex_count = old_graph.num_vertices
+    for v in dirty:
+        if v < old_vertex_count:
+            dirty_labels.add(old_graph.label(v))
+
+    index = object.__new__(GraphIndex)
+    buckets: dict["Label", tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    for lab in dict.fromkeys(labels):
+        if lab in dirty_labels or lab not in old_index._buckets:
+            verts = sorted(
+                new_graph.vertices_with_label(lab), key=lambda v: (degrees[v], v)
+            )
+            buckets[lab] = (tuple(verts), tuple(degrees[v] for v in verts))
+        else:
+            buckets[lab] = old_index._buckets[lab]
+    index._buckets = buckets
+
+    recompute = set(dirty)
+    for v in dirty:
+        recompute.update(new_graph.neighbors(v))
+    nlf = list(old_index._nlf)
+    max_nbr_deg = list(old_index._max_nbr_deg)
+    grown = new_graph.num_vertices - len(nlf)
+    if grown > 0:
+        nlf.extend({} for _ in range(grown))
+        max_nbr_deg.extend(0 for _ in range(grown))
+    for v in recompute:
+        counts: dict["Label", int] = {}
+        best = 0
+        for w in new_graph.neighbors(v):
+            lab = labels[w]
+            counts[lab] = counts.get(lab, 0) + 1
+            if degrees[w] > best:
+                best = degrees[w]
+        nlf[v] = counts
+        max_nbr_deg[v] = best
+    index._nlf = tuple(nlf)
+    index._max_nbr_deg = tuple(max_nbr_deg)
+    index.build_seconds = time.perf_counter() - start
+    return index

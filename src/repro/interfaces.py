@@ -29,7 +29,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Optional
 
-from .graph.graph import Graph
+from .graph.graph import Graph, Label
 
 Embedding = tuple[int, ...]
 
@@ -380,6 +380,136 @@ class MatchRequest:
     data: Optional[Graph] = None
     options: MatchOptions = field(default_factory=MatchOptions)
     tag: Optional[Any] = None
+
+
+class UpdateError(ValueError):
+    """An :class:`UpdateBatch` could not be applied to the data graph.
+
+    Raised for structurally invalid deltas — an edge insert between
+    unknown or removed vertices, a delete of an edge that is not there,
+    a double vertex removal.  The message names the offending delta and
+    its position in the batch so callers can repair and resubmit; the
+    session's graph is left untouched (batches apply atomically).
+    """
+
+
+#: The mutation kinds a :class:`Delta` may carry.
+DELTA_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex")
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One data-graph mutation — the unit an :class:`UpdateBatch` groups.
+
+    Exactly one of four shapes (see :data:`DELTA_OPS`):
+
+    - ``insert-edge`` / ``delete-edge``: carries endpoints ``u`` and ``v``;
+    - ``insert-vertex``: carries the new vertex's ``label`` (the id is
+      assigned at apply time — appended after the current vertices, in
+      batch order — and reported by the session's ``UpdateResult``);
+    - ``delete-vertex``: carries ``u``.  Removal *tombstones* the vertex:
+      its incident edges are dropped and its label is replaced by a
+      reserved sentinel that matches no query, while the id itself stays
+      allocated so every other vertex id — and therefore every cached
+      prepared structure and reported embedding — remains stable.
+
+    Prefer the four classmethod constructors over the raw constructor.
+    """
+
+    op: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    label: Optional[Label] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in DELTA_OPS:
+            raise ValueError(f"unknown delta op {self.op!r}; expected one of {DELTA_OPS}")
+        if self.op in ("insert-edge", "delete-edge"):
+            if not (isinstance(self.u, int) and isinstance(self.v, int)):
+                raise ValueError(f"{self.op} delta needs int endpoints u and v")
+            if self.u == self.v:
+                raise ValueError(f"{self.op} delta may not be a self-loop (u == v == {self.u})")
+        elif self.op == "insert-vertex":
+            if self.label is None:
+                raise ValueError("insert-vertex delta needs a label")
+        elif not isinstance(self.u, int):
+            raise ValueError("delete-vertex delta needs an int vertex u")
+
+    @classmethod
+    def insert_edge(cls, u: int, v: int) -> "Delta":
+        return cls(op="insert-edge", u=u, v=v)
+
+    @classmethod
+    def delete_edge(cls, u: int, v: int) -> "Delta":
+        return cls(op="delete-edge", u=u, v=v)
+
+    @classmethod
+    def insert_vertex(cls, label: Label) -> "Delta":
+        return cls(op="insert-vertex", label=label)
+
+    @classmethod
+    def delete_vertex(cls, u: int) -> "Delta":
+        return cls(op="delete-vertex", u=u)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the CLI's update-file line format)."""
+        out: dict = {"op": self.op}
+        if self.u is not None:
+            out["u"] = self.u
+        if self.v is not None:
+            out["v"] = self.v
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Delta":
+        if not isinstance(payload, dict):
+            raise ValueError(f"delta must be an object, got {payload!r}")
+        unknown = set(payload) - {"op", "u", "v", "label"}
+        if unknown:
+            raise ValueError(f"delta has unknown field(s) {sorted(unknown)}")
+        return cls(
+            op=payload.get("op", "?"),
+            u=payload.get("u"),
+            v=payload.get("v"),
+            label=payload.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An atomic group of :class:`Delta` mutations.
+
+    Deltas apply in order against a working copy — a vertex inserted
+    early in the batch may receive edges later in the same batch — and
+    the whole group lands as *one* new graph version: validation errors
+    anywhere in the batch leave the session's graph untouched, and
+    standing queries observe only the net before/after difference.
+
+    ``tag`` is an opaque correlation id echoed in the ``update.batch``
+    event, mirroring :class:`MatchRequest.tag`.
+    """
+
+    deltas: tuple[Delta, ...]
+    tag: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(self.deltas))
+        for position, delta in enumerate(self.deltas):
+            if not isinstance(delta, Delta):
+                raise TypeError(f"deltas[{position}] is not a Delta: {delta!r}")
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self):
+        return iter(self.deltas)
+
+    @classmethod
+    def from_dicts(cls, payloads, tag: Optional[Any] = None) -> "UpdateBatch":
+        """Build a batch from JSON-decoded delta objects (CLI update files)."""
+        return cls(deltas=tuple(Delta.from_dict(p) for p in payloads), tag=tag)
 
 
 class Matcher(ABC):

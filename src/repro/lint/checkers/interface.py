@@ -271,3 +271,4 @@ class MatcherInterfaceChecker(Checker):
             if target is not None:
                 out.append(target)
         return out
+

@@ -1,0 +1,94 @@
+"""IFC003 — no in-repo caller uses the deprecated ``match()`` spelling.
+
+The shim in ``repro.interfaces`` keeps ``matcher.match(query, data,
+limit=...)`` working for external users behind a
+:class:`DeprecationWarning`, but a deprecation the repository itself
+still relies on is a deprecation that never finishes: the package,
+``examples/`` and ``benchmarks/`` must all speak the
+:class:`~repro.interfaces.MatchRequest` surface.  The checker flags any
+``.match(...)`` attribute call that cannot be the blessed single-request
+form — two or more positional arguments, or legacy option keywords —
+excluding the shim's own definition module and regex-ish receivers
+(``re.match(pattern, s)`` and compiled-pattern lookalikes).  Tests are
+not swept: the shim's own regression tests exercise the legacy spelling
+on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, register
+from ..context import LintContext
+from ..findings import Finding
+
+#: Keyword arguments that identify the legacy ``match()`` spelling even
+#: without a second positional argument: ``match(query, data=d)`` and
+#: ``match(query=q, data=d)`` are the deprecated surface too.
+_LEGACY_MATCH_KEYWORDS = frozenset(
+    {"query", "data", "limit", "time_limit", "on_embedding"}
+)
+
+
+@register
+class DeprecatedMatchCallChecker(Checker):
+    id = "IFC003"
+    description = (
+        "no in-repo caller (package, examples/ or benchmarks/) uses the "
+        "deprecated positional Matcher.match() spelling — build a "
+        "MatchRequest instead"
+    )
+
+    #: The shim's own definition (and its docstring examples) naturally
+    #: mentions the legacy spelling; everything else must not.
+    _SHIM_MODULE = "src/repro/interfaces.py"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for module in (*ctx.modules(), *ctx.aux_modules()):
+            if module.relpath == self._SHIM_MODULE:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr == "match"):
+                    continue
+                if self._regexish(func.value):
+                    continue
+                if not self._is_legacy_spelling(node):
+                    continue
+                yield self.finding(
+                    module.relpath,
+                    node.lineno,
+                    "call uses the deprecated positional match() spelling; "
+                    "build a repro.MatchRequest and call match(request) or "
+                    "run_request(request) (see docs/serving.md)",
+                )
+
+    @staticmethod
+    def _is_legacy_spelling(node: ast.Call) -> bool:
+        """True when the call cannot be the blessed ``match(request)``
+        form: two or more positional arguments, or any legacy option
+        keyword.  A bare one-argument call is indistinguishable from the
+        request form statically and is left alone."""
+        if len(node.args) >= 2:
+            return True
+        return any(kw.arg in _LEGACY_MATCH_KEYWORDS for kw in node.keywords)
+
+    @staticmethod
+    def _regexish(receiver: ast.expr) -> bool:
+        """Does the receiver expression look like the ``re`` module or a
+        compiled pattern (``re.match``, ``NAME_RE.match``,
+        ``pattern.match``)?"""
+        name = None
+        if isinstance(receiver, ast.Name):
+            name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        if name is None:
+            return False
+        lowered = name.lower()
+        if lowered == "re" or lowered.endswith("_re"):
+            return True
+        return any(marker in lowered for marker in ("regex", "pattern"))

@@ -36,6 +36,7 @@ _BARE_COUNTER_NAMES = frozenset(
         "cache_hit",
         "cache_miss",
         "cache_eviction",
+        "cache_invalidation",
         "resumes",
     }
 )

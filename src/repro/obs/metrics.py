@@ -43,6 +43,10 @@ cache_hit               serving layer: prepared-query cache hits (preprocessing
                         skipped entirely)
 cache_miss              serving layer: cache misses (full BuildDAG + BuildCS run)
 cache_eviction          serving layer: LRU evictions from the prepared cache
+cache_invalidation      serving layer: cached prepared queries dropped because a
+                        data-graph update batch made them unrefreshable (the
+                        delta re-oriented the query's DAG) — churn-driven loss,
+                        as opposed to the capacity-driven ``cache_eviction``
 resumes                 searches continued from a ``SearchCheckpoint`` (mirrors
                         the ``checkpoint.resume`` event into snapshots, so resume
                         frequency is visible without replaying the event stream)
@@ -99,6 +103,7 @@ COUNTERS: tuple[str, ...] = (
     "cache_hit",
     "cache_miss",
     "cache_eviction",
+    "cache_invalidation",
     # Checkpointable search (repro.resilience.checkpoint): searches
     # continued from a suspended checkpoint.
     "resumes",

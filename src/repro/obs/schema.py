@@ -154,7 +154,33 @@ EVENT_SCHEMAS: dict[str, tuple[dict[str, Callable], dict[str, Callable]]] = {
             "unique_queries": _int,
             "workers": _int,
             "elapsed_seconds": _number,
+            "graph_version": _int,
         },
+    ),
+    # Dynamic-graph events (repro.service.dynamic): one update.batch per
+    # applied delta batch; one embedding.appeared / embedding.disappeared
+    # per standing-query embedding-set change the batch caused.
+    "update.batch": (
+        {"graph_version": _int, "deltas": _int},
+        {
+            "edges_inserted": _int,
+            "edges_deleted": _int,
+            "vertices_added": _int,
+            "vertices_removed": _int,
+            "cache_refreshed": _int,
+            "cache_invalidated": _int,
+            "appeared": _int,
+            "disappeared": _int,
+            "seconds": _number,
+        },
+    ),
+    "embedding.appeared": (
+        {"subscription": _str, "graph_version": _int, "embedding": _int_array},
+        {},
+    ),
+    "embedding.disappeared": (
+        {"subscription": _str, "graph_version": _int, "embedding": _int_array},
+        {},
     ),
     # Suspend/resume events (repro.resilience.checkpoint): one
     # checkpoint.save per checkpoint attached to an interrupted result,

@@ -11,7 +11,13 @@ many queries over time:
 - :class:`BatchEngine` executes request lists with cross-request
   deduplication, an optional shared :class:`repro.resilience.Budget`,
   and a forked search-stage worker pool, streaming
-  :class:`BatchItem` results in completion order.
+  :class:`BatchItem` results in completion order;
+- :meth:`DataGraphSession.apply` mutates the resident graph through
+  versioned :class:`repro.interfaces.UpdateBatch` deltas, refreshing
+  cached candidate spaces incrementally, and
+  :meth:`DataGraphSession.subscribe` registers :class:`StandingQuery`
+  continuous queries whose embedding sets are diffed exactly after
+  every batch (see :mod:`repro.service.dynamic`).
 
 :class:`repro.core.matcher.PreparedQuery` is re-exported here as the
 public name for the cached preprocessing artifact.
@@ -23,6 +29,7 @@ migration guide.
 from ..core.matcher import PreparedQuery
 from .batch import BatchEngine, BatchItem, BatchJournal, BatchResult
 from .cache import CacheEntry, PreparedQueryCache, find_isomorphism
+from .dynamic import EmbeddingEvent, StandingQuery, UpdateResult
 from .session import DataGraphSession
 
 __all__ = [
@@ -32,7 +39,10 @@ __all__ = [
     "BatchResult",
     "CacheEntry",
     "DataGraphSession",
+    "EmbeddingEvent",
     "PreparedQuery",
     "PreparedQueryCache",
+    "StandingQuery",
+    "UpdateResult",
     "find_isomorphism",
 ]

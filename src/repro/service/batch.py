@@ -313,6 +313,7 @@ class BatchEngine:
             observer.emit(
                 {
                     "event": "batch.run",
+                    "graph_version": self.session.graph_version,
                     "requests": len(batch.items),
                     "completed": batch.completed,
                     "failed": batch.failed,

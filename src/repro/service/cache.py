@@ -17,10 +17,15 @@ vertex bijection ``pi`` from the probe query onto the cached query, so
 the caller can search in cached coordinates and remap embeddings
 (``emb[u] = cached_emb[pi[u]]``).
 
-Counters: the cache self-accounts ``hits``/``misses``/``evictions`` and,
-when an observer (:class:`repro.obs.MetricsRegistry`) is attached, also
-drives the ``cache_hit``/``cache_miss``/``cache_eviction`` slots so the
-traffic appears in metrics snapshots and JSONL sidecars.
+Counters: the cache self-accounts ``hits``/``misses``/``evictions``/
+``invalidations`` and, when an observer
+(:class:`repro.obs.MetricsRegistry`) is attached, also drives the
+``cache_hit``/``cache_miss``/``cache_eviction``/``cache_invalidation``
+slots so the traffic appears in metrics snapshots and JSONL sidecars.
+Invalidation is the churn-driven path: :meth:`PreparedQueryCache.rebase`
+walks the cache after a data-graph mutation, refreshing each entry's
+prepared structures incrementally or — when refresh is impossible (the
+delta re-oriented the query's DAG) — dropping it.
 """
 
 from __future__ import annotations
@@ -92,6 +97,10 @@ class PreparedQueryCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
+        #: Version of the data graph the entries were prepared against;
+        #: bumped by :meth:`rebase` when the owning session mutates.
+        self.graph_version = 0
         self._entries: "OrderedDict[tuple[str, int], CacheEntry]" = OrderedDict()
         self._buckets: dict[str, list[tuple[str, int]]] = {}
         self._next_slot = 0
@@ -140,6 +149,38 @@ class PreparedQueryCache:
             if self.observer is not None:
                 self.observer.cache_eviction += 1
 
+    def rebase(self, new_version: int, refresh) -> tuple[int, int]:
+        """Move every entry to a new data-graph version.
+
+        ``refresh(entry.prepared)`` either returns a replacement
+        :class:`~repro.core.matcher.PreparedQuery` valid against the
+        mutated graph (incremental CS refresh) or ``None``, in which case
+        the entry is dropped and counted as an *invalidation* — distinct
+        from a capacity eviction, so telemetry can separate churn from
+        pressure.  LRU recency is preserved.  Returns
+        ``(refreshed, invalidated)`` entry counts.
+        """
+        refreshed = 0
+        invalidated = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            replacement = refresh(entry.prepared)
+            if replacement is None:
+                del self._entries[key]
+                bucket = self._buckets[key[0]]
+                bucket.remove(key)
+                if not bucket:
+                    del self._buckets[key[0]]
+                self.invalidations += 1
+                invalidated += 1
+                if self.observer is not None:
+                    self.observer.cache_invalidation += 1
+            else:
+                entry.prepared = replacement
+                refreshed += 1
+        self.graph_version = new_version
+        return refreshed, invalidated
+
     def clear(self) -> None:
         """Drop every entry (counters keep their lifetime totals)."""
         self._entries.clear()
@@ -152,6 +193,8 @@ class PreparedQueryCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "graph_version": self.graph_version,
             "entries": len(self._entries),
             "capacity": self.capacity,
             "hit_rate": (self.hits / total) if total else 0.0,

@@ -37,6 +37,7 @@ from ..interfaces import (
 )
 from ..obs.telemetry import TraceContext, TraceIdAllocator, resumed_context
 from ..resilience.budget import BudgetExceeded
+from . import dynamic
 from .cache import PreparedQueryCache
 
 
@@ -100,6 +101,11 @@ class DataGraphSession:
         # Deterministic per-session trace ids: request N is always tN
         # (same-seed reruns produce bit-identical streams).
         self.traces = TraceIdAllocator()
+        # Dynamic-graph state: the mutation counter and the standing
+        # queries notified after every applied batch (repro.service.dynamic).
+        self._graph_version = 0
+        self._subscriptions: dict[str, "dynamic.StandingQuery"] = {}
+        self._subscription_seq = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -181,6 +187,53 @@ class DataGraphSession:
         return built
 
     # ------------------------------------------------------------------
+    # Dynamic graphs and continuous queries (repro.service.dynamic)
+    # ------------------------------------------------------------------
+    @property
+    def graph_version(self) -> int:
+        """Monotone mutation counter: 0 at construction, +1 per applied
+        batch.  Mirrored in :meth:`PreparedQueryCache.stats`."""
+        return self._graph_version
+
+    def apply(self, batch, cross_validate: bool = False):
+        """Apply an :class:`~repro.interfaces.UpdateBatch` of graph deltas.
+
+        Atomically replaces the session's data graph with the mutated
+        version, bumps :attr:`graph_version`, refreshes the graph index
+        and every cached prepared query incrementally (entries whose DAG
+        the batch re-oriented are invalidated instead), and notifies all
+        standing queries with the exact appeared/disappeared embedding
+        difference.  Returns an :class:`repro.service.UpdateResult`.
+
+        ``cross_validate=True`` additionally rebuilds every refreshed CS
+        cold and raises :class:`~repro.interfaces.UpdateError` on any
+        divergence — the incremental path's equivalence check.
+
+        Checkpoints taken before a batch (``options.resume_from``) are
+        tied to the pre-batch graph: resuming them afterwards is the
+        caller's responsibility (re-run instead when in doubt).
+        """
+        return dynamic.apply_batch(self, batch, cross_validate=cross_validate)
+
+    def subscribe(self, request: MatchRequest):
+        """Register ``request`` as a continuous query.
+
+        Runs one full enumeration as the baseline, then streams the exact
+        embedding difference after every :meth:`apply` as
+        ``embedding.appeared`` / ``embedding.disappeared`` events.  Only
+        ``time_limit`` and ``budget`` options are meaningful here; any
+        other non-default option raises
+        :class:`~repro.interfaces.UnsupportedOptionError`.  Returns the
+        :class:`repro.service.StandingQuery`.
+        """
+        return dynamic.subscribe(self, request)
+
+    @property
+    def subscriptions(self) -> tuple:
+        """The active standing queries, in subscription order."""
+        return tuple(self._subscriptions.values())
+
+    # ------------------------------------------------------------------
     def _lookup_or_prepare(
         self, matcher: DAFMatcher, query: Graph, budget, observer=None
     ) -> tuple[PreparedQuery, Optional[tuple[int, ...]], float, str]:
@@ -208,10 +261,14 @@ class DataGraphSession:
             # are *not* recorded, which is how the bench measures the
             # amortization.
             return entry.prepared, pi, time.perf_counter() - start, "hit"
+        # keep_trail: sessions serve mutable graphs, and the refinement
+        # trail is what lets apply() refresh this entry incrementally.
         if build_observer is not None:
-            prepared = matcher.prepare(query, self.data, budget=budget, observer=build_observer)
+            prepared = matcher.prepare(
+                query, self.data, budget=budget, observer=build_observer, keep_trail=True
+            )
         else:
-            prepared = matcher.prepare(query, self.data, budget=budget)
+            prepared = matcher.prepare(query, self.data, budget=budget, keep_trail=True)
         self.cache.insert(query, prepared)
         return prepared, None, time.perf_counter() - start, "miss"
 

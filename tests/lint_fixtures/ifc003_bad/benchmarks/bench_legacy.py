@@ -1,0 +1,5 @@
+"""A bench harness still passing legacy option keywords."""
+
+
+def time_algorithm(matcher, query, data):
+    return matcher.match(query=query, data=data, time_limit=1.0)

@@ -1,0 +1,13 @@
+"""An example still on the pre-request call surface."""
+
+import re
+
+VERSION_RE = re.compile(r"v(\d+)")
+
+
+def run(matcher, query, data, request):
+    matcher.match(query, data)
+    matcher.match(query, data=data, limit=5)
+    matcher.match(request)
+    re.match(r"v\d+", "v1")
+    VERSION_RE.match("v1", 0)

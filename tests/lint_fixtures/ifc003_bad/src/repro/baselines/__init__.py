@@ -1,0 +1,3 @@
+from .demo import DemoMatcher
+
+ALL_BASELINES = {"Demo": DemoMatcher}

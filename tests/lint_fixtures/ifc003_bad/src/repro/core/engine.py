@@ -1,0 +1,40 @@
+"""A well-behaved emission site: every schema entry is exercised."""
+
+import json
+import random
+
+
+def run(obs, sink, xs):
+    sink.emit({"event": "ping", "x": 1, "y": 2})
+    sink.emit({"event": "telemetry.window", "index": 0, "resumes": 1, "trace_id": "t1", "span_id": "s0"})
+    sink.emit({"event": "explain.report", "algorithm": "demo", "fs_cuts": 0})
+    obs.prune_demo += 1
+    obs.resumes += 1
+    obs.vertex_entered[0] += 1
+    obs.record_span("search", 0.0)
+    rng = random.Random(7)
+    for v in sorted(xs):
+        rng.random()
+
+
+def shuffled(xs):
+    # The suppression below is itself under test: without it, DET001
+    # would flag this line.
+    random.shuffle(xs)  # lint: ignore[DET001]
+    return xs
+
+
+def relay(sink, payload):
+    # Forwarded parameters are the caller's responsibility (SCH002).
+    sink.emit(dict(payload))
+
+
+def replay(sink, line):
+    event = json.loads(line)
+    sink.emit(event)
+
+
+def emit_row(sink, row):
+    payload = {"x": row}
+    validate_event(payload)  # noqa: F821 — stand-in for repro.obs.schema
+    sink.emit(payload)

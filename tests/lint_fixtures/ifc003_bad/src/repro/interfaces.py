@@ -1,0 +1,19 @@
+"""Stand-in option contract so IFC002 has anchors in the fixture tree."""
+
+
+class MatchOptions:
+    limit: int = None
+    time_limit: float = None
+    on_embedding: object = None
+    count_only: bool = False
+    budget: object = None
+
+
+class Matcher:
+    supported_options = frozenset({"limit", "time_limit", "on_embedding"})
+
+
+def _shim_self_check(matcher, query, data):
+    # The shim's own module mentions the legacy spelling by necessity;
+    # IFC003 excludes it.
+    return matcher.match(query, data)

@@ -1,0 +1,450 @@
+"""Dynamic graphs and continuous queries (docs/serving.md).
+
+Four layers:
+
+- delta/batch API units: validation, atomicity, tombstone semantics;
+- incremental structures: the refreshed :class:`~repro.graph.GraphIndex`
+  and candidate space are *identical* to cold rebuilds on the mutated
+  graph (``cs_diff`` must be empty — bit-identity, not just equal
+  answers);
+- the serving surface: ``apply()`` versioning, cache rebase/invalidation
+  counters, ``subscribe()`` option validation and event streaming;
+- property-style equivalence: random delta batches over seeded random
+  graphs, asserting post-batch ``run()`` answers match a fresh session
+  (DAF and two baselines) and that every standing query's event stream
+  replays to exactly the fresh-run difference.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    DAFMatcher,
+    Delta,
+    MatchConfig,
+    MatchOptions,
+    MatchRequest,
+    UpdateBatch,
+    UpdateError,
+    UnsupportedOptionError,
+)
+from repro.baselines import GraphQLMatcher, VF2Matcher
+from repro.core.cs_delta import cs_diff, refresh_candidate_space
+from repro.graph import Graph, GraphIndex
+from repro.graph.mutate import TOMBSTONE_LABEL, apply_update
+from repro.service import DataGraphSession, StandingQuery
+
+from .conftest import random_graph_case
+
+
+def simple_session(matcher=None, **kwargs):
+    data = Graph(labels=["A", "B", "B"], edges=[(0, 1)])
+    return DataGraphSession(data, matcher=matcher, **kwargs)
+
+
+EDGE_QUERY = Graph(labels=["A", "B"], edges=[(0, 1)])
+
+
+# ----------------------------------------------------------------------
+# Delta / UpdateBatch API
+# ----------------------------------------------------------------------
+class TestDeltaAPI:
+    def test_constructors_round_trip_dicts(self):
+        deltas = [
+            Delta.insert_edge(0, 2),
+            Delta.delete_edge(0, 1),
+            Delta.insert_vertex("C"),
+            Delta.delete_vertex(1),
+        ]
+        payloads = [d.to_dict() for d in deltas]
+        batch = UpdateBatch.from_dicts(payloads, tag="t")
+        assert tuple(batch) == tuple(deltas)
+        assert len(batch) == 4
+        assert batch.tag == "t"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Delta(op="teleport", u=0)
+        with pytest.raises(ValueError):
+            Delta(op="insert-edge", u=0)  # missing v
+        with pytest.raises(ValueError):
+            Delta(op="insert-vertex", u=3)  # takes a label, not ids
+        with pytest.raises(ValueError):
+            Delta.from_dict({"op": "insert-edge", "u": 0, "v": 1, "w": 2})
+        with pytest.raises(ValueError):
+            Delta.from_dict(["insert-edge", 0, 1])
+
+    def test_batch_rejects_non_deltas(self):
+        with pytest.raises(TypeError):
+            UpdateBatch(deltas=({"op": "insert-edge", "u": 0, "v": 1},))
+
+
+class TestApplyUpdate:
+    def test_tombstone_keeps_ids_stable(self):
+        graph = Graph(labels=["A", "B", "C"], edges=[(0, 1), (1, 2)])
+        new, footprint = apply_update(graph, UpdateBatch((Delta.delete_vertex(1),)))
+        assert new.num_vertices == 3  # ids never move
+        assert new.label(1) == TOMBSTONE_LABEL
+        assert new.num_edges == 0  # incident edges stripped
+        assert footprint.tombstoned == {1}
+        assert footprint.deleted_edges == {(0, 1), (1, 2)}
+        # the original graph is untouched
+        assert graph.label(1) == "B" and graph.num_edges == 2
+
+    def test_batches_apply_atomically(self):
+        graph = Graph(labels=["A", "B"], edges=[])
+        bad = UpdateBatch((Delta.insert_edge(0, 1), Delta.insert_edge(0, 9)))
+        with pytest.raises(UpdateError, match=r"deltas\[1\]"):
+            apply_update(graph, bad)
+        assert graph.num_edges == 0
+
+    def test_structural_validation(self):
+        graph = Graph(labels=["A", "B", "B"], edges=[(0, 1)])
+        for delta in (
+            Delta.insert_edge(0, 1),  # duplicate edge
+            Delta.delete_edge(0, 2),  # no such edge
+            Delta.delete_vertex(5),  # out of range
+            Delta.insert_vertex(TOMBSTONE_LABEL),  # reserved label
+        ):
+            with pytest.raises(UpdateError):
+                apply_update(graph, UpdateBatch((delta,)))
+
+    def test_operations_on_tombstoned_vertices_fail(self):
+        graph = Graph(labels=["A", "B", "B"], edges=[(0, 1)])
+        gone, _ = apply_update(graph, UpdateBatch((Delta.delete_vertex(2),)))
+        for delta in (Delta.insert_edge(0, 2), Delta.delete_vertex(2)):
+            with pytest.raises(UpdateError):
+                apply_update(gone, UpdateBatch((delta,)))
+
+
+# ----------------------------------------------------------------------
+# Incremental structures == cold rebuilds
+# ----------------------------------------------------------------------
+def assert_index_identical(graph: Graph) -> None:
+    incremental = graph.cached_index
+    cold = GraphIndex(graph)
+    assert incremental._buckets == cold._buckets
+    assert incremental._nlf == cold._nlf
+    assert incremental._max_nbr_deg == cold._max_nbr_deg
+
+
+def random_batch(rng: random.Random, graph: Graph, size: int) -> UpdateBatch:
+    """A structurally valid random batch against ``graph``: edge flips
+    among live vertices, label-recycling vertex inserts, and occasional
+    vertex removals."""
+    labels = sorted({graph.label(v) for v in graph.vertices() if graph.label(v) != TOMBSTONE_LABEL})
+    live = [v for v in graph.vertices() if graph.label(v) != TOMBSTONE_LABEL]
+    edges = set(graph.edges())
+    deltas = []
+    removed: set[int] = set()
+    for _ in range(size):
+        op = rng.random()
+        candidates = [v for v in live if v not in removed]
+        if op < 0.4 and len(candidates) >= 2:
+            u, v = rng.sample(candidates, 2)
+            key = (min(u, v), max(u, v))
+            if key not in edges:
+                edges.add(key)
+                deltas.append(Delta.insert_edge(u, v))
+        elif op < 0.7 and edges:
+            u, v = rng.choice(sorted(edges))
+            if u not in removed and v not in removed:
+                edges.discard((u, v))
+                deltas.append(Delta.delete_edge(u, v))
+        elif op < 0.85 and labels:
+            deltas.append(Delta.insert_vertex(rng.choice(labels)))
+        elif candidates:
+            victim = rng.choice(candidates)
+            removed.add(victim)
+            edges = {e for e in edges if victim not in e}
+            deltas.append(Delta.delete_vertex(victim))
+    if not deltas:
+        deltas.append(Delta.insert_vertex(labels[0] if labels else "Z"))
+    return UpdateBatch(tuple(deltas))
+
+
+class TestIncrementalIndex:
+    def test_refreshed_index_matches_cold_build(self, rng):
+        for case in range(10):
+            _query, data = random_graph_case(rng)
+            session = DataGraphSession(data)
+            for _ in range(3):
+                session.apply(random_batch(rng, session.data, rng.randint(1, 5)))
+                assert_index_identical(session.data)
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        MatchConfig(),
+        MatchConfig(refine_to_fixpoint=True),
+        MatchConfig(injective=False),
+        MatchConfig(use_local_filters=False),
+        MatchConfig(refinement_steps=1),
+    ],
+    ids=["default", "fixpoint", "homomorphism", "no-local-filters", "one-step"],
+)
+class TestIncrementalCandidateSpace:
+    def test_refresh_is_bit_identical_to_cold_build(self, rng, config):
+        matcher = DAFMatcher(config)
+        for case in range(8):
+            query, data = random_graph_case(rng, max_vertices=14, max_query=5)
+            session = DataGraphSession(data, matcher=matcher)
+            session.run(MatchRequest(query))  # warm the cache
+            for _ in range(3):
+                # cross_validate=True asserts cs_diff(incremental, cold)
+                # is empty inside apply(); divergence raises UpdateError.
+                session.apply(
+                    random_batch(rng, session.data, rng.randint(1, 4)),
+                    cross_validate=True,
+                )
+
+    def test_direct_refresh_equivalence(self, rng, config):
+        matcher = DAFMatcher(config)
+        query, data = random_graph_case(rng, max_vertices=12, max_query=4)
+        prepared = matcher.prepare(query, data, keep_trail=True)
+        new_data, footprint = apply_update(
+            data, random_batch(rng, data, 4)
+        )
+        new_data.ensure_index()
+        refreshed = refresh_candidate_space(
+            prepared.cs,
+            new_data,
+            footprint,
+            refinement_steps=config.refinement_steps,
+            refine_to_fixpoint=config.refine_to_fixpoint,
+            use_local_filters=config.use_local_filters if config.injective else False,
+            label_only_initial=not config.injective,
+        )
+        cold = matcher.prepare(query, new_data, keep_trail=True)
+        assert cs_diff(refreshed, cold.cs) == []
+
+
+# ----------------------------------------------------------------------
+# Session surface: versioning, cache, subscriptions
+# ----------------------------------------------------------------------
+class TestSessionApply:
+    def test_version_bumps_and_stats_carry_it(self):
+        session = simple_session()
+        assert session.graph_version == 0
+        assert session.cache.stats()["graph_version"] == 0
+        session.apply(UpdateBatch((Delta.insert_edge(0, 2),)))
+        assert session.graph_version == 1
+        stats = session.cache.stats()
+        assert stats["graph_version"] == 1
+        assert stats["invalidations"] == 0
+
+    def test_failed_batch_leaves_session_untouched(self):
+        session = simple_session()
+        before = session.data
+        with pytest.raises(UpdateError):
+            session.apply(UpdateBatch((Delta.delete_edge(1, 2),)))
+        assert session.data is before
+        assert session.graph_version == 0
+
+    def test_cached_answers_track_mutations(self):
+        session = simple_session()
+        request = MatchRequest(EDGE_QUERY)
+        assert {tuple(e) for e in session.run(request).embeddings} == {(0, 1)}
+        session.apply(UpdateBatch((Delta.insert_edge(0, 2),)))
+        assert {tuple(e) for e in session.run(request).embeddings} == {(0, 1), (0, 2)}
+        assert session.cache.stats()["hits"] == 1  # served by the rebased entry
+
+    def test_dag_flip_invalidates_entry(self):
+        # Initially label A is rare (1 candidate) so BuildDAG roots there;
+        # the batch floods the graph with well-connected A vertices, the
+        # recomputed DAG re-roots, and the trail replay is meaningless —
+        # the entry must be invalidated, not refreshed.
+        data = Graph(
+            labels=["A", "B", "B", "B"], edges=[(0, 1), (0, 2), (0, 3)]
+        )
+        session = DataGraphSession(data)
+        session.run(MatchRequest(EDGE_QUERY))
+        deltas = []
+        for k in range(4):
+            deltas.append(Delta.insert_vertex("A"))
+            for b in (1, 2, 3):
+                deltas.append(Delta.insert_edge(4 + k, b))
+        result = session.apply(UpdateBatch(tuple(deltas)), cross_validate=True)
+        assert result.cache_invalidated == 1
+        assert session.cache.stats()["invalidations"] == 1
+        # the next run re-prepares against the new graph and is correct
+        fresh = DataGraphSession(session.data)
+        assert (
+            session.run(MatchRequest(EDGE_QUERY)).count
+            == fresh.run(MatchRequest(EDGE_QUERY)).count
+        )
+
+    def test_cache_invalidation_counter_reaches_observer(self):
+        from repro.obs import MetricsRegistry
+
+        observer = MetricsRegistry()
+        data = Graph(labels=["A", "B", "B", "B"], edges=[(0, 1), (0, 2), (0, 3)])
+        session = DataGraphSession(data, observer=observer)
+        session.run(MatchRequest(EDGE_QUERY))
+        deltas = []
+        for k in range(4):
+            deltas.append(Delta.insert_vertex("A"))
+            for b in (1, 2, 3):
+                deltas.append(Delta.insert_edge(4 + k, b))
+        session.apply(UpdateBatch(tuple(deltas)))
+        assert observer.cache_invalidation == 1
+
+
+class TestSubscribe:
+    def test_known_scenario_streams_exact_events(self):
+        session = simple_session()
+        standing = session.subscribe(MatchRequest(EDGE_QUERY))
+        assert isinstance(standing, StandingQuery)
+        assert standing.embeddings == {(0, 1)}
+
+        session.apply(UpdateBatch((Delta.insert_edge(0, 2),)))
+        events = standing.drain()
+        assert [(e.kind, e.embedding) for e in events] == [("appeared", (0, 2))]
+        assert standing.embeddings == {(0, 1), (0, 2)}
+
+        session.apply(UpdateBatch((Delta.delete_edge(0, 1),)))
+        events = standing.drain()
+        assert [(e.kind, e.embedding) for e in events] == [("disappeared", (0, 1))]
+        assert standing.embeddings == {(0, 2)}
+        assert standing.drain() == []  # drained
+
+    def test_unsupported_options_are_rejected(self):
+        session = simple_session()
+        with pytest.raises(UnsupportedOptionError) as excinfo:
+            session.subscribe(
+                MatchRequest(EDGE_QUERY, options=MatchOptions(count_only=True))
+            )
+        assert "count_only" in str(excinfo.value)
+        with pytest.raises(UnsupportedOptionError):
+            session.subscribe(
+                MatchRequest(EDGE_QUERY, options=MatchOptions(limit=5))
+            )
+        # per-batch governance options are fine
+        session.subscribe(
+            MatchRequest(EDGE_QUERY, options=MatchOptions(time_limit=30.0))
+        )
+
+    def test_foreign_data_graph_rejected(self):
+        session = simple_session()
+        other = Graph(labels=["A", "B"], edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            session.subscribe(MatchRequest(EDGE_QUERY, data=other))
+
+    def test_count_only_session_cannot_subscribe(self):
+        session = simple_session(
+            matcher=DAFMatcher(MatchConfig(collect_embeddings=False))
+        )
+        with pytest.raises(ValueError):
+            session.subscribe(MatchRequest(EDGE_QUERY))
+
+    def test_cancel_detaches(self):
+        session = simple_session()
+        standing = session.subscribe(MatchRequest(EDGE_QUERY))
+        standing.cancel()
+        assert not standing.active
+        session.apply(UpdateBatch((Delta.insert_edge(0, 2),)))
+        assert standing.drain() == []
+        assert standing.embeddings == {(0, 1)}  # frozen at cancellation
+
+
+# ----------------------------------------------------------------------
+# Property-style equivalence: incremental session == fresh session
+# ----------------------------------------------------------------------
+def embedding_set(result):
+    return {tuple(e) for e in result.embeddings}
+
+
+class TestEquivalence:
+    def test_post_batch_answers_match_fresh_session(self, rng):
+        """After every batch the warm session (rebased cache) and a cold
+        session on the identical graph agree — for DAF and baselines."""
+        baselines = [VF2Matcher(), GraphQLMatcher()]
+        for case in range(6):
+            query, data = random_graph_case(rng, max_vertices=14, max_query=5)
+            session = DataGraphSession(data)
+            request = MatchRequest(query)
+            session.run(request)
+            for _ in range(3):
+                session.apply(
+                    random_batch(rng, session.data, rng.randint(1, 5)),
+                    cross_validate=True,
+                )
+                fresh = DataGraphSession(session.data)
+                warm_result = session.run(request)
+                fresh_result = fresh.run(request)
+                assert embedding_set(warm_result) == embedding_set(fresh_result)
+                for baseline in baselines:
+                    assert embedding_set(
+                        session.run(request, matcher=baseline)
+                    ) == embedding_set(warm_result), baseline.name
+
+    def test_subscription_stream_replays_fresh_run_diff(self, rng):
+        """The appeared/disappeared stream is exactly the difference of
+        consecutive fresh enumerations."""
+        for case in range(6):
+            query, data = random_graph_case(rng, max_vertices=14, max_query=5)
+            session = DataGraphSession(data)
+            standing = session.subscribe(MatchRequest(query))
+            previous = set(standing.embeddings)
+            assert previous == embedding_set(
+                DataGraphSession(data).run(MatchRequest(query))
+            )
+            for _ in range(4):
+                session.apply(random_batch(rng, session.data, rng.randint(1, 5)))
+                current = embedding_set(
+                    DataGraphSession(session.data).run(MatchRequest(query))
+                )
+                events = standing.drain()
+                appeared = {e.embedding for e in events if e.kind == "appeared"}
+                disappeared = {
+                    e.embedding for e in events if e.kind == "disappeared"
+                }
+                assert appeared == current - previous
+                assert disappeared == previous - current
+                assert standing.embeddings == current
+                previous = current
+
+    def test_homomorphism_session_equivalence(self, rng):
+        matcher = DAFMatcher(MatchConfig(injective=False))
+        for case in range(3):
+            query, data = random_graph_case(rng, max_vertices=10, max_query=4)
+            session = DataGraphSession(data, matcher=matcher)
+            request = MatchRequest(query)
+            session.run(request)
+            for _ in range(2):
+                session.apply(
+                    random_batch(rng, session.data, 3), cross_validate=True
+                )
+                fresh = DataGraphSession(session.data, matcher=DAFMatcher(MatchConfig(injective=False)))
+                assert embedding_set(session.run(request)) == embedding_set(
+                    fresh.run(request)
+                )
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_update_and_embedding_events_validate(self):
+        from repro.obs import MemorySink, MetricsRegistry
+        from repro.obs.schema import validate_event
+
+        sink = MemorySink()
+        session = DataGraphSession(
+            Graph(labels=["A", "B", "B"], edges=[(0, 1)]),
+            observer=MetricsRegistry(sink=sink),
+        )
+        session.subscribe(MatchRequest(EDGE_QUERY))
+        session.apply(UpdateBatch((Delta.insert_edge(0, 2),)))
+        session.apply(UpdateBatch((Delta.delete_edge(0, 1),)))
+        kinds = [event["event"] for event in sink.events]
+        assert "update.batch" in kinds
+        assert "embedding.appeared" in kinds
+        assert "embedding.disappeared" in kinds
+        for event in sink.events:
+            validate_event(event)
+        update = next(e for e in sink.events if e["event"] == "update.batch")
+        assert update["graph_version"] == 1
+        assert update["appeared"] == 1

@@ -70,6 +70,15 @@ BAD_FIXTURES = {
             ("src/repro/baselines/demo.py", 7),  # match() parameter surface
         },
     ),
+    "ifc003_bad": (
+        "IFC003",
+        {
+            ("examples/legacy_demo.py", 9),  # positional query, data
+            ("examples/legacy_demo.py", 10),  # positional query + legacy kwargs
+            ("benchmarks/bench_legacy.py", 5),  # all-keyword legacy spelling
+            ("src/repro/core/legacy.py", 5),  # in-package straggler
+        },
+    ),
     "ifc002_bad": (
         "IFC002",
         {
@@ -206,6 +215,7 @@ class TestEngine:
             "FRK001",
             "IFC001",
             "IFC002",
+            "IFC003",
             "CLI001",
         ]
 
